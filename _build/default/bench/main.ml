@@ -1,0 +1,92 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Tables 1 and 2, Figures 5, 6 and 7), plus the
+   Section 5 platform microbenchmarks.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe table1          -- one experiment
+     dune exec bench/main.exe bechamel        -- wall-clock Bechamel runs
+
+   Virtual times come from the simulator; they model the paper's 8-node IBM
+   SP/2. The Bechamel mode instead measures the wall-clock cost of running
+   each experiment's simulation (one Test.make per table/figure). *)
+
+module Experiments = Dsm_harness.Experiments
+module Runset = Dsm_harness.Runset
+
+let ppf = Format.std_formatter
+
+let with_apps =
+  let cache = ref None in
+  fun f ->
+    let apps =
+      match !cache with
+      | Some apps -> apps
+      | None ->
+          let apps = Runset.all Dsm_sim.Config.default in
+          cache := Some apps;
+          apps
+    in
+    f apps
+
+let run_one = function
+  | "table1" -> with_apps (Experiments.table1 ppf)
+  | "table2" -> with_apps (Experiments.table2 ppf)
+  | "fig5" | "figure5" -> with_apps (Experiments.figure5 ppf)
+  | "fig6" | "figure6" -> with_apps (Experiments.figure6 ppf)
+  | "fig7" | "figure7" -> with_apps (Experiments.figure7 ppf)
+  | "micro" -> Experiments.micro ppf Dsm_sim.Config.default
+  | "scale" | "scaling" -> Experiments.scaling ppf Dsm_sim.Config.default
+  | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
+  | name -> failwith ("unknown experiment: " ^ name)
+
+let run_all () =
+  Experiments.micro ppf Dsm_sim.Config.default;
+  with_apps (fun apps ->
+      Experiments.table1 ppf apps;
+      Experiments.table2 ppf apps;
+      Experiments.figure5 ppf apps;
+      Experiments.figure6 ppf apps;
+      Experiments.figure7 ppf apps);
+  Experiments.scaling ppf Dsm_sim.Config.default;
+  Experiments.ablation ppf Dsm_sim.Config.default
+
+(* Bechamel wall-clock benchmarks: one Test.make per table/figure. Each run
+   re-executes the experiment's simulations from scratch (no caching), so
+   the estimate reflects the simulator's own cost. *)
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let quick name f = Test.make ~name (Staged.stage f) in
+  let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let mk_apps () = Runset.all Dsm_sim.Config.default in
+  let tests =
+    Test.make_grouped ~name:"paper-experiments"
+      [
+        quick "micro" (fun () -> Experiments.micro null Dsm_sim.Config.default);
+        quick "table1" (fun () -> Experiments.table1 null (mk_apps ()));
+        quick "table2" (fun () -> Experiments.table2 null (mk_apps ()));
+        quick "figure5" (fun () -> Experiments.figure5 null (mk_apps ()));
+        quick "figure6" (fun () -> Experiments.figure6 null (mk_apps ()));
+        quick "figure7" (fun () -> Experiments.figure7 null (mk_apps ()));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2 ~quota:(Time.second 30.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-40s %14.0f ns/run@." name est
+      | _ -> Format.printf "%-40s (no estimate)@." name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] -> run_all ()
+  | [ "bechamel" ] -> bechamel ()
+  | names -> List.iter run_one names

@@ -1,0 +1,111 @@
+(* dsm_run: command-line driver for the benchmark applications.
+
+     dsm_run --app jacobi --version tmk --level push --size large
+     dsm_run --app is --version pvm --procs 4
+     dsm_run --list
+
+   Prints the virtual execution time, speedup over the uniprocessor time,
+   and the protocol statistics of the run. *)
+
+open Cmdliner
+module A = Core.Apps.Common
+
+let apps : (string * (module A.APP)) list =
+  [
+    ("jacobi", (module Core.Apps.Jacobi));
+    ("fft3d", (module Core.Apps.Fft3d));
+    ("shallow", (module Core.Apps.Shallow));
+    ("is", (module Core.Apps.Is));
+    ("gauss", (module Core.Apps.Gauss));
+    ("mgs", (module Core.Apps.Mgs));
+  ]
+
+let levels =
+  [
+    ("base", A.Base);
+    ("aggr", A.Comm_aggr);
+    ("cons", A.Cons_elim);
+    ("merge", A.Sync_merge);
+    ("push", A.Push_opt);
+  ]
+
+let run app version level size procs sync list =
+  if list then begin
+    List.iter
+      (fun (name, m) ->
+        let module App = (val m : A.APP) in
+        Format.printf "%-8s large=%-12s small=%-12s levels=%s%s@." name
+          (App.size_name App.large) (App.size_name App.small)
+          (String.concat ","
+             (List.map A.opt_level_name App.levels))
+          (if Option.is_some App.run_xhpf then " (+xhpf)" else ""))
+      apps;
+    `Ok ()
+  end
+  else
+    match List.assoc_opt app apps with
+    | None -> `Error (false, "unknown application: " ^ app)
+    | Some m ->
+        let module App = (val m : A.APP) in
+        let params = if size = "large" then App.large else App.small in
+        let cfg = { Core.Config.default with Core.Config.nprocs = procs } in
+        let result =
+          match version with
+          | "tmk" -> (
+              match List.assoc_opt level levels with
+              | None -> Error ("unknown level: " ^ level)
+              | Some l -> Ok (App.run_tmk cfg params ~level:l ~async:(not sync)))
+          | "pvm" -> Ok (App.run_pvm cfg params)
+          | "xhpf" -> (
+              match App.run_xhpf with
+              | Some f -> Ok (f cfg params)
+              | None -> Error "XHPF cannot parallelize this application")
+          | v -> Error ("unknown version: " ^ v)
+        in
+        (match result with
+        | Error e -> `Error (false, e)
+        | Ok r ->
+            let seq = App.seq_time_us params in
+            Format.printf "%s (%s), %s, %d processors@." App.name
+              (App.size_name params) version procs;
+            Format.printf "  uniprocessor time: %12.0f us@." seq;
+            Format.printf "  parallel time:     %12.0f us  (speedup %.2f)@."
+              r.A.time_us (seq /. r.A.time_us);
+            Format.printf "  verification:      max error %g %s@." r.A.max_err
+              (if r.A.max_err <= 1e-6 then "(correct)" else "(WRONG)");
+            Format.printf "  %a@." Core.Stats.pp r.A.stats;
+            `Ok ())
+
+let cmd =
+  (* cmdliner's Term module defines [app]; keep the argument terms suffixed *)
+  let app_t =
+    Arg.(value & opt string "jacobi" & info [ "app"; "a" ] ~doc:"Application.")
+  in
+  let version =
+    Arg.(
+      value & opt string "tmk"
+      & info [ "version"; "v" ] ~doc:"Version: tmk, pvm or xhpf.")
+  in
+  let level =
+    Arg.(
+      value & opt string "push"
+      & info [ "level"; "l" ]
+          ~doc:"Optimization level for tmk: base, aggr, cons, merge, push.")
+  in
+  let size =
+    Arg.(value & opt string "small" & info [ "size"; "s" ] ~doc:"large or small.")
+  in
+  let procs =
+    Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Processor count.")
+  in
+  let sync =
+    Arg.(value & flag & info [ "sync" ] ~doc:"Synchronous data fetching.")
+  in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List applications.") in
+  let doc = "run a benchmark application on the simulated DSM" in
+  Cmd.v
+    (Cmd.info "dsm_run" ~doc)
+    Term.(
+      ret (const run $ app_t $ version $ level $ size $ procs $ sync $ list))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/compiler_demo.ml: Array Dsm_compiler Dsm_sim Format List Printf String

@@ -1,0 +1,1 @@
+examples/migratory_locks.ml: Core Format

@@ -1,0 +1,1 @@
+examples/stencil_push.ml: Array Core Format

@@ -1,0 +1,1 @@
+lib/apps/fft3d.ml: App_common Array Dsm_hpf Dsm_mp Dsm_sim Dsm_tmk Float Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/apps/fft3d.mli: App_common

@@ -1,0 +1,1 @@
+lib/apps/gauss.ml: App_common Array Dsm_hpf Dsm_mp Dsm_sim Dsm_tmk Hashtbl Printf

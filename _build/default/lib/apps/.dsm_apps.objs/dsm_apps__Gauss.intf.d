@@ -1,0 +1,1 @@
+lib/apps/gauss.mli: App_common

@@ -1,0 +1,1 @@
+lib/apps/is.ml: App_common Array Dsm_mp Dsm_sim Dsm_tmk Hashtbl Option Printf

@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: App_common Array Dsm_hpf Dsm_mp Dsm_sim Dsm_tmk Hashtbl Printf

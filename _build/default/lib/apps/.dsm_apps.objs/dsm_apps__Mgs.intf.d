@@ -1,0 +1,1 @@
+lib/apps/mgs.mli: App_common

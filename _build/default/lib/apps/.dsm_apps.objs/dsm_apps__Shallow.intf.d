@@ -1,0 +1,1 @@
+lib/apps/shallow.mli: App_common

@@ -1,0 +1,43 @@
+type opt_level = Base | Comm_aggr | Cons_elim | Sync_merge | Push_opt
+
+let opt_level_name = function
+  | Base -> "base"
+  | Comm_aggr -> "comm-aggr"
+  | Cons_elim -> "cons-elim"
+  | Sync_merge -> "sync-merge"
+  | Push_opt -> "push"
+
+let rank = function
+  | Base -> 0
+  | Comm_aggr -> 1
+  | Cons_elim -> 2
+  | Sync_merge -> 3
+  | Push_opt -> 4
+
+let level_leq a b = rank a <= rank b
+
+type result = {
+  time_us : float;
+  stats : Dsm_sim.Stats.t;
+  max_err : float;
+}
+
+let combine_err a b = Float.max a (abs_float b)
+
+module type APP = sig
+  val name : string
+
+  type params
+
+  val large : params
+  val small : params
+  val size_name : params -> string
+  val seq_time_us : params -> float
+
+  val run_tmk :
+    Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
+
+  val run_pvm : Dsm_sim.Config.t -> params -> result
+  val run_xhpf : (Dsm_sim.Config.t -> params -> result) option
+  val levels : opt_level list
+end

@@ -1,0 +1,53 @@
+(** Shared vocabulary of the six benchmark applications.
+
+    Every application comes in four versions, matching Section 5 of the
+    paper: the base TreadMarks program, the compiler-optimized TreadMarks
+    program (with cumulative optimization levels as in Figure 6), a
+    hand-coded PVMe-style message-passing program, and (except IS) an
+    XHPF-style message-passing program over the mini-HPF run-time. *)
+
+(** Cumulative optimization levels of Figure 6. *)
+type opt_level =
+  | Base
+  | Comm_aggr  (** communication aggregation: consistency-preserving
+                   Validates, one diff request per writer *)
+  | Cons_elim  (** + consistency elimination: WRITE_ALL family *)
+  | Sync_merge  (** + merging data movement with synchronization *)
+  | Push_opt  (** + replacing barriers with Push *)
+
+val opt_level_name : opt_level -> string
+val level_leq : opt_level -> opt_level -> bool
+(** Ordering of the cumulative levels. *)
+
+(** Outcome of one parallel run. *)
+type result = {
+  time_us : float;  (** parallel virtual execution time *)
+  stats : Dsm_sim.Stats.t;  (** aggregate over processors *)
+  max_err : float;  (** max |difference| against the sequential reference *)
+}
+
+val combine_err : float -> float -> float
+
+module type APP = sig
+  val name : string
+
+  type params
+
+  val large : params
+  val small : params
+  val size_name : params -> string
+  val seq_time_us : params -> float
+  (** Virtual uniprocessor execution time (Table 1 baseline). *)
+
+  val run_tmk :
+    Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
+
+  val run_pvm : Dsm_sim.Config.t -> params -> result
+
+  val run_xhpf : (Dsm_sim.Config.t -> params -> result) option
+  (** [None] for IS: XHPF cannot parallelize it (indirect accesses). *)
+
+  val levels : opt_level list
+  (** The optimization levels applicable to this application, as reported
+      in Figure 6 of the paper. *)
+end

@@ -1,0 +1,9 @@
+(** 3D Fast Fourier Transform, after the NAS FT benchmark: per iteration an
+    evolve step, local x/y FFTs on the z-slabs, a distributed transpose
+    (producer-consumer communication at a barrier), a local z FFT, and the
+    inverse transpose. The transpose reads a thin slice of every source
+    page, so base TreadMarks moves whole-page diffs that mostly carry other
+    readers' slices — the false-sharing amplification [Push] removes. All
+    five optimization levels apply. *)
+
+include App_common.APP

@@ -1,0 +1,8 @@
+(** Gaussian elimination with partial pivoting, columns distributed
+    cyclically. The per-iteration pivot row number and multiplier column
+    are logically broadcast through a shared work array; merging data
+    movement with synchronization (barrier-time broadcast) is the most
+    effective optimization, as in the paper. No [Push] (two barriers per
+    iteration carry anti-dependences). *)
+
+include App_common.APP

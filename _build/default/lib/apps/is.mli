@@ -1,0 +1,8 @@
+(** Integer Sort from the NAS benchmarks: bucket-sort ranking with private
+    counting, staggered lock-protected updates of the shared buckets
+    (migratory data) and a read-everything ranking phase. The program where
+    base TreadMarks suffers diff accumulation, and where
+    [Validate(..., READ&WRITE_ALL)] pays the most; no [Push] (the last
+    lock holder is statically unknown) and no XHPF (indirect accesses). *)
+
+include App_common.APP

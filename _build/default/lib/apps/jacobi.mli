@@ -1,0 +1,8 @@
+(** Jacobi iteration (Section 2 of the paper, Figures 1 and 2):
+    nearest-neighbour averaging over a shared grid, interior columns
+    block-partitioned. The running example of the paper: the optimized
+    versions follow the compiler output of Figure 2 — a
+    [Validate(b[...], WRITE_ALL)] after Barrier(1) and Barrier(2) replaced
+    by [Push]. All five optimization levels apply. *)
+
+include App_common.APP

@@ -1,0 +1,7 @@
+(** Modified Gram-Schmidt: orthonormalization of a cyclically distributed
+    set of vectors. Like Gauss, the normalized vector is logically
+    broadcast each iteration and barrier-time broadcast is the profitable
+    optimization; the strided cyclic ownership costs extra run-time work,
+    which keeps both the optimized DSM and XHPF behind PVMe (Section 6.2). *)
+
+include App_common.APP

@@ -1,0 +1,9 @@
+(** The NCAR shallow-water benchmark: three finite-difference phases per
+    time step over 13 shared arrays on a periodic grid, columns
+    block-partitioned. Only communication aggregation and consistency
+    elimination apply (merging with synchronization and Push would need
+    interprocedural analysis, Section 6.2); the consistency-elimination
+    gains are relatively larger than Jacobi's because many more pages are
+    in use. *)
+
+include App_common.APP

@@ -1,0 +1,1 @@
+lib/compiler/access.ml: Array Format Ir Lin List Option String Sym_rsd

@@ -1,0 +1,1 @@
+lib/compiler/access.mli: Format Ir Sym_rsd

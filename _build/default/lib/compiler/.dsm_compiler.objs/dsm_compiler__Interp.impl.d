@@ -1,0 +1,1 @@
+lib/compiler/interp.ml: Array Dsm_rsd Dsm_sim Dsm_tmk Hashtbl Ir Lin List Sym_rsd

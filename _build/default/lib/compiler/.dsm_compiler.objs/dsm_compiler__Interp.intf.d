@@ -1,0 +1,1 @@
+lib/compiler/interp.mli: Dsm_rsd Dsm_sim Dsm_tmk Ir

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Dsm_tmk Lin List Sym_rsd

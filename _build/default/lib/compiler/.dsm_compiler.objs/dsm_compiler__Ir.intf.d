@@ -1,0 +1,1 @@
+lib/compiler/ir.mli: Dsm_tmk Lin Sym_rsd

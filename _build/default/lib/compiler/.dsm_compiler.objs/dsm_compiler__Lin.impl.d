@@ -1,0 +1,1 @@
+lib/compiler/lin.ml: Format List Option

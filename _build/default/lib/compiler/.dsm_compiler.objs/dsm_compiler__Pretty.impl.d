@@ -1,0 +1,1 @@
+lib/compiler/pretty.ml: Dsm_tmk Format Ir Lin List Printf String Sym_rsd

@@ -1,0 +1,1 @@
+lib/compiler/pretty.mli: Format Ir

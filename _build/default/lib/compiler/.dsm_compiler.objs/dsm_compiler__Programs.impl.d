@@ -1,0 +1,1 @@
+lib/compiler/programs.ml: Ir Lin

@@ -1,0 +1,1 @@
+lib/compiler/sym_rsd.ml: Dsm_rsd Format Lin List Option

@@ -1,0 +1,1 @@
+lib/compiler/sym_rsd.mli: Dsm_rsd Format Lin

@@ -1,0 +1,1 @@
+lib/compiler/transform.ml: Access Array Dsm_rsd Dsm_tmk Fun Ir Lin List Option Sym_rsd

@@ -1,0 +1,324 @@
+type tag = { read : bool; write : bool; write_first : bool }
+
+type summary_entry = {
+  arr : string;
+  rsd : Sym_rsd.t;
+  reads : Sym_rsd.t option;
+  writes : Sym_rsd.t option;
+  tag : tag;
+}
+
+type region = {
+  after_sync : int;
+  before_sync : int;
+  summary : summary_entry list;
+}
+
+type result = { regions : region list; sync_count : int; cyclic : bool }
+
+(* Pre-order numbering of synchronization statements. *)
+let index_syncs (prog : Ir.program) =
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec go stmts =
+    List.iter
+      (fun s ->
+        (match s with
+        | Ir.For l -> go l.Ir.body
+        | Ir.If_lt (_, _, bt, bf) ->
+            go bt;
+            go bf
+        | _ ->
+            if Ir.is_sync s then begin
+              acc := (!n, s) :: !acc;
+              incr n
+            end))
+      stmts
+  in
+  go prog.Ir.body;
+  List.rev !acc
+
+(* {1 Collecting accesses} *)
+
+type raw_access = { ra_arr : string; ra_rsd : Sym_rsd.t; ra_write : bool }
+
+(* Translate one affine index under the enclosing loop nest into a
+   (lo, hi, stride) triple. Returns the dim and whether it is exact, plus
+   the induction variable it uses (for the diagonal check). *)
+let dim_of_index ~ivars idx =
+  let used =
+    List.filter (fun (v, _, _) -> Lin.coeff_of idx v <> 0) ivars
+  in
+  match used with
+  | [] -> ((idx, idx, 1), true, None)
+  | [ (v, lo, hi) ] ->
+      let c = Lin.coeff_of idx v in
+      let at_lo = Lin.subst idx v lo
+      and at_hi = Lin.subst idx v hi in
+      if c > 0 then ((at_lo, at_hi, c), true, Some v)
+      else ((at_hi, at_lo, -c), true, Some v)
+  | _ ->
+      (* multiple induction variables: bound conservatively by substituting
+         extremes per sign; flagged inexact *)
+      let lo =
+        List.fold_left
+          (fun e (v, l, h) ->
+            let c = Lin.coeff_of e v in
+            Lin.subst e v (if c >= 0 then l else h))
+          idx used
+      and hi =
+        List.fold_left
+          (fun e (v, l, h) ->
+            let c = Lin.coeff_of e v in
+            Lin.subst e v (if c >= 0 then h else l))
+          idx used
+      in
+      ((lo, hi, 1), false, None)
+
+let rsd_of_ref ~ivars (r : Ir.aref) =
+  let dims_info = List.map (dim_of_index ~ivars) r.Ir.aidx in
+  let dims = List.map (fun (d, _, _) -> d) dims_info in
+  let exact_dims = List.for_all (fun (_, e, _) -> e) dims_info in
+  (* a(i,i): the same induction variable in two dimensions describes a
+     diagonal; the box is an over-approximation *)
+  let ivs = List.filter_map (fun (_, _, v) -> v) dims_info in
+  let no_diag = List.length ivs = List.length (List.sort_uniq compare ivs) in
+  Sym_rsd.make ~exact:(exact_dims && no_diag) dims
+
+(* All accesses to shared arrays in a statement list, in execution order
+   (loop bodies once, under their symbolic bounds). Private arrays are
+   outside the analysis' variable set V. *)
+let collect_accesses ~shared stmts =
+  let acc = ref [] in
+  let rec go_expr ~ivars = function
+    | Ir.Fconst _ | Ir.Scalar _ -> ()
+    | Ir.Load r ->
+        if shared r.Ir.aname then
+          acc :=
+            { ra_arr = r.Ir.aname; ra_rsd = rsd_of_ref ~ivars r; ra_write = false }
+            :: !acc
+    | Ir.Bin (_, a, b) ->
+        go_expr ~ivars a;
+        go_expr ~ivars b
+  in
+  let rec go ~ivars stmts =
+    List.iter
+      (fun s ->
+        match s with
+        | Ir.For l -> go ~ivars:((l.Ir.ivar, l.Ir.lo, l.Ir.hi) :: ivars) l.Ir.body
+        | Ir.If_lt (_, _, bt, bf) ->
+            (* both branches may run: union their accesses, and flag them
+               inexact — the analysis cannot prove which elements are
+               touched (the paper treats conditionals as fetch points) *)
+            let mark = List.length !acc in
+            go ~ivars bt;
+            go ~ivars bf;
+            let rec demote i l =
+              match l with
+              | [] -> []
+              | x :: tl when i < List.length !acc - mark ->
+                  { x with ra_rsd = Sym_rsd.inexact x.ra_rsd } :: demote (i + 1) tl
+              | _ -> l
+            in
+            acc := demote 0 !acc
+        | Ir.Assign (lhs, rhs) ->
+            go_expr ~ivars rhs;
+            if shared lhs.Ir.aname then
+              acc :=
+                { ra_arr = lhs.Ir.aname; ra_rsd = rsd_of_ref ~ivars lhs; ra_write = true }
+                :: !acc
+        | Ir.Set_scalar (_, rhs) -> go_expr ~ivars rhs
+        | Ir.Barrier _ | Ir.Lock_acquire _ | Ir.Lock_release _ | Ir.Validate _
+        | Ir.Validate_w_sync _ | Ir.Push _ ->
+            ())
+      stmts
+  in
+  go ~ivars:[] stmts;
+  List.rev !acc
+
+(* {1 Region formation} *)
+
+(* Find the outermost loop whose body contains top-level sync statements:
+   the steady-state cycle. *)
+let rec find_main_loop stmts =
+  match stmts with
+  | [] -> None
+  | Ir.For l :: _ when List.exists Ir.is_sync l.Ir.body -> Some l
+  | Ir.For l :: rest -> (
+      match find_main_loop l.Ir.body with
+      | Some _ as r -> r
+      | None -> find_main_loop rest)
+  | Ir.If_lt (_, _, bt, bf) :: rest -> (
+      match find_main_loop bt with
+      | Some _ as r -> r
+      | None -> (
+          match find_main_loop bf with
+          | Some _ as r -> r
+          | None -> find_main_loop rest))
+  | _ :: rest -> find_main_loop rest
+
+(* Split a statement list into (sync_index, stmts-following) segments.
+   [first_index] is the traversal index of the first sync in the list. *)
+let segments_of_body ~first_index stmts =
+  let segs = ref [] in
+  let current = ref [] in
+  let cur_sync = ref None in
+  let idx = ref first_index in
+  List.iter
+    (fun s ->
+      if Ir.is_sync s then begin
+        segs := (!cur_sync, List.rev !current) :: !segs;
+        cur_sync := Some !idx;
+        incr idx;
+        current := []
+      end
+      else current := s :: !current)
+    stmts;
+  segs := (!cur_sync, List.rev !current) :: !segs;
+  (* produces: leading chunk (before the first sync, cur_sync = None) and a
+     chunk after each sync *)
+  List.rev !segs
+
+(* Summarize one region's accesses (Section 4.1 steps 2b-2d). *)
+let summarize ~probe accesses =
+  let arrays =
+    List.map (fun a -> a.ra_arr) accesses |> List.sort_uniq compare
+  in
+  List.filter_map
+    (fun arr ->
+      let of_arr = List.filter (fun a -> a.ra_arr = arr) accesses in
+      match of_arr with
+      | [] -> None
+      | first :: rest ->
+          let union_rsd =
+            List.fold_left
+              (fun acc a -> Sym_rsd.union ~probe acc a.ra_rsd)
+              first.ra_rsd rest
+          in
+          let read = List.exists (fun a -> not a.ra_write) of_arr in
+          let write = List.exists (fun a -> a.ra_write) of_arr in
+          (* write-first: every read is covered by the union of the writes
+             that precede it in execution order *)
+          let exposed = ref false in
+          let written = ref None in
+          List.iter
+            (fun a ->
+              if a.ra_write then
+                written :=
+                  Some
+                    (match !written with
+                    | None -> a.ra_rsd
+                    | Some w -> Sym_rsd.union ~probe w a.ra_rsd)
+              else
+                match !written with
+                | Some w when Sym_rsd.contains ~probe w a.ra_rsd -> ()
+                | _ -> exposed := true)
+            of_arr;
+          let write_first = write && not !exposed in
+          let union_of sel =
+            match List.filter sel of_arr with
+            | [] -> None
+            | a0 :: rest ->
+                Some
+                  (List.fold_left
+                     (fun acc a -> Sym_rsd.union ~probe acc a.ra_rsd)
+                     a0.ra_rsd rest)
+          in
+          Some
+            {
+              arr;
+              rsd = union_rsd;
+              reads = union_of (fun a -> not a.ra_write);
+              writes = union_of (fun a -> a.ra_write);
+              tag = { read; write; write_first };
+            })
+    arrays
+
+let analyze (prog : Ir.program) ~nprocs =
+  let probe v = Ir.probe_env prog ~nprocs v in
+  let shared name = List.mem_assoc name prog.Ir.arrays in
+  let syncs = index_syncs prog in
+  let sync_count = List.length syncs in
+  match find_main_loop prog.Ir.body with
+  | None ->
+      (* linear program: regions between consecutive syncs *)
+      let segs = segments_of_body ~first_index:0 prog.Ir.body in
+      let rec pair = function
+        | (Some i, stmts) :: ((Some j, _) :: _ as rest) ->
+            { after_sync = i; before_sync = j; summary = summarize ~probe (collect_accesses ~shared stmts) }
+            :: pair rest
+        | _ :: rest -> pair rest
+        | [] -> []
+      in
+      { regions = pair segs; sync_count; cyclic = false }
+  | Some main ->
+      (* traversal index of the first sync inside the main loop's body:
+         the number of sync statements encountered before reaching it *)
+      let count_syncs stmts =
+        let c = ref 0 in
+        let rec cnt ss =
+          List.iter
+            (fun s ->
+              match s with
+              | Ir.For ll -> cnt ll.Ir.body
+              | _ -> if Ir.is_sync s then incr c)
+            ss
+        in
+        cnt stmts;
+        !c
+      in
+      let rec locate stmts acc =
+        match stmts with
+        | [] -> None
+        | Ir.For l :: _ when l == main -> Some acc
+        | Ir.For l :: rest -> (
+            match locate l.Ir.body acc with
+            | Some n -> Some n
+            | None -> locate rest (acc + count_syncs l.Ir.body))
+        | s :: rest -> locate rest (acc + if Ir.is_sync s then 1 else 0)
+      in
+      let first_index = Option.value ~default:0 (locate prog.Ir.body 0) in
+      let segs = segments_of_body ~first_index main.Ir.body in
+      (* cyclic: append the leading chunk (before the first sync of the
+         body) to the trailing segment *)
+      let leading, rest =
+        match segs with
+        | (None, stmts) :: rest -> (stmts, rest)
+        | rest -> ([], rest)
+      in
+      let rest = Array.of_list rest in
+      let nsegs = Array.length rest in
+      let regions =
+        Array.to_list
+          (Array.mapi
+             (fun k (sync, stmts) ->
+               let sync = Option.get sync in
+               let stmts, before =
+                 if k = nsegs - 1 then
+                   (* wrap around to the head of the loop body *)
+                   (stmts @ leading, fst (Array.get rest 0) |> Option.get)
+                 else (stmts, Option.get (fst (Array.get rest (k + 1))))
+               in
+               {
+                 after_sync = sync;
+                 before_sync = before;
+                 summary = summarize ~probe (collect_accesses ~shared stmts);
+               })
+             rest)
+      in
+      { regions; sync_count; cyclic = true }
+
+let pp_tag ppf t =
+  let parts =
+    (if t.read then [ "read" ] else [])
+    @ (if t.write then [ "write" ] else [])
+    @ if t.write_first then [ "write-first" ] else []
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " parts)
+
+let pp_region ppf r =
+  Format.fprintf ppf "@[<v2>region after sync #%d (until #%d):@,%a@]"
+    r.after_sync r.before_sync
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf e ->
+         Format.fprintf ppf "%a %a" (Sym_rsd.pp e.arr) e.rsd pp_tag e.tag))
+    r.summary

@@ -1,0 +1,33 @@
+(** Execution of IR programs.
+
+    [execute] runs a (possibly transformed) program on the DSM run-time,
+    SPMD-style: each simulated processor runs the same body under its own
+    bindings, and the inserted [Validate]/[Push] statements call into the
+    augmented TreadMarks interface. [run_sequential] executes the program on
+    plain arrays with the single-processor binding — the reference for
+    correctness tests and for uniprocessor timings. *)
+
+type outcome = {
+  arrays : (string * Dsm_rsd.Section.array_info) list;
+  elapsed_us : float;
+  stats : Dsm_sim.Stats.t;
+}
+
+val execute :
+  ?flop_us:float -> Dsm_sim.Config.t -> Ir.program -> Dsm_tmk.Tmk.system * outcome
+(** Allocate the program's arrays in a fresh DSM system, run it on every
+    processor, and report the parallel time and aggregate statistics. *)
+
+val fetch_array :
+  Dsm_tmk.Tmk.system -> Dsm_rsd.Section.array_info -> float array
+(** Read an array's contents through processor 0 (paying whatever faults are
+    needed), flattened in column-major order. Call after {!execute}; note
+    that it perturbs the statistics, so record them first. *)
+
+val run_sequential : ?flop_us:float -> Ir.program -> (string * float array) list
+(** Reference execution with [nprocs = 1] on local arrays; synchronization
+    and validate statements are no-ops. *)
+
+val seq_time_us : ?flop_us:float -> Ir.program -> float
+(** Virtual uniprocessor time of the sequential execution (computation
+    charges only), for speedup baselines. *)

@@ -1,0 +1,65 @@
+let rec pp_rexpr ppf = function
+  | Ir.Fconst x -> Format.fprintf ppf "%g" x
+  | Ir.Scalar s -> Format.pp_print_string ppf s
+  | Ir.Load r -> pp_aref ppf r
+  | Ir.Bin (op, a, b) ->
+      let s =
+        match op with Ir.Add -> "+" | Ir.Sub -> "-" | Ir.Mul -> "*" | Ir.Div -> "/"
+      in
+      Format.fprintf ppf "(%a %s %a)" pp_rexpr a s pp_rexpr b
+
+and pp_aref ppf (r : Ir.aref) =
+  Format.fprintf ppf "%s(%a)" r.Ir.aname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Lin.pp)
+    r.Ir.aidx
+
+let access_name = Dsm_tmk.Types.access_to_string
+
+let pp_vcall kind ppf (vc : Ir.vcall) =
+  Format.fprintf ppf "call %s(%a, %s%s)" kind
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (name, srsd) -> Sym_rsd.pp name ppf srsd))
+    vc.Ir.vsections
+    (access_name vc.Ir.vaccess)
+    (if vc.Ir.vasync then ", ASYNC" else "")
+
+let rec pp_stmt ppf = function
+  | Ir.For l ->
+      Format.fprintf ppf "@[<v2>do %s = %a, %a@,%a@]@,enddo" l.Ir.ivar Lin.pp
+        l.Ir.lo Lin.pp l.Ir.hi pp_body l.Ir.body
+  | Ir.If_lt (a, b, bt, bf) ->
+      Format.fprintf ppf "@[<v2>if (%a < %a) then@,%a@]@," Lin.pp a Lin.pp b
+        pp_body bt;
+      if bf <> [] then Format.fprintf ppf "@[<v2>else@,%a@]@," pp_body bf;
+      Format.fprintf ppf "endif"
+  | Ir.Assign (lhs, rhs) -> Format.fprintf ppf "%a = %a" pp_aref lhs pp_rexpr rhs
+  | Ir.Set_scalar (x, rhs) -> Format.fprintf ppf "%s = %a" x pp_rexpr rhs
+  | Ir.Barrier n -> Format.fprintf ppf "call Barrier(%d)" n
+  | Ir.Lock_acquire n -> Format.fprintf ppf "call Lock_acquire(%d)" n
+  | Ir.Lock_release n -> Format.fprintf ppf "call Lock_release(%d)" n
+  | Ir.Validate vc -> pp_vcall "Validate" ppf vc
+  | Ir.Validate_w_sync vc -> pp_vcall "Validate_w_sync" ppf vc
+  | Ir.Push pc ->
+      Format.fprintf ppf "call Push(%a ; %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (name, srsd) -> Sym_rsd.pp name ppf srsd))
+        pc.Ir.pread
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (name, srsd) -> Sym_rsd.pp name ppf srsd))
+        pc.Ir.pwrite
+
+and pp_body ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf (p : Ir.program) =
+  Format.fprintf ppf "@[<v>c %s  (params: %s)@,%a@]" p.Ir.pname
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) p.Ir.params))
+    pp_body p.Ir.body
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,7 @@
+(** Pseudo-Fortran rendering of IR programs, in the style of the paper's
+    Figures 1 and 2 — used by the compiler demo and for eyeballing what the
+    transformation produced. *)
+
+val pp_stmt : Format.formatter -> Ir.stmt -> unit
+val pp_program : Format.formatter -> Ir.program -> unit
+val program_to_string : Ir.program -> string

@@ -1,0 +1,363 @@
+let c = Lin.const
+let v = Lin.var
+let ( +! ) = Lin.add
+let ( -! ) = Lin.sub
+
+let aref name idx = { Ir.aname = name; aidx = idx }
+let load name idx = Ir.Load (aref name idx)
+
+let fbin op a b = Ir.Bin (op, a, b)
+let fadd = fbin Ir.Add
+let fmul = fbin Ir.Mul
+
+(* Block partition of [lo..hi] among [nprocs]: processor [p]'s slice. *)
+let block_bounds ~lo ~hi ~nprocs ~p =
+  let count = hi - lo + 1 in
+  let w = (count + nprocs - 1) / nprocs in
+  let b = lo + (p * w) in
+  let e = min hi (lo + (((p + 1) * w) - 1)) in
+  (b, min e hi)
+
+let jacobi ~m ~iters =
+  {
+    Ir.pname = "jacobi";
+    params = [ ("M", m); ("T", iters) ];
+    arrays = [ ("b", [ c m; c m ]) ];
+    privates = [ ("a", [ c m; c m ]) ];
+    proc_bindings =
+      (fun ~nprocs ~p ->
+        let b, e = block_bounds ~lo:1 ~hi:(m - 2) ~nprocs ~p in
+        [ ("begin", b); ("end", e); ("p", p) ]);
+    body =
+      [
+        Ir.For
+          {
+            ivar = "k";
+            lo = c 1;
+            hi = v "T";
+            body =
+              [
+                Ir.For
+                  {
+                    ivar = "j";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.For
+                          {
+                            ivar = "i";
+                            lo = c 1;
+                            hi = v "M" -! c 2;
+                            body =
+                              [
+                                Ir.Assign
+                                  ( aref "a" [ v "i"; v "j" ],
+                                    fmul (Ir.Fconst 0.25)
+                                      (fadd
+                                         (fadd
+                                            (load "b" [ v "i" -! c 1; v "j" ])
+                                            (load "b" [ v "i" +! c 1; v "j" ]))
+                                         (fadd
+                                            (load "b" [ v "i"; v "j" -! c 1 ])
+                                            (load "b" [ v "i"; v "j" +! c 1 ])))
+                                  );
+                              ];
+                          };
+                      ];
+                  };
+                Ir.Barrier 1;
+                Ir.For
+                  {
+                    ivar = "j";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.For
+                          {
+                            ivar = "i";
+                            lo = c 0;
+                            hi = v "M" -! c 1;
+                            body =
+                              [
+                                Ir.Assign
+                                  ( aref "b" [ v "i"; v "j" ],
+                                    load "a" [ v "i"; v "j" ] );
+                              ];
+                          };
+                      ];
+                  };
+                Ir.Barrier 2;
+              ];
+          };
+      ];
+  }
+
+let transpose ~m ~iters =
+  {
+    Ir.pname = "transpose";
+    params = [ ("M", m); ("T", iters) ];
+    arrays = [ ("a", [ c m; c m ]); ("at", [ c m; c m ]) ];
+    privates = [];
+    proc_bindings =
+      (fun ~nprocs ~p ->
+        let b, e = block_bounds ~lo:0 ~hi:(m - 1) ~nprocs ~p in
+        [ ("begin", b); ("end", e); ("p", p) ]);
+    body =
+      [
+        Ir.For
+          {
+            ivar = "k";
+            lo = c 1;
+            hi = v "T";
+            body =
+              [
+                (* local compute on own columns of a *)
+                Ir.For
+                  {
+                    ivar = "j";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.For
+                          {
+                            ivar = "i";
+                            lo = c 0;
+                            hi = v "M" -! c 1;
+                            body =
+                              [
+                                Ir.Assign
+                                  ( aref "a" [ v "i"; v "j" ],
+                                    fadd
+                                      (fmul (Ir.Fconst 0.5)
+                                         (load "a" [ v "i"; v "j" ]))
+                                      (Ir.Fconst 1.0) );
+                              ];
+                          };
+                      ];
+                  };
+                Ir.Barrier 1;
+                (* distributed transpose: read rows of a, write own columns
+                   of at *)
+                Ir.For
+                  {
+                    ivar = "j";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.For
+                          {
+                            ivar = "i";
+                            lo = c 0;
+                            hi = v "M" -! c 1;
+                            body =
+                              [
+                                Ir.Assign
+                                  ( aref "at" [ v "i"; v "j" ],
+                                    load "a" [ v "j"; v "i" ] );
+                              ];
+                          };
+                      ];
+                  };
+                Ir.Barrier 2;
+                (* fold the transposed data back into a (local) *)
+                Ir.For
+                  {
+                    ivar = "j";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.For
+                          {
+                            ivar = "i";
+                            lo = c 0;
+                            hi = v "M" -! c 1;
+                            body =
+                              [
+                                Ir.Assign
+                                  ( aref "a" [ v "i"; v "j" ],
+                                    fmul (Ir.Fconst 0.5)
+                                      (load "at" [ v "i"; v "j" ]) );
+                              ];
+                          };
+                      ];
+                  };
+                Ir.Barrier 3;
+              ];
+          };
+      ];
+  }
+
+let redblack ~n ~iters =
+  (* u has n cells; odd cells updated from even neighbours, then even from
+     odd. Each processor owns a block of the index range of each colour. *)
+  let half = n / 2 in
+  {
+    Ir.pname = "redblack";
+    params = [ ("N", n); ("H", half); ("T", iters) ];
+    arrays = [ ("u", [ c n ]) ];
+    privates = [];
+    proc_bindings =
+      (fun ~nprocs ~p ->
+        (* indices of colour classes: odd = 2h+1 for h in [0, half-2];
+           even = 2h for h in [1, half-1] *)
+        let ob, oe = block_bounds ~lo:0 ~hi:(half - 2) ~nprocs ~p in
+        let eb, ee = block_bounds ~lo:1 ~hi:(half - 1) ~nprocs ~p in
+        [ ("ob", ob); ("oe", oe); ("eb", eb); ("ee", ee); ("p", p) ]);
+    body =
+      [
+        Ir.For
+          {
+            ivar = "k";
+            lo = c 1;
+            hi = v "T";
+            body =
+              [
+                (* odd sweep: u(2h+1) = (u(2h) + u(2h+2)) / 2 *)
+                Ir.For
+                  {
+                    ivar = "h";
+                    lo = v "ob";
+                    hi = v "oe";
+                    body =
+                      [
+                        Ir.Assign
+                          ( aref "u" [ Lin.scale 2 (v "h") +! c 1 ],
+                            fmul (Ir.Fconst 0.5)
+                              (fadd
+                                 (load "u" [ Lin.scale 2 (v "h") ])
+                                 (load "u" [ Lin.scale 2 (v "h") +! c 2 ])) );
+                      ];
+                  };
+                Ir.Barrier 1;
+                (* even sweep: u(2h) = (u(2h-1) + u(2h+1)) / 2 *)
+                Ir.For
+                  {
+                    ivar = "h";
+                    lo = v "eb";
+                    hi = v "ee";
+                    body =
+                      [
+                        Ir.Assign
+                          ( aref "u" [ Lin.scale 2 (v "h") ],
+                            fmul (Ir.Fconst 0.5)
+                              (fadd
+                                 (load "u" [ Lin.scale 2 (v "h") -! c 1 ])
+                                 (load "u" [ Lin.scale 2 (v "h") +! c 1 ])) );
+                      ];
+                  };
+                Ir.Barrier 2;
+              ];
+          };
+      ];
+  }
+
+(* A stencil whose update is guarded by a conditional on the column index:
+   demonstrates partial analysis. The accesses under the conditional are
+   summarized inexactly, so the transformation falls back to the
+   consistency-preserving Validate and never uses WRITE_ALL or Push here —
+   yet the program still runs correctly at every optimization level. *)
+let masked ~m ~iters =
+  {
+    Ir.pname = "masked";
+    params = [ ("M", m); ("T", iters); ("HALF", m / 2) ];
+    arrays = [ ("u", [ c m ]) ];
+    privates = [ ("w", [ c m ]) ];
+    proc_bindings =
+      (fun ~nprocs ~p ->
+        let b, e = block_bounds ~lo:1 ~hi:(m - 2) ~nprocs ~p in
+        [ ("begin", b); ("end", e); ("p", p) ]);
+    body =
+      [
+        Ir.For
+          {
+            ivar = "k";
+            lo = c 1;
+            hi = v "T";
+            body =
+              [
+                Ir.For
+                  {
+                    ivar = "i";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [
+                        Ir.If_lt
+                          ( v "i",
+                            v "HALF",
+                            [
+                              Ir.Assign
+                                ( aref "w" [ v "i" ],
+                                  fmul (Ir.Fconst 0.5)
+                                    (fadd
+                                       (load "u" [ v "i" -! c 1 ])
+                                       (load "u" [ v "i" +! c 1 ])) );
+                            ],
+                            [
+                              Ir.Assign
+                                ( aref "w" [ v "i" ],
+                                  fadd (load "u" [ v "i" ]) (Ir.Fconst 1.0) );
+                            ] );
+                      ];
+                  };
+                Ir.Barrier 1;
+                Ir.For
+                  {
+                    ivar = "i";
+                    lo = v "begin";
+                    hi = v "end";
+                    body =
+                      [ Ir.Assign (aref "u" [ v "i" ], load "w" [ v "i" ]) ];
+                  };
+                Ir.Barrier 2;
+              ];
+          };
+      ];
+  }
+
+(* The paper's Section 4.3 IS example, reduced: a shared accumulator array
+   passed between processors under a lock. The analysis creates a section
+   for the array and the transformation issues a Validate when the lock is
+   acquired (READ&WRITE_ALL: the whole section is read-modify-written) —
+   the case where partial compiler analysis pays although a message-passing
+   translation is impossible (the last holder is unknown statically). *)
+let lock_accum ~n ~iters =
+  {
+    Ir.pname = "lock_accum";
+    params = [ ("N", n); ("T", iters) ];
+    arrays = [ ("acc", [ c n ]) ];
+    privates = [];
+    proc_bindings = (fun ~nprocs:_ ~p -> [ ("p", p) ]);
+    body =
+      [
+        Ir.For
+          {
+            ivar = "k";
+            lo = c 1;
+            hi = v "T";
+            body =
+              [
+                Ir.Lock_acquire 0;
+                Ir.For
+                  {
+                    ivar = "i";
+                    lo = c 0;
+                    hi = v "N" -! c 1;
+                    body =
+                      [
+                        Ir.Assign
+                          ( aref "acc" [ v "i" ],
+                            fadd (load "acc" [ v "i" ]) (Ir.Fconst 1.0) );
+                      ];
+                  };
+                Ir.Lock_release 0;
+                Ir.Barrier 1;
+              ];
+          };
+      ];
+  }

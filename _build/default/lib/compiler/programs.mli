@@ -1,0 +1,31 @@
+(** IR sources carried end-to-end through the compiler pipeline (analysis,
+    transformation, execution on the DSM). *)
+
+val jacobi : m:int -> iters:int -> Ir.program
+(** The paper's running example (Figures 1 and 2): nearest-neighbour
+    averaging over an [m x m] grid, interior columns block-partitioned.
+    After transformation with {!Transform.all}, [Barrier(2)] becomes a
+    [Push] and the copy-back phase gets a [Validate ... WRITE_ALL] — the
+    exact shape of the paper's Figure 2. *)
+
+val transpose : m:int -> iters:int -> Ir.program
+(** 3D-FFT-like kernel: a local compute phase followed by a distributed
+    transpose; the transpose barrier exhibits the producer-consumer
+    communication that [Push] turns into an all-to-all exchange. *)
+
+val redblack : n:int -> iters:int -> Ir.program
+(** One-dimensional red-black relaxation: the strided (stride-2) sections
+    exercise the non-contiguous path, where consistency elimination must be
+    skipped and plain aggregated [Validate]s are used. *)
+
+val masked : m:int -> iters:int -> Ir.program
+(** A 1-D stencil whose update is guarded by a conditional on the column
+    index. Conditionals are "possible fetch points" (Section 4.1); the
+    analysis summarizes the guarded accesses inexactly, so the
+    transformation keeps the consistency-preserving access types — the
+    paper's "partial compiler analysis" scenario. *)
+
+val lock_accum : n:int -> iters:int -> Ir.program
+(** The Section 4.3 IS example, reduced: a shared array read-modify-written
+    under a lock. The transformation inserts
+    [Validate(acc[...], READ&WRITE_ALL)] at the lock acquisition. *)

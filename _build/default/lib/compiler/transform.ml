@@ -1,0 +1,270 @@
+type opts = {
+  aggregate : bool;
+  cons_elim : bool;
+  sync_merge : bool;
+  push : bool;
+  async : bool;
+}
+
+let base =
+  { aggregate = false; cons_elim = false; sync_merge = false; push = false; async = false }
+
+let level_aggregate = { base with aggregate = true }
+let level_cons_elim = { level_aggregate with cons_elim = true }
+let level_sync_merge = { level_cons_elim with sync_merge = true }
+let level_push = { level_sync_merge with push = true }
+let all = level_push
+
+type decision =
+  | Keep
+  | Replaced_by_push of Ir.push_call * Ir.vcall list
+  | Validated of Ir.vcall list
+  | Merged_with_sync of Ir.vcall list
+
+(* {1 Concrete section evaluation, for contiguity and dependence tests} *)
+
+(* A synthetic per-array layout: only intra-array overlap matters here, so
+   every array gets base 0. *)
+let concrete_info prog name =
+  let extents =
+    Ir.array_extents prog name
+    |> List.map (Lin.eval (fun v -> List.assoc v prog.Ir.params))
+    |> Array.of_list
+  in
+  { Dsm_rsd.Section.name; base = 0; elem_size = 8; extents }
+
+let eval_ranges prog ~nprocs ~p name (srsd : Sym_rsd.t) =
+  let bindings = prog.Ir.proc_bindings ~nprocs ~p in
+  let lookup v =
+    match List.assoc_opt v prog.Ir.params with
+    | Some x -> x
+    | None -> List.assoc v bindings
+  in
+  let rsd = Sym_rsd.eval lookup srsd in
+  Dsm_rsd.Section.ranges (Dsm_rsd.Section.make (concrete_info prog name) rsd)
+
+let contiguous prog ~nprocs name srsd =
+  (* contiguity must hold for every processor's instantiation *)
+  let rec all_procs p =
+    p >= nprocs
+    || (Dsm_rsd.Range.is_contiguous (eval_ranges prog ~nprocs ~p name srsd)
+       && all_procs (p + 1))
+  in
+  all_procs 0
+
+(* Cross-processor overlap of two symbolic sections of the same array. *)
+let cross_overlap prog ~nprocs name a b =
+  let ra = Array.init nprocs (fun p -> eval_ranges prog ~nprocs ~p name a)
+  and rb = Array.init nprocs (fun p -> eval_ranges prog ~nprocs ~p name b) in
+  let overlap = ref false in
+  for q = 0 to nprocs - 1 do
+    for r = 0 to nprocs - 1 do
+      if q <> r && not (Dsm_rsd.Range.is_empty (Dsm_rsd.Range.inter ra.(q) rb.(r)))
+      then overlap := true
+    done
+  done;
+  !overlap
+
+(* {1 The decision procedure (Section 4.2)} *)
+
+let push_safe prog ~nprocs ~(before : Access.region) ~(after : Access.region) =
+  (* No cross-processor anti- or output-dependence may cross the barrier
+     outside the pushed (flow) data. *)
+  let arrays =
+    List.map (fun (e : Access.summary_entry) -> e.arr)
+      (before.summary @ after.summary)
+    |> List.sort_uniq compare
+  in
+  List.for_all
+    (fun arr ->
+      let find (r : Access.region) sel =
+        List.find_opt (fun (e : Access.summary_entry) -> e.arr = arr) r.summary
+        |> Fun.flip Option.bind sel
+      in
+      let read_before = find before (fun e -> e.Access.reads)
+      and write_before = find before (fun e -> e.Access.writes)
+      and write_after = find after (fun e -> e.Access.writes) in
+      let anti =
+        match (read_before, write_after) with
+        | Some rb, Some wa -> cross_overlap prog ~nprocs arr rb wa
+        | _ -> false
+      in
+      let output =
+        match (write_before, write_after) with
+        | Some wb, Some wa -> cross_overlap prog ~nprocs arr wb wa
+        | _ -> false
+      in
+      not (anti || output))
+    arrays
+
+let decide prog ~nprocs ~opts ~probe ~sync_stmts (regions : Access.region list)
+    idx stmt =
+  let region_after =
+    List.find_opt (fun (r : Access.region) -> r.after_sync = idx) regions
+  in
+  let region_before =
+    List.find_opt (fun (r : Access.region) -> r.before_sync = idx) regions
+  in
+  let is_barrier i =
+    match List.assoc_opt i sync_stmts with
+    | Some (Ir.Barrier _) -> true
+    | _ -> false
+  in
+  if not opts.aggregate then Keep
+  else
+    match region_after with
+    | None -> Keep
+    | Some after -> (
+        let push_applies =
+          opts.push
+          && (match stmt with Ir.Barrier _ -> true | _ -> false)
+          &&
+          match region_before with
+          | None -> false
+          | Some before ->
+              is_barrier before.after_sync
+              && is_barrier after.before_sync
+              && List.for_all
+                   (fun (e : Access.summary_entry) -> e.rsd.Sym_rsd.exact)
+                   (after.summary @ before.summary)
+              && List.exists
+                   (fun (e : Access.summary_entry) -> e.tag.Access.write)
+                   before.summary
+              && push_safe prog ~nprocs ~before ~after
+        in
+        (* Classify each summarized section: Some (`All call) when the
+           consistency-disabling access types apply, Some (`Plain call)
+           otherwise, None when the section's accesses are provably local
+           (produced by the same processor in the preceding region) and a
+           read-only Validate would be pure overhead. *)
+        let classify (e : Access.summary_entry) =
+          let t = e.tag in
+          let exact = e.rsd.Sym_rsd.exact in
+          let contig () = contiguous prog ~nprocs e.arr e.rsd in
+          let writes_cover_all () =
+            match e.Access.writes with
+            | Some w -> Sym_rsd.contains ~probe w e.rsd
+            | None -> false
+          in
+          let local_read_only () =
+            (not t.Access.write)
+            &&
+            match region_before with
+            | None -> false
+            | Some before -> (
+                match
+                  List.find_opt
+                    (fun (b : Access.summary_entry) -> b.arr = e.arr)
+                    before.summary
+                with
+                | Some { Access.writes = Some wb; _ } -> (
+                    match e.Access.reads with
+                    | Some rd ->
+                        (not (cross_overlap prog ~nprocs e.arr rd wb))
+                        && Sym_rsd.contains ~probe wb rd
+                    | None -> false)
+                | _ -> false)
+          in
+          let mk a =
+            { Ir.vsections = [ (e.arr, e.rsd) ]; vaccess = a; vasync = opts.async }
+          in
+          if opts.cons_elim && exact && t.Access.write then
+            if t.Access.write_first && contig () && writes_cover_all () then
+              Some (`All (mk Dsm_tmk.Tmk.Write_all))
+            else if
+              t.Access.read
+              && (not t.Access.write_first)
+              && contig ()
+              && writes_cover_all ()
+            then Some (`All (mk Dsm_tmk.Tmk.Read_write_all))
+            else
+              Some
+                (`Plain
+                  (mk (if t.Access.read then Dsm_tmk.Tmk.Read_write else Dsm_tmk.Tmk.Write)))
+          else if local_read_only () then None
+          else
+            Some
+              (`Plain
+                (mk
+                   (if t.Access.read && t.Access.write then Dsm_tmk.Tmk.Read_write
+                    else if t.Access.write then Dsm_tmk.Tmk.Write
+                    else Dsm_tmk.Tmk.Read)))
+        in
+        let classified = List.filter_map classify after.summary in
+        let all_calls =
+          List.filter_map (function `All c -> Some c | `Plain _ -> None) classified
+        and plain_calls =
+          List.filter_map (function `Plain c -> Some c | `All _ -> None) classified
+        in
+        if push_applies then begin
+          let before = Option.get region_before in
+          let pread =
+            List.filter_map
+              (fun (e : Access.summary_entry) ->
+                Option.map (fun r -> (e.arr, r)) e.Access.reads)
+              after.summary
+          and pwrite =
+            List.filter_map
+              (fun (e : Access.summary_entry) ->
+                Option.map (fun w -> (e.arr, w)) e.Access.writes)
+              before.summary
+          in
+          Replaced_by_push ({ Ir.pread; pwrite }, all_calls)
+        end
+        else begin
+          match (all_calls, plain_calls) with
+          | [], [] -> Keep
+          | alls, plains when opts.sync_merge && plains <> [] ->
+              (* plain fetches merge with the synchronization; _ALL
+                 validates still go after it *)
+              Merged_with_sync (plains @ alls)
+          | alls, plains -> Validated (plains @ alls)
+        end)
+
+let transform prog ~nprocs ~opts =
+  let res = Access.analyze prog ~nprocs in
+  let probe v = Ir.probe_env prog ~nprocs v in
+  let sync_stmts = Access.index_syncs prog in
+  let decisions =
+    List.map
+      (fun (idx, stmt) ->
+        (idx, decide prog ~nprocs ~opts ~probe ~sync_stmts res.Access.regions idx stmt))
+      sync_stmts
+  in
+  (* rebuild the AST *)
+  let counter = ref 0 in
+  let rec rebuild stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Ir.For l -> [ Ir.For { l with Ir.body = rebuild l.Ir.body } ]
+        | Ir.If_lt (a, b, bt, bf) -> [ Ir.If_lt (a, b, rebuild bt, rebuild bf) ]
+        | _ when Ir.is_sync s -> begin
+            let idx = !counter in
+            incr counter;
+            match List.assoc idx decisions with
+            | Keep -> [ s ]
+            | Replaced_by_push (pc, calls) ->
+                Ir.Push pc :: List.map (fun c -> Ir.Validate c) calls
+            | Validated calls -> s :: List.map (fun c -> Ir.Validate c) calls
+            | Merged_with_sync calls ->
+                (* _ALL calls were appended after the merged ones; emit
+                   w_sync calls before the sync and the rest after *)
+                let merged, after =
+                  List.partition
+                    (fun (c : Ir.vcall) ->
+                      match c.Ir.vaccess with
+                      | Dsm_tmk.Tmk.Write_all | Dsm_tmk.Tmk.Read_write_all ->
+                          false
+                      | _ -> true)
+                    calls
+                in
+                List.map (fun c -> Ir.Validate_w_sync c) merged
+                @ [ s ]
+                @ List.map (fun c -> Ir.Validate c) after
+          end
+        | _ -> [ s ])
+      stmts
+  in
+  let body = rebuild prog.Ir.body in
+  ({ prog with Ir.body }, decisions)

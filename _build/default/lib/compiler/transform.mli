@@ -1,0 +1,51 @@
+(** Source-to-source transformation (Section 4.2 of the paper): given the
+    access summaries, insert [Validate] / [Validate_w_sync] calls and replace
+    barriers with [Push] where the analysis permits.
+
+    The optimization knobs correspond to the cumulative levels of Figure 6:
+
+    - [aggregate]: insert consistency-preserving [Validate]s (communication
+      aggregation only; access types READ / WRITE / READ&WRITE).
+    - [cons_elim]: additionally use WRITE_ALL / READ&WRITE_ALL where the
+      section is exact, appropriately tagged, and contiguous.
+    - [sync_merge]: use [Validate_w_sync] before the synchronization instead
+      of [Validate] after it.
+    - [push]: replace qualifying barriers with [Push].
+    - [async]: emit asynchronous validates (Figure 7's comparison).
+
+    Beyond the paper's stated conditions, barrier replacement additionally
+    verifies that no cross-processor anti- or output-dependence crosses the
+    barrier outside the pushed data (evaluated with the concrete processor
+    bindings); the paper's Jacobi example relies on this implicitly —
+    Barrier(1) must stay a barrier even though its sections are exact. *)
+
+type opts = {
+  aggregate : bool;
+  cons_elim : bool;
+  sync_merge : bool;
+  push : bool;
+  async : bool;
+}
+
+val base : opts
+(** Everything off: the program is passed through unchanged. *)
+
+val all : opts
+val level_aggregate : opts
+val level_cons_elim : opts
+val level_sync_merge : opts
+val level_push : opts
+
+type decision =
+  | Keep
+  | Replaced_by_push of Ir.push_call * Ir.vcall list
+      (** the barrier becomes a [Push]; the consistency-elimination
+          validates ([WRITE_ALL] family) for the following region are still
+          inserted after it *)
+  | Validated of Ir.vcall list  (** inserted after the sync *)
+  | Merged_with_sync of Ir.vcall list  (** inserted before the sync *)
+
+val transform :
+  Ir.program -> nprocs:int -> opts:opts -> Ir.program * (int * decision) list
+(** Returns the transformed program and, for inspection and testing, the
+    decision taken at each synchronization statement (by traversal index). *)

@@ -1,0 +1,54 @@
+(* Public facade of the integrated compile-time/run-time software DSM
+   system: one module path for the whole library.
+
+   - {!Tmk}: the TreadMarks-style LRC run-time with the augmented interface
+     (Validate, Validate_w_sync, Push)
+   - {!Compiler}: the Parascope-style analysis and the Section 4.2
+     source-to-source transformation over the explicitly-parallel loop IR
+   - {!Sim}, {!Mem}, {!Rsd}: the simulated cluster, paged memory and
+     regular-section substrates
+   - {!Mp}, {!Hpf}: the message-passing baselines' substrates
+   - {!Apps}, {!Harness}: the six benchmark applications and the
+     table/figure regeneration harness *)
+
+module Config = Dsm_sim.Config
+module Cluster = Dsm_sim.Cluster
+module Engine = Dsm_sim.Engine
+module Stats = Dsm_sim.Stats
+module Range = Dsm_rsd.Range
+module Rsd = Dsm_rsd.Rsd
+module Section = Dsm_rsd.Section
+module Diff = Dsm_mem.Diff
+module Addr_space = Dsm_mem.Addr_space
+module Page_table = Dsm_mem.Page_table
+module Tmk = Dsm_tmk.Tmk
+module Shm = Dsm_tmk.Shm
+module Vc = Dsm_tmk.Vc
+module Mp = Dsm_mp.Mp
+module Hpf = Dsm_hpf.Hpf
+
+module Compiler = struct
+  module Lin = Dsm_compiler.Lin
+  module Sym_rsd = Dsm_compiler.Sym_rsd
+  module Ir = Dsm_compiler.Ir
+  module Access = Dsm_compiler.Access
+  module Transform = Dsm_compiler.Transform
+  module Interp = Dsm_compiler.Interp
+  module Pretty = Dsm_compiler.Pretty
+  module Programs = Dsm_compiler.Programs
+end
+
+module Apps = struct
+  module Common = Dsm_apps.App_common
+  module Jacobi = Dsm_apps.Jacobi
+  module Fft3d = Dsm_apps.Fft3d
+  module Shallow = Dsm_apps.Shallow
+  module Is = Dsm_apps.Is
+  module Gauss = Dsm_apps.Gauss
+  module Mgs = Dsm_apps.Mgs
+end
+
+module Harness = struct
+  module Runset = Dsm_harness.Runset
+  module Experiments = Dsm_harness.Experiments
+end

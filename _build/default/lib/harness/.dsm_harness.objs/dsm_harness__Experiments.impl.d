@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Dsm_apps Dsm_sim Dsm_tmk Format List Option Printf Runset String

@@ -1,0 +1,1 @@
+lib/harness/runset.ml: Dsm_apps Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/harness/runset.mli: Dsm_apps Dsm_sim

@@ -1,0 +1,244 @@
+open Dsm_apps.App_common
+module A = Dsm_apps.App_common
+module Stats = Dsm_sim.Stats
+
+let rule ppf n = Format.fprintf ppf "%s@." (String.make n '-')
+
+let table1 ppf apps =
+  Format.fprintf ppf "@.Table 1: applications, data set sizes, and uniprocessor execution times@.";
+  rule ppf 64;
+  Format.fprintf ppf "%-12s %-12s %14s@." "Application" "Data set" "Time (s)";
+  rule ppf 64;
+  List.iter
+    (fun (sa : Runset.sized_app) ->
+      Format.fprintf ppf "%-12s %-12s %14.1f@."
+        (sa.Runset.app_name ^ " - " ^ sa.Runset.size_label)
+        sa.Runset.size_name
+        (sa.Runset.seq_time_us /. 1e6))
+    apps;
+  rule ppf 64
+
+let pct_reduction base opt =
+  100.0 *. (float_of_int base -. float_of_int opt) /. float_of_int (max 1 base)
+
+let table2 ppf apps =
+  Format.fprintf ppf
+    "@.Table 2: percentage reduction in page faults (segv), messages and data@.";
+  Format.fprintf ppf "(compiler-optimized TreadMarks vs base TreadMarks)@.";
+  rule ppf 64;
+  Format.fprintf ppf "%-22s %8s %8s %8s@." "Application" "% segv" "% msg" "% data";
+  rule ppf 64;
+  List.iter
+    (fun (sa : Runset.sized_app) ->
+      let b = Runset.base sa
+      and o = Runset.best_opt_sync sa in
+      Format.fprintf ppf "%-22s %8.1f %8.1f %8.1f@."
+        (sa.Runset.app_name ^ " - " ^ sa.Runset.size_name)
+        (pct_reduction b.stats.Stats.segv o.stats.Stats.segv)
+        (pct_reduction b.stats.Stats.messages o.stats.Stats.messages)
+        (pct_reduction b.stats.Stats.bytes o.stats.Stats.bytes))
+    apps;
+  rule ppf 64
+
+let pp_speedup ppf = function
+  | Some s -> Format.fprintf ppf "%8.2f" s
+  | None -> Format.fprintf ppf "%8s" "-"
+
+let figure5 ppf apps =
+  Format.fprintf ppf
+    "@.Figure 5: speedups on 8 processors (Tmk, Opt-Tmk, XHPF, PVMe)@.";
+  rule ppf 70;
+  Format.fprintf ppf "%-22s %8s %8s %8s %8s@." "Application" "Tmk" "Opt-Tmk"
+    "XHPF" "PVMe";
+  rule ppf 70;
+  List.iter
+    (fun (sa : Runset.sized_app) ->
+      let sp r = Runset.speedup sa r in
+      Format.fprintf ppf "%-22s %8.2f %8.2f %a %8.2f@."
+        (sa.Runset.app_name ^ " - " ^ sa.Runset.size_name)
+        (sp (Runset.base sa))
+        (sp (Runset.best_opt sa))
+        pp_speedup
+        (Option.map sp (sa.Runset.run Runset.Xhpf))
+        (sp (Option.get (sa.Runset.run Runset.Pvm))))
+    apps;
+  rule ppf 70
+
+let figure6 ppf apps =
+  Format.fprintf ppf
+    "@.Figure 6: speedups under cumulative optimization levels@.";
+  Format.fprintf ppf
+    "(Base / +Comm.Aggr / +Cons.Elim / +Sync+Data merge / +Push; '-' = not applicable)@.";
+  rule ppf 100;
+  Format.fprintf ppf "%-22s %8s %8s %8s %8s %8s %8s %8s@." "Application" "Base"
+    "C.Aggr" "C.Elim" "S+D" "Push" "XHPF" "PVMe";
+  rule ppf 100;
+  List.iter
+    (fun (sa : Runset.sized_app) ->
+      let level l =
+        Option.map (Runset.speedup sa) (sa.Runset.run (Runset.Tmk_level (l, true)))
+      in
+      Format.fprintf ppf "%-22s %8.2f %a %a %a %a %a %8.2f@."
+        (sa.Runset.app_name ^ " - " ^ sa.Runset.size_name)
+        (Runset.speedup sa (Runset.base sa))
+        pp_speedup (level Comm_aggr) pp_speedup (level Cons_elim) pp_speedup
+        (level Sync_merge) pp_speedup (level Push_opt) pp_speedup
+        (Option.map (Runset.speedup sa) (sa.Runset.run Runset.Xhpf))
+        (Runset.speedup sa (Option.get (sa.Runset.run Runset.Pvm))))
+    apps;
+  rule ppf 100
+
+let figure7 ppf apps =
+  Format.fprintf ppf
+    "@.Figure 7: synchronous vs asynchronous data fetching (large data sets)@.";
+  rule ppf 58;
+  Format.fprintf ppf "%-22s %8s %8s %8s@." "Application" "Tmk" "Sync" "Async";
+  rule ppf 58;
+  List.iter
+    (fun (sa : Runset.sized_app) ->
+      if sa.Runset.size_label = "large" then begin
+        (* the contrast is between fetch modes of the Validate-based
+           configuration (consistency elimination level, applicable to
+           every program); Push is synchronous-only per Section 3.3 *)
+        let l = Cons_elim in
+        let sync = sa.Runset.run (Runset.Tmk_level (l, false))
+        and async = sa.Runset.run (Runset.Tmk_level (l, true)) in
+        Format.fprintf ppf "%-22s %8.2f %a %a@."
+          (sa.Runset.app_name ^ " - " ^ sa.Runset.size_name)
+          (Runset.speedup sa (Runset.base sa))
+          pp_speedup
+          (Option.map (Runset.speedup sa) sync)
+          pp_speedup
+          (Option.map (Runset.speedup sa) async)
+      end)
+    apps;
+  rule ppf 58
+
+(* {1 Extension experiments (beyond the paper)} *)
+
+(* Speedups versus processor count: does Push pay off more as barriers get
+   more expensive? *)
+let scaling ppf cfg =
+  Format.fprintf ppf
+    "@.Scaling: speedups at 2/4/8/16 processors (Tmk base vs best Opt vs PVMe)@.";
+  rule ppf 78;
+  Format.fprintf ppf "%-18s %-8s %6s %6s %6s %6s@." "Application" "version" "2"
+    "4" "8" "16";
+  rule ppf 78;
+  let apps : (string * (module A.APP)) list =
+    [
+      ("Jacobi small", (module Dsm_apps.Jacobi));
+      ("IS small", (module Dsm_apps.Is));
+      ("Gauss small", (module Dsm_apps.Gauss));
+    ]
+  in
+  let procs = [ 2; 4; 8; 16 ] in
+  List.iter
+    (fun (name, m) ->
+      let module App = (val m : A.APP) in
+      let params = App.small in
+      let seq = App.seq_time_us params in
+      let best_level = List.fold_left (fun _ l -> l) A.Base App.levels in
+      let row label f =
+        Format.fprintf ppf "%-18s %-8s" name label;
+        List.iter
+          (fun n ->
+            let c = { cfg with Dsm_sim.Config.nprocs = n } in
+            let r : A.result = f c in
+            Format.fprintf ppf " %6.2f" (seq /. r.A.time_us))
+          procs;
+        Format.fprintf ppf "@."
+      in
+      row "base" (fun c -> App.run_tmk c params ~level:A.Base ~async:false);
+      row
+        (A.opt_level_name best_level)
+        (fun c -> App.run_tmk c params ~level:best_level ~async:true);
+      row "pvme" (fun c -> App.run_pvm c params))
+    apps;
+  rule ppf 78
+
+(* Each DESIGN.md mechanism toggled off, on the workload it serves. *)
+let ablation ppf cfg =
+  Format.fprintf ppf "@.Ablations: run-time mechanisms toggled off@.";
+  rule ppf 76;
+  Format.fprintf ppf "%-46s %12s %12s@." "mechanism / workload" "on" "off";
+  rule ppf 76;
+  let time_of (r : A.result) = r.A.time_us /. 1e3 in
+  let bytes_of (r : A.result) = float_of_int r.A.stats.Stats.bytes /. 1e6 in
+  (* 1. barrier-time broadcast: Gauss sync+data merge *)
+  let on = Dsm_apps.Gauss.run_tmk cfg Dsm_apps.Gauss.small ~level:A.Sync_merge ~async:false in
+  let off =
+    Dsm_apps.Gauss.run_tmk
+      { cfg with Dsm_sim.Config.enable_bcast = false }
+      Dsm_apps.Gauss.small ~level:A.Sync_merge ~async:false
+  in
+  Format.fprintf ppf "%-46s %10.0fms %10.0fms@."
+    "barrier broadcast (Gauss small, sync+merge)" (time_of on) (time_of off);
+  (* 2. supersede pruning: IS cons-elim data volume *)
+  let on = Dsm_apps.Is.run_tmk cfg Dsm_apps.Is.small ~level:A.Cons_elim ~async:true in
+  let off =
+    Dsm_apps.Is.run_tmk
+      { cfg with Dsm_sim.Config.enable_supersede = false }
+      Dsm_apps.Is.small ~level:A.Cons_elim ~async:true
+  in
+  Format.fprintf ppf "%-46s %10.1fMB %10.1fMB@."
+    "WRITE_ALL supersede (IS small, data moved)" (bytes_of on) (bytes_of off);
+  Format.fprintf ppf "%-46s %10.0fms %10.0fms@."
+    "WRITE_ALL supersede (IS small, time)" (time_of on) (time_of off);
+  (* 3. hot-spot queueing: MGS base (single-producer fetch storms) *)
+  let on = Dsm_apps.Mgs.run_tmk cfg Dsm_apps.Mgs.small ~level:A.Base ~async:false in
+  let off =
+    Dsm_apps.Mgs.run_tmk
+      { cfg with Dsm_sim.Config.enable_hotspot_queueing = false }
+      Dsm_apps.Mgs.small ~level:A.Base ~async:false
+  in
+  Format.fprintf ppf "%-46s %10.0fms %10.0fms@."
+    "hot-spot queueing (MGS small, base)" (time_of on) (time_of off);
+  rule ppf 76
+
+(* {1 Platform microbenchmarks (Section 5)} *)
+
+let micro ppf cfg =
+  let module Cluster = Dsm_sim.Cluster in
+  Format.fprintf ppf
+    "@.Platform microbenchmarks (Section 5), simulated vs published SP/2@.";
+  rule ppf 66;
+  (* minimum roundtrip: empty rpc *)
+  let c = Cluster.create cfg in
+  Cluster.rpc c ~src:0 ~dst:1 ~req_bytes:0 ~resp_bytes:0 ~service:0.0;
+  let roundtrip = Cluster.time c 0 in
+  (* free remote lock acquisition *)
+  let sys = Dsm_tmk.Tmk.make cfg in
+  let lock_time = ref 0.0 in
+  Dsm_tmk.Tmk.run sys (fun t ->
+      if Dsm_tmk.Tmk.pid t = 1 then begin
+        Dsm_tmk.Tmk.lock_acquire t 0;
+        lock_time := Dsm_tmk.Tmk.time t;
+        Dsm_tmk.Tmk.lock_release t 0
+      end);
+  (* 8-processor barrier: client-side time of the first barrier (the run
+     appends the implicit exit barrier, which must not be counted) *)
+  let sys2 = Dsm_tmk.Tmk.make cfg in
+  let barrier_box = ref 0.0 in
+  Dsm_tmk.Tmk.run sys2 (fun t ->
+      Dsm_tmk.Tmk.barrier t;
+      if Dsm_tmk.Tmk.pid t = 1 then barrier_box := Dsm_tmk.Tmk.time t);
+  let barrier_time = !barrier_box in
+  Format.fprintf ppf "%-44s %8.0f %8s@." "minimum roundtrip (us)" roundtrip
+    "365";
+  Format.fprintf ppf "%-44s %8.0f %8s@." "free remote lock acquisition (us)"
+    !lock_time "427";
+  Format.fprintf ppf "%-44s %8.0f %8s@."
+    (Printf.sprintf "%d-processor barrier (us)" cfg.Dsm_sim.Config.nprocs)
+    barrier_time "893";
+  (* memory-management cost curve *)
+  List.iter
+    (fun pages ->
+      let c = Cluster.create cfg in
+      c.Cluster.pages_in_use <- pages;
+      Cluster.mm_op c 0 ~npages:1;
+      Format.fprintf ppf "%-44s %8.0f %8s@."
+        (Printf.sprintf "fault/mprotect cost, %d pages in use (us)" pages)
+        (Cluster.time c 0) "18-800")
+    [ 100; 500; 2000 ];
+  rule ppf 66

@@ -1,0 +1,44 @@
+(** Regeneration of every table and figure of the paper's evaluation
+    (Section 5 and 6), printed in the same row/series structure. Each
+    function takes the list produced by {!Runset.all} so runs are shared
+    across experiments. *)
+
+val table1 : Format.formatter -> Runset.sized_app list -> unit
+(** Table 1: applications, data set sizes, and uniprocessor execution
+    times. *)
+
+val table2 : Format.formatter -> Runset.sized_app list -> unit
+(** Table 2: percentage reduction in page faults ("segv"), messages
+    ("msg"), and data for the compiler-optimized version of TreadMarks
+    versus the base version. *)
+
+val figure5 : Format.formatter -> Runset.sized_app list -> unit
+(** Figure 5: 8-processor speedups for TreadMarks, optimized TreadMarks,
+    XHPF and PVMe (XHPF missing for IS). *)
+
+val figure6 : Format.formatter -> Runset.sized_app list -> unit
+(** Figure 6: speedups under the cumulative optimization levels, per
+    application and data set, with XHPF and PVMe bars. *)
+
+val figure7 : Format.formatter -> Runset.sized_app list -> unit
+(** Figure 7: synchronous vs. asynchronous data fetching on the large data
+    sets. *)
+
+val scaling : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: speedups at 2, 4, 8 and 16 processors for base
+    TreadMarks, the best optimized version and PVMe, on three
+    representative programs. Section 6.4 conjectures that Push "may be more
+    beneficial at larger numbers of processors, since the overhead of
+    global synchronization and consistency increases" — this experiment
+    tests that claim. *)
+
+val ablation : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: each run-time mechanism this implementation calls out
+    in DESIGN.md, toggled off individually — barrier-time broadcast,
+    WRITE_ALL supersede pruning, and hot-spot request queueing — on the
+    workload that exercises it. *)
+
+val micro : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Section 5's platform microbenchmarks: minimum roundtrip, free-lock
+    acquisition, 8-processor barrier, and the memory-management cost curve,
+    compared against the published SP/2 numbers. *)

@@ -1,0 +1,124 @@
+open Dsm_apps.App_common
+
+type variant =
+  | Tmk_base
+  | Tmk_level of opt_level * bool
+  | Pvm
+  | Xhpf
+
+let variant_name = function
+  | Tmk_base -> "Tmk"
+  | Tmk_level (l, async) ->
+      Printf.sprintf "Opt-Tmk(%s,%s)" (opt_level_name l)
+        (if async then "async" else "sync")
+  | Pvm -> "PVMe"
+  | Xhpf -> "XHPF"
+
+type sized_app = {
+  app_name : string;
+  size_label : string;
+  size_name : string;
+  seq_time_us : float;
+  levels : opt_level list;
+  has_xhpf : bool;
+  run : variant -> result option;
+}
+
+let speedup sa (r : result) = sa.seq_time_us /. r.time_us
+
+let check sa (r : result) =
+  if r.max_err > 1e-6 then
+    failwith
+      (Printf.sprintf "%s (%s): wrong results, max err %g" sa.app_name
+         sa.size_name r.max_err)
+
+let of_app (module A : APP) cfg =
+  let mk label params =
+    let cache : (variant, result option) Hashtbl.t = Hashtbl.create 16 in
+    let rec sa =
+      {
+        app_name = A.name;
+        size_label = label;
+        size_name = A.size_name params;
+        seq_time_us = A.seq_time_us params;
+        levels = A.levels;
+        has_xhpf = Option.is_some A.run_xhpf;
+        run =
+          (fun v ->
+            match Hashtbl.find_opt cache v with
+            | Some r -> r
+            | None ->
+                let r =
+                  match v with
+                  | Tmk_base ->
+                      Some (A.run_tmk cfg params ~level:Base ~async:false)
+                  | Tmk_level (l, async) ->
+                      if List.mem l A.levels then
+                        Some (A.run_tmk cfg params ~level:l ~async)
+                      else None
+                  | Pvm -> Some (A.run_pvm cfg params)
+                  | Xhpf -> Option.map (fun f -> f cfg params) A.run_xhpf
+                in
+                Option.iter (check sa) r;
+                Hashtbl.replace cache v r;
+                r);
+      }
+    in
+    sa
+  in
+  [ mk "large" A.large; mk "small" A.small ]
+
+let base sa = Option.get (sa.run Tmk_base)
+
+let best_opt sa =
+  (* asynchronous fetching dominates (Section 6.3), so Opt-Tmk is chosen
+     among the asynchronous runs of the applicable levels *)
+  let candidates =
+    List.filter_map
+      (fun l -> if l = Base then None else sa.run (Tmk_level (l, true)))
+      sa.levels
+  in
+  match candidates with
+  | [] -> base sa
+  | first :: rest ->
+      List.fold_left
+        (fun acc r -> if r.time_us < acc.time_us then r else acc)
+        first rest
+
+let best_opt_sync sa =
+  let candidates =
+    List.filter_map
+      (fun l -> if l = Base then None else sa.run (Tmk_level (l, false)))
+      sa.levels
+  in
+  match candidates with
+  | [] -> base sa
+  | first :: rest ->
+      List.fold_left
+        (fun acc r -> if r.time_us < acc.time_us then r else acc)
+        first rest
+
+let best_level sa =
+  let levels = List.filter (fun l -> l <> Base) sa.levels in
+  match levels with
+  | [] -> Base
+  | _ ->
+      fst
+        (List.fold_left
+           (fun (bl, bt) l ->
+             match sa.run (Tmk_level (l, true)) with
+             | Some r when r.time_us < bt -> (l, r.time_us)
+             | _ -> (bl, bt))
+           (Base, Float.max_float) levels)
+
+let all cfg =
+  List.concat_map
+    (fun m -> of_app m cfg)
+    [
+      (module Dsm_apps.Jacobi : APP);
+      (module Dsm_apps.Fft3d : APP);
+      (module Dsm_apps.Shallow : APP);
+      (module Dsm_apps.Is : APP);
+      (module Dsm_apps.Gauss : APP);
+      (module Dsm_apps.Mgs : APP);
+    ]

@@ -1,0 +1,47 @@
+(** Uniform driver over the six applications and two data sets: builds the
+    runnable matrix for the evaluation section's tables and figures, caching
+    each (application, size, variant) run so that experiments sharing runs
+    (Table 2, Figures 5-7) execute each configuration once. *)
+
+type variant =
+  | Tmk_base
+  | Tmk_level of Dsm_apps.App_common.opt_level * bool  (** level, async *)
+  | Pvm
+  | Xhpf
+
+val variant_name : variant -> string
+
+type sized_app = {
+  app_name : string;
+  size_label : string;  (** "large" or "small" *)
+  size_name : string;  (** e.g. "1024x1024" *)
+  seq_time_us : float;
+  levels : Dsm_apps.App_common.opt_level list;
+  has_xhpf : bool;
+  run : variant -> Dsm_apps.App_common.result option;
+      (** memoized; [None] for inapplicable variants (e.g. XHPF for IS) *)
+}
+
+val speedup : sized_app -> Dsm_apps.App_common.result -> float
+
+val best_opt : sized_app -> Dsm_apps.App_common.result
+(** The compiler-optimized version with the best applicable level under
+    asynchronous fetching — the paper's "Opt-Tmk" (most sophisticated
+    analysis, best run-time support; Section 6.3 found asynchronous fetching
+    dominant). *)
+
+val best_level : sized_app -> Dsm_apps.App_common.opt_level
+(** The level {!best_opt} selected. *)
+
+val best_opt_sync : sized_app -> Dsm_apps.App_common.result
+(** The best level under {e synchronous} fetching: used for Table 2, whose
+    point is the elimination of the fault-based mechanisms (asynchronous
+    fetching deliberately completes in the fault handler, Section 3.2.3). *)
+
+val base : sized_app -> Dsm_apps.App_common.result
+
+val all : Dsm_sim.Config.t -> sized_app list
+(** The twelve rows of Table 1, in the paper's order. *)
+
+val check : sized_app -> Dsm_apps.App_common.result -> unit
+(** Fail loudly if a run produced wrong results. *)

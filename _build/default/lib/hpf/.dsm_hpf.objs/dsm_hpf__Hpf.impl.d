@@ -1,0 +1,1 @@
+lib/hpf/hpf.ml: Array Dsm_mp

@@ -1,0 +1,1 @@
+lib/hpf/hpf.mli: Dsm_mp

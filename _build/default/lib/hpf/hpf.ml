@@ -1,0 +1,81 @@
+module Mp = Dsm_mp.Mp
+
+module Dist = struct
+  type t = Block | Cyclic
+
+  let owner t ~nprocs ~n i =
+    match t with
+    | Block ->
+        let per = (n + nprocs - 1) / nprocs in
+        i / per
+    | Cyclic -> i mod nprocs
+
+  let local_count t ~nprocs ~n ~p =
+    match t with
+    | Block ->
+        let per = (n + nprocs - 1) / nprocs in
+        let lo = p * per in
+        if lo >= n then 0 else min per (n - lo)
+    | Cyclic -> (n - p + nprocs - 1) / nprocs
+
+  let block_lo ~nprocs ~n ~p =
+    let per = (n + nprocs - 1) / nprocs in
+    ignore n;
+    p * per
+
+  let block_hi ~nprocs ~n ~p =
+    let per = (n + nprocs - 1) / nprocs in
+    min (n - 1) (((p + 1) * per) - 1)
+end
+
+let pack_us_per_elem = 0.012
+let comm_setup_us = 8.0
+
+let charge_pack t n = Mp.charge t (pack_us_per_elem *. float_of_int n)
+
+let shift_exchange t ~tag ~left ~right =
+  let p = Mp.pid t
+  and n = Mp.nprocs t in
+  Mp.charge t comm_setup_us;
+  if p > 0 then begin
+    charge_pack t (Array.length left);
+    Mp.send_floats t ~dst:(p - 1) ~tag left
+  end;
+  if p < n - 1 then begin
+    charge_pack t (Array.length right);
+    Mp.send_floats t ~dst:(p + 1) ~tag right
+  end;
+  let from_left =
+    if p > 0 then begin
+      let x = Mp.recv_floats t ~src:(p - 1) ~tag in
+      charge_pack t (Array.length x);
+      Some x
+    end
+    else None
+  in
+  let from_right =
+    if p < n - 1 then begin
+      let x = Mp.recv_floats t ~src:(p + 1) ~tag in
+      charge_pack t (Array.length x);
+      Some x
+    end
+    else None
+  in
+  (from_left, from_right)
+
+let bcast_section t ~root ~tag payload =
+  Mp.charge t comm_setup_us;
+  if Mp.pid t = root then charge_pack t (Array.length payload);
+  let r = Mp.bcast_floats t ~root ~tag payload in
+  if Mp.pid t <> root then charge_pack t (Array.length r);
+  r
+
+let allreduce_sum t ~tag payload =
+  Mp.charge t comm_setup_us;
+  charge_pack t (Array.length payload);
+  Mp.allreduce_sum t ~tag payload
+
+let allreduce_max t ~tag payload =
+  Mp.charge t comm_setup_us;
+  charge_pack t (Array.length payload);
+  Mp.allreduce_max t ~tag payload

@@ -1,0 +1,49 @@
+(** A miniature HPF-style run-time, the substrate for the "XHPF" baseline.
+
+    The Forge XHPF compiler translates data-parallel Fortran into message
+    passing over a generic distribution run-time: communication goes through
+    general section pack/unpack routines rather than the hand-specialized
+    buffers of a PVMe program. This module reproduces that structure on top
+    of {!Dsm_mp.Mp}: the same algorithms as the hand-coded baselines, plus
+    per-element packing charges and per-operation distribution bookkeeping.
+    The result tracks the paper's observation that XHPF is usually within a
+    few percent of PVMe, a bit slower where access patterns are strided
+    (MGS, Gauss). *)
+
+module Dist : sig
+  type t = Block | Cyclic
+
+  val owner : t -> nprocs:int -> n:int -> int -> int
+  (** Owning processor of global index [i]. *)
+
+  val local_count : t -> nprocs:int -> n:int -> p:int -> int
+  (** Number of indices owned by processor [p]. *)
+
+  val block_lo : nprocs:int -> n:int -> p:int -> int
+  val block_hi : nprocs:int -> n:int -> p:int -> int
+  (** Inclusive global bounds of a BLOCK partition. *)
+end
+
+val pack_us_per_elem : float
+(** Cost charged per element on each side of a generic section
+    pack/unpack. *)
+
+val comm_setup_us : float
+(** Per-communication distribution bookkeeping. *)
+
+val shift_exchange :
+  Dsm_mp.Mp.t -> tag:int -> left:float array -> right:float array ->
+  float array option * float array option
+(** BLOCK-distribution halo exchange: send [left] to processor [p-1] and
+    [right] to [p+1]; returns the halos received from the left and right
+    neighbors (None at the ends). Charges generic packing on both sides. *)
+
+val bcast_section : Dsm_mp.Mp.t -> root:int -> tag:int -> float array -> float array
+(** Broadcast of an owned section through the distribution run-time. *)
+
+val allreduce_sum : Dsm_mp.Mp.t -> tag:int -> float array -> float array
+val allreduce_max : Dsm_mp.Mp.t -> tag:int -> float array -> float array
+
+val charge_pack : Dsm_mp.Mp.t -> int -> unit
+(** Charge generic pack/unpack handling for [n] elements (used by XHPF app
+    codes for communications they route through {!Dsm_mp.Mp} directly). *)

@@ -1,0 +1,1 @@
+lib/mem/addr_space.ml: Array Dsm_rsd List

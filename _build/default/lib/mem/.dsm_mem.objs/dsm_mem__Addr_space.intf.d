@@ -1,0 +1,1 @@
+lib/mem/addr_space.mli: Dsm_rsd

@@ -1,0 +1,80 @@
+type t = (int * Bytes.t) list
+
+let empty = []
+let is_empty t = t = []
+
+(* TreadMarks compares twin and copy at 32-bit word granularity; diffs are
+   runs of changed words. *)
+let create ~twin ~current =
+  let n = Bytes.length current in
+  assert (Bytes.length twin = n && n mod 4 = 0);
+  let words = n / 4 in
+  let differs w =
+    Bytes.get_int32_le twin (4 * w) <> Bytes.get_int32_le current (4 * w)
+  in
+  let segs = ref [] in
+  let w = ref 0 in
+  while !w < words do
+    if differs !w then begin
+      let start = !w in
+      while !w < words && differs !w do
+        incr w
+      done;
+      segs :=
+        (4 * start, Bytes.sub current (4 * start) (4 * (!w - start))) :: !segs
+    end
+    else incr w
+  done;
+  List.rev !segs
+
+let full page = [ (0, Bytes.copy page) ]
+
+let of_range page ~off ~len =
+  if len <= 0 then [] else [ (off, Bytes.sub page off len) ]
+
+let apply t dst =
+  List.iter
+    (fun (off, payload) ->
+      Bytes.blit payload 0 dst off (Bytes.length payload))
+    t
+
+let merge older newer ~page_size =
+  match (older, newer) with
+  | [], d | d, [] -> d
+  | _ ->
+      let scratch = Bytes.create page_size in
+      let mask = Bytes.make page_size '\000' in
+      let overlay d =
+        List.iter
+          (fun (off, payload) ->
+            let len = Bytes.length payload in
+            Bytes.blit payload 0 scratch off len;
+            Bytes.fill mask off len '\001')
+          d
+      in
+      overlay older;
+      overlay newer;
+      let segs = ref [] in
+      let i = ref 0 in
+      while !i < page_size do
+        if Bytes.unsafe_get mask !i = '\001' then begin
+          let start = !i in
+          while !i < page_size && Bytes.unsafe_get mask !i = '\001' do
+            incr i
+          done;
+          segs := (start, Bytes.sub scratch start (!i - start)) :: !segs
+        end
+        else incr i
+      done;
+      List.rev !segs
+
+let size_bytes t =
+  List.fold_left (fun acc (_, p) -> acc + Bytes.length p) 0 t
+
+let nsegments = List.length
+
+let covers_page t ~page_size =
+  match t with [ (0, p) ] -> Bytes.length p = page_size | _ -> false
+
+let pp ppf t =
+  Format.fprintf ppf "diff<%d segs, %d B>" (nsegments t) (size_bytes t)

@@ -1,0 +1,39 @@
+(** Diffs: run-length encodings of the modifications made to a page
+    (reference [8] of the paper, Carter et al.).
+
+    A diff is created by comparing a page against its twin (the copy made at
+    the first write) and applied by overlaying its segments onto another copy
+    of the page. *)
+
+type t
+(** A list of (offset, payload) segments, sorted by offset, disjoint. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val create : twin:Bytes.t -> current:Bytes.t -> t
+(** Word-granularity comparison of twin and current page contents. *)
+
+val full : Bytes.t -> t
+(** A "diff" carrying the entire page verbatim: produced at a release for
+    pages validated with [WRITE_ALL] access (no twin exists; the whole page
+    content stands in for the modifications, superseding older diffs). *)
+
+val of_range : Bytes.t -> off:int -> len:int -> t
+(** A diff carrying the page subrange [\[off, off+len)] verbatim. *)
+
+val apply : t -> Bytes.t -> unit
+(** Overlay the segments onto the destination page. *)
+
+val merge : t -> t -> page_size:int -> t
+(** [merge older newer ~page_size]: a diff equivalent to applying [older]
+    then [newer]. *)
+
+val size_bytes : t -> int
+(** Payload bytes (what a diff message carries). *)
+
+val nsegments : t -> int
+val covers_page : t -> page_size:int -> bool
+(** Whether the diff overwrites every byte of the page. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type prot = No_access | Read_only | Read_write
+
+type page = {
+  data : Bytes.t;
+  mutable prot : prot;
+  mutable twin : Bytes.t option;
+}
+
+type t = { page_size : int; mutable pages : page option array }
+
+let create ~page_size = { page_size; pages = Array.make 64 None }
+
+let page_size t = t.page_size
+
+let ensure_capacity t n =
+  let len = Array.length t.pages in
+  if n >= len then begin
+    let len' = max (n + 1) (2 * len) in
+    let pages = Array.make len' None in
+    Array.blit t.pages 0 pages 0 len;
+    t.pages <- pages
+  end
+
+let get t n =
+  ensure_capacity t n;
+  match t.pages.(n) with
+  | Some p -> p
+  | None ->
+      let p =
+        { data = Bytes.make t.page_size '\000'; prot = Read_only; twin = None }
+      in
+      t.pages.(n) <- Some p;
+      p
+
+let find t n = if n < Array.length t.pages then t.pages.(n) else None
+
+let page_of_addr t addr = addr / t.page_size
+let offset_in_page t addr = addr mod t.page_size
+
+let make_twin p =
+  match p.twin with
+  | Some _ -> ()
+  | None -> p.twin <- Some (Bytes.copy p.data)
+
+let drop_twin p = p.twin <- None

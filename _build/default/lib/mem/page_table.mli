@@ -1,0 +1,35 @@
+(** Per-processor page table for the simulated shared segment.
+
+    This is the software stand-in for the hardware MMU: every shared load
+    and store consults the page's protection bits, and the DSM protocol
+    manipulates them exactly as TreadMarks manipulates [mprotect] state. *)
+
+type prot =
+  | No_access  (** invalid: any access faults *)
+  | Read_only  (** valid: writes fault (write detection) *)
+  | Read_write  (** valid and dirty-capable *)
+
+type page = {
+  data : Bytes.t;
+  mutable prot : prot;
+  mutable twin : Bytes.t option;  (** copy made at the first write *)
+}
+
+type t
+
+val create : page_size:int -> t
+val page_size : t -> int
+
+val get : t -> int -> page
+(** Page record for page number [n]; created zero-filled and [Read_only] on
+    first use (all replicas start consistent: the segment is zero
+    initialized). *)
+
+val find : t -> int -> page option
+(** Like {!get} but without materializing an untouched page. *)
+
+val page_of_addr : t -> int -> int
+val offset_in_page : t -> int -> int
+
+val make_twin : page -> unit
+val drop_twin : page -> unit

@@ -1,0 +1,1 @@
+lib/mp/mp.ml: Array Dsm_sim Float Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/mp/mp.mli: Dsm_sim

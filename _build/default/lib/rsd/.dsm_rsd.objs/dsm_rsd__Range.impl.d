@@ -1,0 +1,1 @@
+lib/rsd/range.ml: Format Hashtbl List

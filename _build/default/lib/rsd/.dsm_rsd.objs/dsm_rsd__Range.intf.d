@@ -1,0 +1,1 @@
+lib/rsd/range.mli: Format

@@ -1,0 +1,1 @@
+lib/rsd/section.ml: Array Format List Range Rsd

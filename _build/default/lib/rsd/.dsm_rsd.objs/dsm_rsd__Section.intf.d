@@ -1,0 +1,1 @@
+lib/rsd/section.mli: Format Range Rsd

@@ -1,0 +1,47 @@
+(** Sets of byte addresses represented as sorted, disjoint, non-adjacent
+    half-open intervals [\[lo, hi)].
+
+    The run-time system receives compiler-computed sections translated into
+    contiguous address ranges (Section 3.3 of the paper: "these section
+    parameters are translated by the compiler into a set of contiguous
+    address ranges"). *)
+
+type t = (int * int) list
+(** Invariant: sorted by [lo], pairwise disjoint, no empty or adjacent
+    intervals. Use {!normalize} to establish the invariant. *)
+
+val empty : t
+val of_interval : int -> int -> t
+(** [of_interval lo hi] is the single interval [\[lo, hi)]; empty if
+    [hi <= lo]. *)
+
+val normalize : (int * int) list -> t
+(** Sort, drop empties, merge overlapping and adjacent intervals. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val size : t -> int
+(** Total number of addresses covered. *)
+
+val is_empty : t -> bool
+val mem : int -> t -> bool
+
+val covers : t -> lo:int -> hi:int -> bool
+(** Whether [\[lo, hi)] is entirely contained. *)
+
+val iter : t -> (lo:int -> hi:int -> unit) -> unit
+
+val pages : page_size:int -> t -> int list
+(** Sorted list of distinct page numbers touched by the ranges. *)
+
+val clip_to_page : page_size:int -> page:int -> t -> t
+(** Restrict the ranges to the given page. *)
+
+val is_contiguous : t -> bool
+(** True when the set is empty or a single interval (the paper's
+    transformation only uses [Validate ... WRITE_ALL] on contiguous
+    sections). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+type dim = { lo : int; hi : int; stride : int }
+type t = { dims : dim array; exact : bool }
+
+let make ?(exact = true) l =
+  let dims =
+    List.map
+      (fun (lo, hi, stride) ->
+        if stride < 1 then invalid_arg "Rsd.make: stride must be >= 1";
+        { lo; hi; stride })
+      l
+    |> Array.of_list
+  in
+  { dims; exact }
+
+let ndims t = Array.length t.dims
+let dim_is_empty d = d.hi < d.lo
+let is_empty t = Array.exists dim_is_empty t.dims
+let dim_count d = if dim_is_empty d then 0 else ((d.hi - d.lo) / d.stride) + 1
+
+let size t =
+  if is_empty t then 0
+  else Array.fold_left (fun acc d -> acc * dim_count d) 1 t.dims
+
+let dim_mem d i = i >= d.lo && i <= d.hi && (i - d.lo) mod d.stride = 0
+
+let mem t idx =
+  Array.length idx = ndims t
+  && (not (is_empty t))
+  && Array.for_all2 (fun d i -> dim_mem d i) t.dims idx
+
+let dim_equal a b =
+  (dim_is_empty a && dim_is_empty b)
+  || (a.lo = b.lo && a.stride = b.stride && dim_count a = dim_count b)
+
+let equal a b =
+  ndims a = ndims b
+  && ((is_empty a && is_empty b) || Array.for_all2 dim_equal a.dims b.dims)
+
+(* Intersection of two strided ranges. Exact when one stride divides the
+   other and the phases agree; otherwise a conservative bounding range. *)
+let dim_inter a b =
+  let lo = max a.lo b.lo
+  and hi = min a.hi b.hi in
+  if hi < lo then ({ lo = 1; hi = 0; stride = 1 }, true)
+  else if a.stride = 1 && b.stride = 1 then ({ lo; hi; stride = 1 }, true)
+  else begin
+    let s = max a.stride b.stride
+    and s' = min a.stride b.stride in
+    if s mod s' = 0 then begin
+      (* phases must be compatible *)
+      let big, small = if a.stride >= b.stride then (a, b) else (b, a) in
+      if (big.lo - small.lo) mod small.stride <> 0 then
+        ({ lo = 1; hi = 0; stride = 1 }, true)
+      else begin
+        (* first element of [big] that is >= lo: big.lo is in both grids *)
+        let start = if big.lo >= lo then big.lo else
+          big.lo + ((lo - big.lo + s - 1) / s * s)
+        in
+        if start > hi then ({ lo = 1; hi = 0; stride = 1 }, true)
+        else
+          let last = start + ((hi - start) / s * s) in
+          ({ lo = start; hi = last; stride = s }, true)
+      end
+    end
+    else ({ lo; hi; stride = 1 }, false)
+  end
+
+let inter a b =
+  if ndims a <> ndims b then invalid_arg "Rsd.inter: dimension mismatch";
+  let exact = ref (a.exact && b.exact) in
+  let dims =
+    Array.map2
+      (fun da db ->
+        let d, ex = dim_inter da db in
+        if not ex then exact := false;
+        d)
+      a.dims b.dims
+  in
+  { dims; exact = !exact }
+
+let dim_contains a b =
+  dim_is_empty b
+  || ((not (dim_is_empty a))
+     && dim_mem a b.lo
+     && b.hi <= a.hi
+     && b.stride mod a.stride = 0)
+
+let contains a b =
+  ndims a = ndims b
+  && (is_empty b || Array.for_all2 dim_contains a.dims b.dims)
+
+(* Can two strided ranges be unioned exactly into one? *)
+let dim_union_exact a b =
+  if dim_is_empty a then Some b
+  else if dim_is_empty b then Some a
+  else if dim_contains a b then Some a
+  else if dim_contains b a then Some b
+  else if a.stride = b.stride && (b.lo - a.lo) mod a.stride = 0 then begin
+    let s = a.stride in
+    if b.lo <= a.hi + s && a.lo <= b.hi + s then
+      Some { lo = min a.lo b.lo; hi = max a.hi b.hi; stride = s }
+    else None
+  end
+  else None
+
+(* Conservative per-dimension bound: the common stride may be kept only if
+   the two ranges share its phase, otherwise elements would be missed. *)
+let bounding_dim da db =
+  let stride =
+    if da.stride = db.stride && (db.lo - da.lo) mod da.stride = 0 then da.stride
+    else 1
+  in
+  { lo = min da.lo db.lo; hi = max da.hi db.hi; stride }
+
+let union a b =
+  if ndims a <> ndims b then invalid_arg "Rsd.union: dimension mismatch";
+  if is_empty a then b
+  else if is_empty b then a
+  else if contains a b then a
+  else if contains b a then b
+  else begin
+    (* Count dimensions on which the two differ; an exact merge is possible
+       when they differ on at most one dimension that merges exactly. *)
+    let n = ndims a in
+    let differing = ref [] in
+    for i = 0 to n - 1 do
+      if not (dim_equal a.dims.(i) b.dims.(i)) then differing := i :: !differing
+    done;
+    match !differing with
+    | [ i ] -> (
+        match dim_union_exact a.dims.(i) b.dims.(i) with
+        | Some d ->
+            let dims = Array.copy a.dims in
+            dims.(i) <- d;
+            { dims; exact = a.exact && b.exact }
+        | None ->
+            let dims = Array.map2 bounding_dim a.dims b.dims in
+            { dims; exact = false })
+    | _ ->
+        let dims = Array.map2 bounding_dim a.dims b.dims in
+        { dims; exact = false }
+  end
+
+let inexact t = { t with exact = false }
+
+let pp ppf t =
+  let pp_dim ppf d =
+    if d.stride = 1 then Format.fprintf ppf "%d:%d" d.lo d.hi
+    else Format.fprintf ppf "%d:%d:%d" d.lo d.hi d.stride
+  in
+  Format.fprintf ppf "[%a]%s"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_dim)
+    (Array.to_seq t.dims)
+    (if t.exact then "" else "~")

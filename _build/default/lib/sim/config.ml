@@ -1,0 +1,57 @@
+type t = {
+  nprocs : int;
+  page_size : int;
+  wire_latency_us : float;
+  per_byte_us : float;
+  msg_overhead_us : float;
+  interrupt_us : float;
+  lock_service_us : float;
+  mm_base_us : float;
+  mm_per_inuse_page_us : float;
+  mm_per_op_page_us : float;
+  twin_per_byte_us : float;
+  diff_create_per_byte_us : float;
+  diff_apply_per_byte_us : float;
+  wsync_scan_per_page_us : float;
+  diff_service_us : float;
+  notice_bytes : int;
+  bcast_log_tree : bool;
+  enable_bcast : bool;
+  enable_supersede : bool;
+  enable_hotspot_queueing : bool;
+}
+
+(* Calibration (see config.mli): solving the roundtrip, lock and barrier
+   equations from Section 5 of the paper gives alpha = 118.5, o = 20,
+   i = 48, lock service = 62. *)
+let default =
+  {
+    nprocs = 8;
+    page_size = 4096;
+    wire_latency_us = 118.5;
+    per_byte_us = 0.03;
+    msg_overhead_us = 20.0;
+    interrupt_us = 48.0;
+    lock_service_us = 81.0;
+    mm_base_us = 18.0;
+    mm_per_inuse_page_us = 0.12;
+    mm_per_op_page_us = 2.0;
+    twin_per_byte_us = 0.005;
+    diff_create_per_byte_us = 0.01;
+    diff_apply_per_byte_us = 0.006;
+    wsync_scan_per_page_us = 2.5;
+    diff_service_us = 25.0;
+    notice_bytes = 12;
+    bcast_log_tree = true;
+    enable_bcast = true;
+    enable_supersede = true;
+    enable_hotspot_queueing = true;
+  }
+
+let with_procs cfg n = { cfg with nprocs = n }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>nprocs=%d page=%dB alpha=%.1fus beta=%.4fus/B o=%.1fus i=%.1fus@]"
+    c.nprocs c.page_size c.wire_latency_us c.per_byte_us c.msg_overhead_us
+    c.interrupt_us

@@ -1,0 +1,58 @@
+(** Cost-model parameters of the simulated cluster.
+
+    The defaults are calibrated from the measurements published in Section 5
+    of the paper for the 8-node IBM SP/2 under AIX 3.2.5 with user-space MPL
+    communication:
+
+    - minimum small-message roundtrip (send/recv + interrupt): 365 us
+    - minimum acquisition of a free lock: 427 us
+    - minimum 8-processor barrier: 893 us
+    - page fault / memory-protection cost: linear in the number of pages in
+      use (18..800 us with 2000 pages in use).
+
+    With the defaults, [2 * wire_latency_us + 4 * msg_overhead_us +
+    interrupt_us = 365], and the barrier formula
+    [2 * wire_latency_us + 16 * msg_overhead_us + 7 * interrupt_us = 893]
+    (see {!Dsm_tmk.Barrier}), reproducing the published platform numbers. *)
+
+type t = {
+  nprocs : int;  (** number of simulated processors *)
+  page_size : int;  (** bytes per virtual-memory page *)
+  wire_latency_us : float;  (** one-way network latency (alpha) *)
+  per_byte_us : float;  (** per-byte network cost (beta), ~1/35 MB/s *)
+  msg_overhead_us : float;  (** per-message CPU send/receive overhead (o) *)
+  interrupt_us : float;  (** interrupt dispatch cost at a request target *)
+  lock_service_us : float;  (** lock-manager service time *)
+  mm_base_us : float;  (** fixed cost of a fault or mprotect call *)
+  mm_per_inuse_page_us : float;  (** additional cost per page in use *)
+  mm_per_op_page_us : float;  (** additional cost per page covered by call *)
+  twin_per_byte_us : float;  (** cost per byte of twin creation (memcpy) *)
+  diff_create_per_byte_us : float;  (** cost per byte of twin/copy compare *)
+  diff_apply_per_byte_us : float;  (** cost per byte of diff application *)
+  wsync_scan_per_page_us : float;
+      (** cost, per page examined, of matching a piggy-backed section request
+          against the local diff store in [Fetch_diffs_w_sync] *)
+  diff_service_us : float;
+      (** fixed handler time to service a diff request, on top of per-byte
+          response costs *)
+  notice_bytes : int;  (** wire size of one write notice *)
+  bcast_log_tree : bool;
+      (** model broadcast as a binomial tree (true) or as sequential sends *)
+  enable_bcast : bool;
+      (** ablation: barrier-time broadcast detection in
+          [Fetch_diffs_w_sync] (Section 3.2.1) *)
+  enable_supersede : bool;
+      (** ablation: WRITE_ALL full-page diffs supersede older overlapping
+          diffs at fetch (removes the IS diff accumulation) *)
+  enable_hotspot_queueing : bool;
+      (** ablation: overlapping requests to one processor serialize behind
+          its handler occupancy *)
+}
+
+val default : t
+(** SP/2-calibrated parameters with 8 processors and 4 KiB pages. *)
+
+val with_procs : t -> int -> t
+(** [with_procs cfg n] is [cfg] with [nprocs = n]. *)
+
+val pp : Format.formatter -> t -> unit

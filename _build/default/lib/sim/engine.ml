@@ -1,0 +1,69 @@
+exception Deadlock of string
+
+type _ Effect.t += Block : (unit -> bool) -> unit Effect.t
+
+let block ~until = Effect.perform (Block until)
+
+let yield () =
+  (* Blocking with an immediately-true predicate re-enters the scheduler:
+     every other runnable fiber gets its turn before this one resumes. *)
+  Effect.perform (Block (fun () -> true))
+
+type cell =
+  | Not_started of (unit -> unit)
+  | Waiting of { pred : unit -> bool; k : (unit, unit) Effect.Deep.continuation }
+  | Running
+  | Finished
+
+let run ~nprocs main =
+  let cells = Array.init nprocs (fun p -> Not_started (fun () -> main p)) in
+  let handler p =
+    {
+      Effect.Deep.retc = (fun () -> cells.(p) <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Block pred ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  cells.(p) <- Waiting { pred; k })
+          | _ -> None);
+    }
+  in
+  let rec loop () =
+    let progress = ref false in
+    let unfinished = ref false in
+    for p = 0 to nprocs - 1 do
+      match cells.(p) with
+      | Not_started f ->
+          progress := true;
+          cells.(p) <- Running;
+          Effect.Deep.match_with f () (handler p)
+      | Waiting { pred; k } ->
+          if pred () then begin
+            progress := true;
+            cells.(p) <- Running;
+            Effect.Deep.continue k ()
+          end
+      | Running -> ()
+      | Finished -> ()
+    done;
+    Array.iter
+      (function Finished -> () | _ -> unfinished := true)
+      cells;
+    if !unfinished then
+      if !progress then loop ()
+      else begin
+        let blocked =
+          Array.to_seq cells |> Seq.mapi (fun p c -> (p, c))
+          |> Seq.filter_map (fun (p, c) ->
+                 match c with
+                 | Waiting _ -> Some (string_of_int p)
+                 | Not_started _ | Running | Finished -> None)
+          |> List.of_seq |> String.concat ","
+        in
+        raise (Deadlock (Printf.sprintf "fibers blocked: [%s]" blocked))
+      end
+  in
+  loop ()

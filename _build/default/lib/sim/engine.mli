@@ -1,0 +1,27 @@
+(** Deterministic cooperative scheduler for simulated processors.
+
+    Each simulated processor runs as an OCaml-5 effect-based fiber. A fiber
+    that must wait for another processor (barrier, lock, message receive)
+    performs {!block}, giving a predicate that becomes true when it may
+    continue. The scheduler resumes fibers round-robin; because the programs
+    executed on the DSM are data-race free (conflicting accesses are ordered
+    by synchronization), the round-robin order at blocking points fully
+    determines the result and the simulation is deterministic. *)
+
+exception Deadlock of string
+(** Raised when no fiber can make progress but some have not terminated. *)
+
+val block : until:(unit -> bool) -> unit
+(** Suspend the calling fiber until [until ()] holds. Must be called from
+    within {!run}. The predicate is re-evaluated by the scheduler; it must be
+    made true by the action of some other fiber. *)
+
+val yield : unit -> unit
+(** Give other fibers a chance to run, then continue. *)
+
+val run : nprocs:int -> (int -> unit) -> unit
+(** [run ~nprocs main] executes [main p] for [p = 0..nprocs-1] as cooperative
+    fibers until all terminate.
+
+    @raise Deadlock if all remaining fibers are blocked on predicates that no
+    runnable fiber can satisfy. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable segv : int;
+  mutable mprotects : int;
+  mutable twins : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable diff_bytes_applied : int;
+  mutable lock_acquires : int;
+  mutable barriers : int;
+  mutable validates : int;
+  mutable pushes : int;
+  mutable broadcasts : int;
+}
+
+let create () =
+  {
+    messages = 0;
+    bytes = 0;
+    segv = 0;
+    mprotects = 0;
+    twins = 0;
+    diffs_created = 0;
+    diffs_applied = 0;
+    diff_bytes_applied = 0;
+    lock_acquires = 0;
+    barriers = 0;
+    validates = 0;
+    pushes = 0;
+    broadcasts = 0;
+  }
+
+let reset t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.segv <- 0;
+  t.mprotects <- 0;
+  t.twins <- 0;
+  t.diffs_created <- 0;
+  t.diffs_applied <- 0;
+  t.diff_bytes_applied <- 0;
+  t.lock_acquires <- 0;
+  t.barriers <- 0;
+  t.validates <- 0;
+  t.pushes <- 0;
+  t.broadcasts <- 0
+
+let add acc x =
+  acc.messages <- acc.messages + x.messages;
+  acc.bytes <- acc.bytes + x.bytes;
+  acc.segv <- acc.segv + x.segv;
+  acc.mprotects <- acc.mprotects + x.mprotects;
+  acc.twins <- acc.twins + x.twins;
+  acc.diffs_created <- acc.diffs_created + x.diffs_created;
+  acc.diffs_applied <- acc.diffs_applied + x.diffs_applied;
+  acc.diff_bytes_applied <- acc.diff_bytes_applied + x.diff_bytes_applied;
+  acc.lock_acquires <- acc.lock_acquires + x.lock_acquires;
+  acc.barriers <- acc.barriers + x.barriers;
+  acc.validates <- acc.validates + x.validates;
+  acc.pushes <- acc.pushes + x.pushes;
+  acc.broadcasts <- acc.broadcasts + x.broadcasts
+
+let total arr =
+  let acc = create () in
+  Array.iter (fun x -> add acc x) arr;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>msgs=%d bytes=%d segv=%d mprotect=%d twins=%d diffs+%d/-%d \
+     diff_bytes=%d locks=%d barriers=%d validates=%d pushes=%d bcasts=%d@]"
+    t.messages t.bytes t.segv t.mprotects t.twins t.diffs_created
+    t.diffs_applied t.diff_bytes_applied t.lock_acquires t.barriers t.validates
+    t.pushes t.broadcasts

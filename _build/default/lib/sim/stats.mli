@@ -1,0 +1,32 @@
+(** Per-processor execution statistics.
+
+    These counters back Table 2 of the paper (percentage reductions in page
+    faults, messages, and data) and the detailed per-application discussion
+    in Section 6. *)
+
+type t = {
+  mutable messages : int;  (** messages sent by this processor *)
+  mutable bytes : int;  (** payload bytes sent by this processor *)
+  mutable segv : int;  (** simulated page faults (access violations) *)
+  mutable mprotects : int;  (** memory-protection operations *)
+  mutable twins : int;  (** twin (page copy) creations *)
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable diff_bytes_applied : int;
+  mutable lock_acquires : int;
+  mutable barriers : int;
+  mutable validates : int;  (** calls to the augmented [Validate] interface *)
+  mutable pushes : int;  (** calls to the augmented [Push] interface *)
+  mutable broadcasts : int;  (** barrier-time data broadcasts *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] field-wise. *)
+
+val total : t array -> t
+(** Field-wise sum over all processors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tmk/diff_store.ml: Array Dsm_mem Hashtbl List Option

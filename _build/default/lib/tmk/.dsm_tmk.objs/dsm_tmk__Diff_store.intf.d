@@ -1,0 +1,1 @@
+lib/tmk/diff_store.mli: Dsm_mem

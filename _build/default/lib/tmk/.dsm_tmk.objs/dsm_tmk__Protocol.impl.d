@@ -1,0 +1,1 @@
+lib/tmk/protocol.ml: Array Diff_store Dsm_mem Dsm_rsd Dsm_sim Float Format Hashtbl List Option Printf String Sys Types Vc

@@ -1,0 +1,1 @@
+lib/tmk/protocol.mli: Dsm_rsd Hashtbl Types Vc

@@ -1,0 +1,1 @@
+lib/tmk/shm.ml: Array Bytes Dsm_mem Dsm_rsd Int32 Int64 Protocol Types

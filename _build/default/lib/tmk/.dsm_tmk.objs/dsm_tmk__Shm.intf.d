@@ -1,0 +1,1 @@
+lib/tmk/shm.mli: Dsm_mem Dsm_rsd Types

@@ -1,0 +1,1 @@
+lib/tmk/sync_ops.ml: Array Diff_store Dsm_mem Dsm_rsd Dsm_sim Float Hashtbl List Option Protocol Types Vc

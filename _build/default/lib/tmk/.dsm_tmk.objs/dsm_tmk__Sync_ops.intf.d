@@ -1,0 +1,1 @@
+lib/tmk/sync_ops.mli: Types

@@ -1,0 +1,1 @@
+lib/tmk/tmk.ml: Array Diff_store Dsm_mem Dsm_rsd Dsm_sim Hashtbl Shm Sync_ops Types Validate Vc

@@ -1,0 +1,1 @@
+lib/tmk/tmk.mli: Dsm_rsd Dsm_sim Shm Types

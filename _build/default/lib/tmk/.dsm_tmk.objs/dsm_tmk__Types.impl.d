@@ -1,0 +1,1 @@
+lib/tmk/types.ml: Array Bytes Diff_store Dsm_mem Dsm_rsd Dsm_sim Hashtbl Vc

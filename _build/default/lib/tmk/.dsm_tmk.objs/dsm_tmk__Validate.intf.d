@@ -1,0 +1,1 @@
+lib/tmk/validate.mli: Dsm_rsd Types

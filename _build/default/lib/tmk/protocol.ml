@@ -1,0 +1,588 @@
+(* Core lazy-release-consistency protocol operations: release (eager diff
+   creation), write-notice application (invalidation), access-miss handling,
+   and diff fetching with the various charging modes used by the base and
+   augmented run-times. *)
+
+open Types
+module Cluster = Dsm_sim.Cluster
+module Config = Dsm_sim.Config
+module Stats = Dsm_sim.Stats
+module Page_table = Dsm_mem.Page_table
+module Diff = Dsm_mem.Diff
+module Range = Dsm_rsd.Range
+
+let debug = Sys.getenv_opt "DSM_DEBUG" <> None
+
+let meta st ~nprocs page =
+  match Hashtbl.find_opt st.meta page with
+  | Some m -> m
+  | None ->
+      let m =
+        {
+          applied = Array.make nprocs 0;
+          known = Array.make nprocs 0;
+          write_all = Range.empty;
+          lazy_hi = 0;
+          lazy_vcsum = 0;
+        }
+      in
+      Hashtbl.replace st.meta page m;
+      m
+
+(* Group a sorted page list into runs of consecutive page numbers; protection
+   operations cost one call per contiguous run. *)
+let runs_of_pages pages =
+  match List.sort_uniq compare pages with
+  | [] -> []
+  | p0 :: rest ->
+      let rec go start len = function
+        | [] -> [ (start, len) ]
+        | p :: rest when p = start + len -> go start (len + 1) rest
+        | p :: rest -> (start, len) :: go p 1 rest
+      in
+      go p0 1 rest
+
+let protect_runs sys p pages =
+  let st = sys.cluster.Cluster.stats.(p) in
+  List.iter
+    (fun (_, len) ->
+      st.Stats.mprotects <- st.Stats.mprotects + 1;
+      Cluster.mm_op sys.cluster p ~npages:len)
+    (runs_of_pages pages)
+
+(* {1 Release}
+
+   Lazy diffing, as in TreadMarks: a release starts a new interval and
+   records write notices for the pages dirtied in the closing one. The pages
+   are write-protected (so the next interval's writes are detected again),
+   but their twins are kept and no diff is computed — that work happens in
+   {!materialize} when a remote processor first requests the page's
+   modifications, and the one diff covers every interval accumulated since
+   the twin was made. *)
+let release sys p =
+  let st = sys.states.(p) in
+  match st.dirty with
+  | [] -> None
+  | dirty ->
+      let seq = Vc.get st.vc p + 1 in
+      Vc.set st.vc p seq;
+      let pages = List.sort_uniq compare dirty in
+      let vcsum = Vc.sum st.vc in
+      List.iter
+        (fun page ->
+          let m = meta st ~nprocs:sys.nprocs page in
+          (* A materialized diff covers every interval since the last
+             materialization; it is stamped with its FIRST interval's clock.
+             Applying spans at their head position is order-correct: the
+             forced materialization on foreign notices guarantees that no
+             other writer's interval overlapping this page is ordered after
+             the span's head, except ones whose own (head) stamps are
+             larger. *)
+          if m.lazy_hi = 0 then m.lazy_vcsum <- vcsum;
+          m.lazy_hi <- seq;
+          m.applied.(p) <- seq;
+          m.known.(p) <- seq;
+          let pg = Page_table.get st.pt page in
+          if pg.Page_table.prot = Page_table.Read_write then
+            pg.Page_table.prot <- Page_table.Read_only)
+        pages;
+      protect_runs sys p pages;
+      st.dirty <- [];
+      sys.logs.(p) <- (seq, pages) :: sys.logs.(p);
+      Some (seq, pages)
+
+(* Create the pending diff of [writer] for [page], covering every interval
+   released since the last materialization (TreadMarks creates one diff for
+   the accumulated modifications). Cleans the writer's page: twin dropped,
+   page write-protected and removed from the dirty list, so the next write
+   faults again. The cost is charged to the writer (the work happens in its
+   request-interrupt handler); the returned cost lets the caller extend the
+   request's service time. *)
+let materialize sys ~writer ~page =
+  let st = sys.states.(writer) in
+  let m = meta st ~nprocs:sys.nprocs page in
+  if m.lazy_hi = 0 then 0.0
+  else begin
+    let pstats = sys.cluster.Cluster.stats.(writer) in
+    let cfg = sys.cluster.Cluster.cfg in
+    let pg = Page_table.get st.pt page in
+    let base_addr = page * sys.page_size in
+    let cost = ref 0.0 in
+    let diff, supersedes =
+      if not (Range.is_empty m.write_all) then begin
+        (* WRITE_ALL family: the validated ranges stand in verbatim; a plain
+           copy, no twin comparison *)
+        let segs = ref Diff.empty in
+        Range.iter m.write_all (fun ~lo ~hi ->
+            let off = lo - base_addr
+            and len = hi - lo in
+            segs :=
+              Diff.merge !segs
+                (Diff.of_range pg.Page_table.data ~off ~len)
+                ~page_size:sys.page_size);
+        cost :=
+          !cost
+          +. (cfg.Config.twin_per_byte_us *. float_of_int (Range.size m.write_all));
+        ( !segs,
+          Range.covers m.write_all ~lo:base_addr
+            ~hi:(base_addr + sys.page_size) )
+      end
+      else begin
+        match pg.Page_table.twin with
+        | Some twin ->
+            pstats.Stats.diffs_created <- pstats.Stats.diffs_created + 1;
+            cost :=
+              !cost
+              +. (cfg.Config.diff_create_per_byte_us
+                 *. float_of_int sys.page_size);
+            (Diff.create ~twin ~current:pg.Page_table.data, false)
+        | None ->
+            (* write-enabled without twin happens only under WRITE_ALL *)
+            (Diff.full pg.Page_table.data, true)
+      end
+    in
+    if not (Diff.is_empty diff) then
+      Diff_store.add sys.store ~writer ~page ~seq:m.lazy_hi
+        ~vcsum:m.lazy_vcsum ~diff ~supersedes;
+    Diff_store.note_applied sys.store ~writer ~page ~by:writer ~seq:m.lazy_hi;
+    m.lazy_hi <- 0;
+    if List.mem page st.dirty then begin
+      (* The writer is still modifying this page in its current (unreleased)
+         interval. The diff above conservatively includes those bytes; keep
+         the twin and the WRITE_ALL marker so that the next materialization
+         re-covers everything since, and leave the page writable. *)
+      ()
+    end
+    else begin
+      m.write_all <- Range.empty;
+      Page_table.drop_twin pg;
+      (* write-protect; never upgrade an invalidated page back to readable *)
+      if pg.Page_table.prot = Page_table.Read_write then
+        pg.Page_table.prot <- Page_table.Read_only;
+      pstats.Stats.mprotects <- pstats.Stats.mprotects + 1;
+      let mm =
+        cfg.Config.mm_base_us
+        +. (cfg.Config.mm_per_inuse_page_us
+           *. float_of_int sys.cluster.Cluster.pages_in_use)
+        +. cfg.Config.mm_per_op_page_us
+      in
+      cost := !cost +. mm
+    end;
+    (* the caller accounts the cost: as request service time (the work runs
+       in the writer's interrupt handler) *)
+    !cost
+  end
+
+(* {1 Write notices} *)
+
+(* Record notices of [writer]'s interval [seq] over [pages]; invalidate any
+   local copy that becomes stale.
+
+   When a notice arrives for a page with pending un-materialized local
+   modifications, the local diff is created first (as in TreadMarks):
+   otherwise a later accumulated diff would span the other writer's
+   ordered-in-between interval and could be applied out of order. *)
+let apply_notice sys p ~writer ~seq ~pages =
+  if writer <> p then begin
+    let st = sys.states.(p) in
+    let invalidated = ref [] in
+    List.iter
+      (fun page ->
+        let m = meta st ~nprocs:sys.nprocs page in
+        if seq > m.known.(writer) then m.known.(writer) <- seq;
+        if m.known.(writer) > m.applied.(writer) then begin
+          if m.lazy_hi > 0 then
+            Cluster.charge sys.cluster p (materialize sys ~writer:p ~page);
+          let pg = Page_table.get st.pt page in
+          if pg.Page_table.prot <> Page_table.No_access then begin
+            pg.Page_table.prot <- Page_table.No_access;
+            invalidated := page :: !invalidated
+          end
+        end)
+      pages;
+    if !invalidated <> [] then protect_runs sys p !invalidated
+  end
+
+(* Apply, from the global interval logs, every notice of every processor [q]
+   with [vc_me.(q) < seq <= upto.(q)]; advance the vector clock. Returns the
+   number of notices applied (for message-size accounting). *)
+let pull_notices sys p ~upto =
+  let st = sys.states.(p) in
+  let count = ref 0 in
+  for q = 0 to sys.nprocs - 1 do
+    if q <> p && Vc.get upto q > Vc.get st.vc q then begin
+      let lo = Vc.get st.vc q
+      and hi = Vc.get upto q in
+      List.iter
+        (fun (seq, pages) ->
+          if seq > lo && seq <= hi then begin
+            count := !count + List.length pages;
+            apply_notice sys p ~writer:q ~seq ~pages
+          end)
+        sys.logs.(q);
+      Vc.set st.vc q hi
+    end
+  done;
+  !count
+
+(* {1 Diff fetching} *)
+
+type fetch_mode =
+  | Rpc  (** on-demand request/response pair(s), one per writer *)
+  | Prepaid  (** data already charged (async response consumed at a fault) *)
+  | Piggyback of float
+      (** one data message per writer, sent at the given time (responses to
+          section requests piggy-backed on a synchronization operation) *)
+
+(* Compute which writers' diffs [p] is missing for [pages], materialize the
+   pending lazy diffs (recording the cost per writer), and apply supersede
+   pruning. Shared by the synchronous, piggy-backed and asynchronous fetch
+   paths. [only_via r] restricts to diffs processor [r] holds locally (its
+   own, or ones it has applied). *)
+let gather_needs sys p pages ?only_via () =
+  let st = sys.states.(p) in
+  let by_writer : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 8 in
+  let mat_costs : (int, float ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun page ->
+      let m = meta st ~nprocs:sys.nprocs page in
+      let needed = ref [] in
+      for q = sys.nprocs - 1 downto 0 do
+        if q <> p && m.known.(q) > m.applied.(q) then begin
+          let keep =
+            match only_via with
+            | None -> true
+            | Some r ->
+                q = r
+                || Dsm_mem.Page_table.find sys.states.(r).pt page <> None
+                   && (meta sys.states.(r) ~nprocs:sys.nprocs page).applied.(q)
+                      >= m.known.(q)
+          in
+          if keep then needed := q :: !needed
+        end
+      done;
+      if !needed <> [] then begin
+        (* materialize the pending lazy diffs; the cost is charged as
+           request service time at each writer *)
+        List.iter
+          (fun q ->
+            let c = materialize sys ~writer:q ~page in
+            if c > 0.0 then begin
+              let cell =
+                match Hashtbl.find_opt mat_costs q with
+                | Some r -> r
+                | None ->
+                    let r = ref 0.0 in
+                    Hashtbl.replace mat_costs q r;
+                    r
+              in
+              cell := !cell +. c
+            end)
+          !needed;
+        (* supersede pruning: if the happens-latest candidate diff
+           overwrites the whole page, every older diff of the page is dead
+           data — fetch only from that writer (this is what kills the IS
+           diff-accumulation under READ&WRITE_ALL) *)
+        let chosen =
+          if
+            List.length !needed < 2
+            || not sys.cluster.Cluster.cfg.Config.enable_supersede
+          then !needed
+          else begin
+            let best = ref None in
+            List.iter
+              (fun q ->
+                match Diff_store.latest_vcsum sys.store ~writer:q ~page with
+                | Some v -> (
+                    match !best with
+                    | Some (_, bv) when bv >= v -> ()
+                    | _ -> best := Some (q, v))
+                | None -> ())
+              !needed;
+            match !best with
+            | Some (qstar, _)
+              when Diff_store.latest_full_page sys.store ~writer:qstar ~page
+                   <> None ->
+                List.iter
+                  (fun q ->
+                    if q <> qstar then begin
+                      m.applied.(q) <- m.known.(q);
+                      Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+                        ~seq:m.applied.(q)
+                    end)
+                  !needed;
+                [ qstar ]
+            | _ -> !needed
+          end
+        in
+        if debug then
+          Format.eprintf "[p%d] fetch page %d: needed=%s chosen=%s applied=%s known=%s@."
+            p page
+            (String.concat "," (List.map string_of_int !needed))
+            (String.concat "," (List.map string_of_int chosen))
+            (String.concat ","
+               (List.map (fun q -> Printf.sprintf "%d:%d" q m.applied.(q))
+                  !needed))
+            (String.concat ","
+               (List.map (fun q -> Printf.sprintf "%d:%d" q m.known.(q))
+                  !needed));
+        List.iter
+          (fun q ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt by_writer q) in
+            Hashtbl.replace by_writer q
+              ((page, m.applied.(q), m.known.(q)) :: prev))
+          chosen
+      end)
+    (List.sort_uniq compare pages);
+  (by_writer, mat_costs)
+
+(* Fetch and apply every missing diff for [pages], grouped by writer (the
+   communication-aggregation optimization uses a many-page [pages] list; the
+   base run-time calls this with a single page). *)
+let fetch_and_apply sys p pages ~mode ?only_via () =
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  let by_writer, mat_costs = gather_needs sys p pages ?only_via () in
+  let units_by_page : (int, Diff_store.unit_to_apply list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let applied_bytes = ref 0 in
+  Hashtbl.iter
+    (fun q reqs ->
+      let total_bytes = ref 0
+      and total_ndiffs = ref 0 in
+      let mat_cost =
+        match Hashtbl.find_opt mat_costs q with Some r -> r | None -> ref 0.0
+      in
+      List.iter
+        (fun (page, after, upto) ->
+          let r = Diff_store.fetch sys.store ~writer:q ~page ~after ~upto in
+          total_bytes := !total_bytes + r.Diff_store.charge_bytes;
+          total_ndiffs := !total_ndiffs + r.Diff_store.ndiffs;
+          let cell =
+            match Hashtbl.find_opt units_by_page page with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace units_by_page page l;
+                l
+          in
+          cell := r.Diff_store.units @ !cell;
+          let m = meta st ~nprocs:sys.nprocs page in
+          let high =
+            List.fold_left
+              (fun acc u -> max acc u.Diff_store.upto_seq)
+              upto r.Diff_store.units
+          in
+          m.applied.(q) <- max m.applied.(q) high;
+          Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+            ~seq:m.applied.(q))
+        reqs;
+      applied_bytes := !applied_bytes + !total_bytes;
+      pstats.Stats.diffs_applied <- pstats.Stats.diffs_applied + !total_ndiffs;
+      pstats.Stats.diff_bytes_applied <-
+        pstats.Stats.diff_bytes_applied + !total_bytes;
+      let resp_bytes = !total_bytes + (8 * !total_ndiffs) in
+      match mode with
+      | Rpc ->
+          Cluster.rpc sys.cluster ~src:p ~dst:q
+            ~req_bytes:(16 * List.length reqs)
+            ~resp_bytes
+            ~service:
+              (cfg.Config.diff_service_us +. !mat_cost
+              +. (2.0 *. float_of_int !total_ndiffs))
+      | Prepaid -> Cluster.charge sys.cluster q !mat_cost
+      | Piggyback at ->
+          Cluster.charge sys.cluster q !mat_cost;
+          if resp_bytes > 0 then begin
+            let qstats = sys.cluster.Cluster.stats.(q) in
+            qstats.Stats.messages <- qstats.Stats.messages + 1;
+            qstats.Stats.bytes <- qstats.Stats.bytes + resp_bytes;
+            (* sender-side cost, stolen from q's cpu *)
+            Cluster.charge sys.cluster q
+              (cfg.Config.msg_overhead_us
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes));
+            Cluster.sync_clock sys.cluster p
+              (at
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes)
+              +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us)
+          end)
+    by_writer;
+  (* Apply units page by page, in an order consistent with happens-before. *)
+  Hashtbl.iter
+    (fun page units ->
+      let pg = Page_table.get st.pt page in
+      let sorted =
+        List.sort
+          (fun a b -> compare a.Diff_store.order b.Diff_store.order)
+          !units
+      in
+      List.iter
+        (fun u ->
+          if debug then
+            Format.eprintf "[p%d] apply page %d: writer=%d order=%d upto=%d bytes=%d@."
+              p page u.Diff_store.writer u.Diff_store.order
+              u.Diff_store.upto_seq
+              (Diff.size_bytes u.Diff_store.payload);
+          Diff.apply u.Diff_store.payload pg.Page_table.data;
+          match pg.Page_table.twin with
+          | Some twin -> Diff.apply u.Diff_store.payload twin
+          | None -> ())
+        sorted)
+    units_by_page;
+  Cluster.charge sys.cluster p
+    (cfg.Config.diff_apply_per_byte_us *. float_of_int !applied_bytes)
+
+(* Make a page's copy consistent, consuming a pending asynchronous response
+   if one covers the page, and paying on-demand requests otherwise. *)
+let make_consistent sys p page =
+  let st = sys.states.(p) in
+  match Hashtbl.find_opt st.pending_async page with
+  | Some arrival ->
+      Hashtbl.remove st.pending_async page;
+      Cluster.sync_clock sys.cluster p arrival;
+      fetch_and_apply sys p [ page ] ~mode:Prepaid ()
+  | None -> fetch_and_apply sys p [ page ] ~mode:Rpc ()
+
+let in_dirty st page = List.mem page st.dirty
+
+(* {1 Access misses} *)
+
+let read_fault sys p page =
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  pstats.Stats.segv <- pstats.Stats.segv + 1;
+  Cluster.mm_op sys.cluster p ~npages:1;
+  make_consistent sys p page;
+  let pg = Page_table.get st.pt page in
+  pg.Page_table.prot <-
+    (if in_dirty st page then Page_table.Read_write else Page_table.Read_only)
+
+(* {1 Consistency-state actions of the augmented interface}
+
+   [apply_access_state] performs the protection/twin actions of Figure 3 of
+   the paper for a validated section, assuming any required data movement has
+   already happened. *)
+
+let record_write_all sys p ranges =
+  let st = sys.states.(p) in
+  List.iter
+    (fun page ->
+      let m = meta st ~nprocs:sys.nprocs page in
+      m.write_all <-
+        Range.union m.write_all
+          (Range.clip_to_page ~page_size:sys.page_size ~page ranges))
+    (Range.pages ~page_size:sys.page_size ranges)
+
+let apply_access_state sys p ~ranges ~access =
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pages = Range.pages ~page_size:sys.page_size ranges in
+  let enable ~twin =
+    let transitions = ref [] in
+    List.iter
+      (fun page ->
+        let pg = Page_table.get st.pt page in
+        if twin && pg.Page_table.twin = None then begin
+          Page_table.make_twin pg;
+          pstats.Stats.twins <- pstats.Stats.twins + 1;
+          Cluster.charge sys.cluster p
+            (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
+        end;
+        if pg.Page_table.prot <> Page_table.Read_write then begin
+          pg.Page_table.prot <- Page_table.Read_write;
+          transitions := page :: !transitions
+        end;
+        if not (in_dirty st page) then st.dirty <- page :: st.dirty)
+      pages;
+    if !transitions <> [] then protect_runs sys p !transitions
+  in
+  match access with
+  | Read ->
+      let transitions = ref [] in
+      List.iter
+        (fun page ->
+          let pg = Page_table.get st.pt page in
+          if pg.Page_table.prot = Page_table.No_access then begin
+            pg.Page_table.prot <- Page_table.Read_only;
+            transitions := page :: !transitions
+          end)
+        pages;
+      if !transitions <> [] then protect_runs sys p !transitions
+  | Write | Read_write -> enable ~twin:true
+  | Write_all | Read_write_all ->
+      record_write_all sys p ranges;
+      enable ~twin:false
+
+(* Asynchronous Fetch_diffs: send the requests now, continue computing; the
+   responses are consumed in the page-fault handler (Section 3.2.3). *)
+let async_fetch sys p pages =
+  let st = sys.states.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  (* skip pages with an outstanding asynchronous request: its response is
+     still in flight and will be consumed at the fault *)
+  let pages =
+    List.filter (fun page -> not (Hashtbl.mem st.pending_async page)) pages
+  in
+  let by_writer, mat_costs = gather_needs sys p pages () in
+  Hashtbl.iter
+    (fun q reqs ->
+      (* request message *)
+      let arrival_at_q =
+        Cluster.send sys.cluster ~src:p ~dst:q ~bytes:(16 * List.length reqs)
+      in
+      let mat_cost =
+        match Hashtbl.find_opt mat_costs q with Some r -> r | None -> ref 0.0
+      in
+      let resp_bytes, ndiffs =
+        List.fold_left
+          (fun (b, n) (page, after, upto) ->
+            let r = Diff_store.fetch sys.store ~writer:q ~page ~after ~upto in
+            (b + r.Diff_store.charge_bytes, n + r.Diff_store.ndiffs))
+          (0, 0) reqs
+      in
+      let service =
+        cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+        +. cfg.Config.diff_service_us +. !mat_cost
+        +. (2.0 *. float_of_int ndiffs)
+        +. cfg.Config.msg_overhead_us
+        +. (cfg.Config.per_byte_us *. float_of_int (resp_bytes + (8 * ndiffs)))
+      in
+      Cluster.charge sys.cluster q service;
+      let qstats = sys.cluster.Cluster.stats.(q) in
+      qstats.Stats.messages <- qstats.Stats.messages + 1;
+      qstats.Stats.bytes <- qstats.Stats.bytes + resp_bytes + (8 * ndiffs);
+      (* back-to-back requests serialize at the target's handler *)
+      let start =
+        Cluster.occupy sys.cluster q ~arrival:arrival_at_q
+          ~handler_time:service
+      in
+      let arrival = start +. service +. cfg.Config.wire_latency_us in
+      List.iter
+        (fun (page, _, _) ->
+          let prev =
+            Option.value ~default:0.0 (Hashtbl.find_opt st.pending_async page)
+          in
+          Hashtbl.replace st.pending_async page (Float.max prev arrival))
+        reqs)
+    by_writer
+
+let write_fault sys p page =
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  pstats.Stats.segv <- pstats.Stats.segv + 1;
+  Cluster.mm_op sys.cluster p ~npages:1;
+  let pg = Page_table.get st.pt page in
+  let m = meta st ~nprocs:sys.nprocs page in
+  if pg.Page_table.prot = Page_table.No_access then make_consistent sys p page;
+  if Range.is_empty m.write_all && pg.Page_table.twin = None then begin
+    Page_table.make_twin pg;
+    pstats.Stats.twins <- pstats.Stats.twins + 1;
+    Cluster.charge sys.cluster p
+      (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
+  end;
+  if not (in_dirty st page) then st.dirty <- page :: st.dirty;
+  pg.Page_table.prot <- Page_table.Read_write

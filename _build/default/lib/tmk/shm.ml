@@ -1,0 +1,131 @@
+(* Typed access to the simulated shared segment.
+
+   This is the load/store interface of the DSM: each access consults the
+   page protection bits and enters the protocol's fault handlers exactly
+   where a hardware MMU would deliver SIGSEGV. Elements are 4- or 8-byte
+   aligned, and the page size is a multiple of 8, so no element straddles a
+   page boundary. *)
+
+open Types
+module Page_table = Dsm_mem.Page_table
+module Section = Dsm_rsd.Section
+
+let[@inline] page_for_read t addr =
+  let st = state t in
+  let page = addr / t.sys.page_size in
+  let pg = Page_table.get st.pt page in
+  match pg.Page_table.prot with
+  | Page_table.No_access ->
+      Protocol.read_fault t.sys t.p page;
+      Page_table.get st.pt page
+  | Page_table.Read_only | Page_table.Read_write -> pg
+
+let[@inline] page_for_write t addr =
+  let st = state t in
+  let page = addr / t.sys.page_size in
+  let pg = Page_table.get st.pt page in
+  match pg.Page_table.prot with
+  | Page_table.Read_write -> pg
+  | Page_table.No_access | Page_table.Read_only ->
+      Protocol.write_fault t.sys t.p page;
+      Page_table.get st.pt page
+
+let get_f64 t addr =
+  let pg = page_for_read t addr in
+  Int64.float_of_bits
+    (Bytes.get_int64_le pg.Page_table.data (addr mod t.sys.page_size))
+
+let set_f64 t addr v =
+  let pg = page_for_write t addr in
+  Bytes.set_int64_le pg.Page_table.data
+    (addr mod t.sys.page_size)
+    (Int64.bits_of_float v)
+
+let get_i64 t addr =
+  let pg = page_for_read t addr in
+  Bytes.get_int64_le pg.Page_table.data (addr mod t.sys.page_size)
+  |> Int64.to_int
+
+let set_i64 t addr v =
+  let pg = page_for_write t addr in
+  Bytes.set_int64_le pg.Page_table.data
+    (addr mod t.sys.page_size)
+    (Int64.of_int v)
+
+let get_i32 t addr =
+  let pg = page_for_read t addr in
+  Bytes.get_int32_le pg.Page_table.data (addr mod t.sys.page_size)
+  |> Int32.to_int
+
+let set_i32 t addr v =
+  let pg = page_for_write t addr in
+  Bytes.set_int32_le pg.Page_table.data
+    (addr mod t.sys.page_size)
+    (Int32.of_int v)
+
+(* {1 Array views}
+
+   Thin wrappers computing byte addresses from indices (column-major, as in
+   the Fortran originals: the first index is contiguous). *)
+
+module F64_1 = struct
+  type t = Section.array_info
+
+  let[@inline] addr (a : t) i = a.Section.base + (8 * i)
+  let get tmk a i = get_f64 tmk (addr a i)
+  let set tmk a i v = set_f64 tmk (addr a i) v
+  let length (a : t) = a.Section.extents.(0)
+
+  let section (a : t) (lo, hi, st) =
+    Section.make a (Dsm_rsd.Rsd.make [ (lo, hi, st) ])
+end
+
+module F64_2 = struct
+  type t = Section.array_info
+
+  let[@inline] addr (a : t) i j =
+    a.Section.base + (8 * (i + (a.Section.extents.(0) * j)))
+
+  let get tmk a i j = get_f64 tmk (addr a i j)
+  let set tmk a i j v = set_f64 tmk (addr a i j) v
+
+  (* read-modify-write with a single page lookup *)
+  let rmw tmk a i j f =
+    let ad = addr a i j in
+    let pg = page_for_write tmk ad in
+    let off = ad mod tmk.sys.page_size in
+    let x = Int64.float_of_bits (Bytes.get_int64_le pg.Page_table.data off) in
+    Bytes.set_int64_le pg.Page_table.data off (Int64.bits_of_float (f x))
+  let dim0 (a : t) = a.Section.extents.(0)
+  let dim1 (a : t) = a.Section.extents.(1)
+
+  let section (a : t) (lo0, hi0, st0) (lo1, hi1, st1) =
+    Section.make a (Dsm_rsd.Rsd.make [ (lo0, hi0, st0); (lo1, hi1, st1) ])
+end
+
+module F64_3 = struct
+  type t = Section.array_info
+
+  let[@inline] addr (a : t) i j k =
+    let e = a.Section.extents in
+    a.Section.base + (8 * (i + (e.(0) * (j + (e.(1) * k)))))
+
+  let get tmk a i j k = get_f64 tmk (addr a i j k)
+  let set tmk a i j k v = set_f64 tmk (addr a i j k) v
+
+  let section (a : t) d0 d1 d2 =
+    let tr (lo, hi, st) = (lo, hi, st) in
+    Section.make a (Dsm_rsd.Rsd.make [ tr d0; tr d1; tr d2 ])
+end
+
+module I64_1 = struct
+  type t = Section.array_info
+
+  let[@inline] addr (a : t) i = a.Section.base + (8 * i)
+  let get tmk a i = get_i64 tmk (addr a i)
+  let set tmk a i v = set_i64 tmk (addr a i) v
+  let length (a : t) = a.Section.extents.(0)
+
+  let section (a : t) (lo, hi, st) =
+    Section.make a (Dsm_rsd.Rsd.make [ (lo, hi, st) ])
+end

@@ -1,0 +1,73 @@
+(** Typed access to the simulated shared segment: the DSM's load/store
+    interface.
+
+    Every access consults the page's protection bits and enters the
+    protocol's fault handlers exactly where a hardware MMU would deliver
+    SIGSEGV: a read of an invalid page triggers {!Protocol.read_fault}
+    (diff fetch), the first write to a write-protected page triggers
+    {!Protocol.write_fault} (twin creation, write detection). Elements are
+    4- or 8-byte aligned and never straddle a page boundary. *)
+
+val page_for_read : Types.t -> int -> Dsm_mem.Page_table.page
+val page_for_write : Types.t -> int -> Dsm_mem.Page_table.page
+
+val get_f64 : Types.t -> int -> float
+val set_f64 : Types.t -> int -> float -> unit
+val get_i64 : Types.t -> int -> int
+val set_i64 : Types.t -> int -> int -> unit
+val get_i32 : Types.t -> int -> int
+val set_i32 : Types.t -> int -> int -> unit
+
+(** 1-dimensional float array view. *)
+module F64_1 : sig
+  type t = Dsm_rsd.Section.array_info
+
+  val addr : t -> int -> int
+  val get : Types.t -> t -> int -> float
+  val set : Types.t -> t -> int -> float -> unit
+  val length : t -> int
+
+  val section : t -> int * int * int -> Dsm_rsd.Section.t
+  (** [(lo, hi, stride)], inclusive element indices. *)
+end
+
+(** 2-dimensional float array view; column-major (the first index is
+    contiguous, as in the paper's Fortran programs). *)
+module F64_2 : sig
+  type t = Dsm_rsd.Section.array_info
+
+  val addr : t -> int -> int -> int
+  val get : Types.t -> t -> int -> int -> float
+  val set : Types.t -> t -> int -> int -> float -> unit
+
+  val rmw : Types.t -> t -> int -> int -> (float -> float) -> unit
+  (** Read-modify-write with a single page lookup. *)
+
+  val dim0 : t -> int
+  val dim1 : t -> int
+  val section : t -> int * int * int -> int * int * int -> Dsm_rsd.Section.t
+end
+
+(** 3-dimensional float array view. *)
+module F64_3 : sig
+  type t = Dsm_rsd.Section.array_info
+
+  val addr : t -> int -> int -> int -> int
+  val get : Types.t -> t -> int -> int -> int -> float
+  val set : Types.t -> t -> int -> int -> int -> float -> unit
+
+  val section :
+    t -> int * int * int -> int * int * int -> int * int * int ->
+    Dsm_rsd.Section.t
+end
+
+(** 1-dimensional integer (boxed as 64-bit) array view. *)
+module I64_1 : sig
+  type t = Dsm_rsd.Section.array_info
+
+  val addr : t -> int -> int
+  val get : Types.t -> t -> int -> int
+  val set : Types.t -> t -> int -> int -> unit
+  val length : t -> int
+  val section : t -> int * int * int -> Dsm_rsd.Section.t
+end

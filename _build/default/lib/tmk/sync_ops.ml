@@ -1,0 +1,491 @@
+(* Barrier and lock operations.
+
+   Timing model (calibrated against Section 5 of the paper, see
+   {!Dsm_sim.Config}): a barrier costs the arrival messages to the master,
+   sequential processing of the n-1 arrivals, n-1 departure sends and the
+   return latency; a free remote lock costs a request/grant roundtrip plus
+   the manager's service time. Write notices travel on arrival/departure and
+   grant messages; piggy-backed section requests (Validate_w_sync) are
+   answered with diff messages sent at departure/grant time. *)
+
+open Types
+module Cluster = Dsm_sim.Cluster
+module Config = Dsm_sim.Config
+module Stats = Dsm_sim.Stats
+module Engine = Dsm_sim.Engine
+module Range = Dsm_rsd.Range
+
+let wsync_req_bytes sys reqs =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + (16 * List.length r.wr_ranges)
+      + (8 * List.length (Range.pages ~page_size:sys.page_size r.wr_ranges)))
+    0 reqs
+
+let wsync_req_pages sys reqs =
+  List.concat_map
+    (fun r -> Range.pages ~page_size:sys.page_size r.wr_ranges)
+    reqs
+  |> List.sort_uniq compare
+
+(* Number of write notices in my log newer than what I last shipped. *)
+let new_notice_count sys p =
+  let st = sys.states.(p) in
+  List.fold_left
+    (fun acc (seq, pages) ->
+      if seq > st.notices_sent_seq then acc + List.length pages else acc)
+    0 sys.logs.(p)
+
+(* {1 Barrier} *)
+
+(* Detect the broadcast opportunity: every requester asked for the same
+   ranges and a single processor holds all the new data for them. *)
+let detect_bcast sys ~epoch ~departure_clock entries =
+  if not sys.cluster.Cluster.cfg.Config.enable_bcast then None
+  else
+  match entries with
+  | [] | [ _ ] -> None
+  | (_, reqs0) :: _ -> (
+      let ranges0 =
+        match reqs0 with [ r ] -> Some r.wr_ranges | _ -> None
+      in
+      match ranges0 with
+      | None -> None
+      | Some ranges0 ->
+          let same =
+            List.for_all
+              (fun (_, reqs) ->
+                match reqs with
+                | [ r ] -> r.wr_ranges = ranges0
+                | _ -> false)
+              entries
+          in
+          if not same || List.length entries < sys.nprocs - 1 then None
+          else begin
+            let pages = Range.pages ~page_size:sys.page_size ranges0 in
+            let requesters = List.map fst entries in
+            (* candidate senders: processors whose write notices — already
+               received, or about to be distributed with this departure —
+               some requester has not applied yet for the requested pages *)
+            let pending_seq q page r =
+              (* newest interval of [q] touching [page] within the window
+                 the requester [r] is about to learn of *)
+              let upto = Vc.get sys.barrier.departure_vc q in
+              let lo = Vc.get sys.states.(r).vc q in
+              let best = ref 0 in
+              List.iter
+                (fun (seq, pgs) ->
+                  if seq > lo && seq <= upto && !best = 0 && List.mem page pgs
+                  then best := seq)
+                sys.logs.(q);
+              !best
+            in
+            let writers = ref [] in
+            List.iter
+              (fun (r, _) ->
+                List.iter
+                  (fun page ->
+                    let m =
+                      Protocol.meta sys.states.(r) ~nprocs:sys.nprocs page
+                    in
+                    for q = 0 to sys.nprocs - 1 do
+                      if
+                        q <> r
+                        && (m.applied.(q) < m.known.(q)
+                           || m.applied.(q) < pending_seq q page r)
+                        && not (List.mem q !writers)
+                      then writers := q :: !writers
+                    done)
+                  pages)
+              entries;
+            match !writers with
+            | [ q ] when not (List.mem q requesters) ->
+                let cfg = sys.cluster.Cluster.cfg in
+                (* the minimum applied watermark among the requesters
+                   determines how much history the broadcast must carry *)
+                let bytes =
+                  List.fold_left
+                    (fun acc page ->
+                      ignore (Protocol.materialize sys ~writer:q ~page);
+                      let after =
+                        List.fold_left
+                          (fun acc (r, _) ->
+                            let m =
+                              Protocol.meta sys.states.(r) ~nprocs:sys.nprocs
+                                page
+                            in
+                            min acc m.applied.(q))
+                          max_int entries
+                      in
+                      let f =
+                        Diff_store.fetch sys.store ~writer:q ~page ~after
+                          ~upto:max_int
+                      in
+                      acc + f.Diff_store.charge_bytes)
+                    0 pages
+                in
+                let per_hop =
+                  cfg.Config.msg_overhead_us
+                  +. (cfg.Config.per_byte_us *. float_of_int bytes)
+                  +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us
+                in
+                Some
+                  ( epoch,
+                    {
+                      bp_src = q;
+                      bp_pages = pages;
+                      bp_base = departure_clock;
+                      bp_per_hop = per_hop;
+                      bp_requesters = requesters;
+                      bp_bytes = bytes;
+                    } )
+            | _ -> None
+          end)
+
+(* Requester/responder processing of piggy-backed section requests, executed
+   by each processor right after barrier departure. *)
+let handle_wsync_at_barrier sys p ~epoch ~departure_clock ~my_reqs =
+  let b = sys.barrier in
+  let cfg = sys.cluster.Cluster.cfg in
+  let entries = Option.value ~default:[] (Hashtbl.find_opt b.wsync_tbl epoch) in
+  (* Responder side: every processor must match every other requester's
+     sections against its page list — the per-page overhead that makes
+     sync+data merging unprofitable for large page lists (Section 3.3). *)
+  List.iter
+    (fun (r, reqs) ->
+      if r <> p then
+        Cluster.charge sys.cluster p
+          (cfg.Config.wsync_scan_per_page_us
+          *. float_of_int (List.length (wsync_req_pages sys reqs))))
+    entries;
+  (* Broadcast source side. *)
+  (match b.bcast_plan with
+  | Some (e, plan) when e = epoch && plan.bp_src = p ->
+      let bytes = plan.bp_bytes in
+      let pstats = sys.cluster.Cluster.stats.(p) in
+      pstats.Stats.messages <- pstats.Stats.messages + (sys.nprocs - 1);
+      pstats.Stats.bytes <- pstats.Stats.bytes + (bytes * (sys.nprocs - 1));
+      pstats.Stats.broadcasts <- pstats.Stats.broadcasts + 1;
+      let hops =
+        if cfg.Config.bcast_log_tree then
+          int_of_float (ceil (log (float_of_int sys.nprocs) /. log 2.0))
+        else sys.nprocs - 1
+      in
+      Cluster.charge sys.cluster p
+        (float_of_int hops
+        *. (cfg.Config.msg_overhead_us
+           +. (cfg.Config.per_byte_us *. float_of_int bytes)))
+  | Some _ | None -> ());
+  (* Requester side: consume responses. The asynchronous variant does not
+     wait for the data messages: their arrival times are recorded and the
+     page-fault handler completes the work (Section 3.2.3 applies to
+     Validate_w_sync as well). *)
+  let st = sys.states.(p) in
+  List.iter
+    (fun req ->
+      let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
+      let bcast_for_me =
+        match b.bcast_plan with
+        | Some (e, plan)
+          when e = epoch
+               && List.mem p plan.bp_requesters
+               && List.for_all (fun pg -> List.mem pg plan.bp_pages) pages ->
+            Some plan
+        | Some _ | None -> None
+      in
+      match (req.wr_async, bcast_for_me) with
+      | true, Some plan ->
+          (* broadcast initiated at departure; don't wait for it *)
+          let pos =
+            let rec idx i = function
+              | [] -> 0
+              | r :: _ when r = p -> i
+              | _ :: tl -> idx (i + 1) tl
+            in
+            idx 0 plan.bp_requesters
+          in
+          let depth = ceil (log (float_of_int (pos + 2)) /. log 2.0) in
+          let arrival = plan.bp_base +. (depth *. plan.bp_per_hop) in
+          List.iter
+            (fun page ->
+              let prev =
+                Option.value ~default:0.0 (Hashtbl.find_opt st.pending_async page)
+              in
+              Hashtbl.replace st.pending_async page (Float.max prev arrival))
+            pages;
+          (match req.wr_access with
+          | Write_all | Read_write_all ->
+              Protocol.record_write_all sys p req.wr_ranges
+          | Read | Write | Read_write -> ())
+      | true, None -> begin
+        (* one transfer per responding writer arriving after the departure;
+           leave the pages invalid for the faults to consume *)
+        let by_writer, _ = Protocol.gather_needs sys p pages () in
+        Hashtbl.iter
+          (fun q reqs ->
+            let bytes =
+              List.fold_left
+                (fun acc (page, after, upto) ->
+                  let f = Diff_store.fetch sys.store ~writer:q ~page ~after ~upto in
+                  acc + f.Diff_store.charge_bytes)
+                0 reqs
+            in
+            if bytes > 0 then begin
+              let qstats = sys.cluster.Cluster.stats.(q) in
+              qstats.Stats.messages <- qstats.Stats.messages + 1;
+              qstats.Stats.bytes <- qstats.Stats.bytes + bytes;
+              Cluster.charge sys.cluster q
+                (cfg.Config.msg_overhead_us
+                +. (cfg.Config.per_byte_us *. float_of_int bytes));
+              let arrival =
+                departure_clock
+                +. (cfg.Config.per_byte_us *. float_of_int bytes)
+                +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us
+              in
+              List.iter
+                (fun (page, _, _) ->
+                  let prev =
+                    Option.value ~default:0.0
+                      (Hashtbl.find_opt st.pending_async page)
+                  in
+                  Hashtbl.replace st.pending_async page (Float.max prev arrival))
+                reqs
+            end)
+          by_writer;
+        match req.wr_access with
+        | Write_all | Read_write_all ->
+            Protocol.record_write_all sys p req.wr_ranges
+        | Read | Write | Read_write -> ()
+      end
+      | false, Some plan ->
+          (* arrival depends on the receiver's depth in the binomial tree *)
+          let pos =
+            let rec idx i = function
+              | [] -> 0
+              | r :: _ when r = p -> i
+              | _ :: tl -> idx (i + 1) tl
+            in
+            idx 0 plan.bp_requesters
+          in
+          let depth = ceil (log (float_of_int (pos + 2)) /. log 2.0) in
+          Cluster.sync_clock sys.cluster p
+            (plan.bp_base +. (depth *. plan.bp_per_hop));
+          Protocol.fetch_and_apply sys p pages ~mode:Protocol.Prepaid ();
+          Protocol.apply_access_state sys p ~ranges:req.wr_ranges
+            ~access:req.wr_access
+      | false, None ->
+          Protocol.fetch_and_apply sys p pages
+            ~mode:(Protocol.Piggyback departure_clock) ();
+          Protocol.apply_access_state sys p ~ranges:req.wr_ranges
+            ~access:req.wr_access)
+    my_reqs
+
+let barrier t =
+  let sys = t.sys
+  and p = t.p in
+  let st = state t in
+  let b = sys.barrier in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  pstats.Stats.barriers <- pstats.Stats.barriers + 1;
+  ignore (Protocol.release sys p);
+  let my_epoch = st.barrier_epoch in
+  st.barrier_epoch <- my_epoch + 1;
+  let my_reqs = st.pending_wsync in
+  st.pending_wsync <- [];
+  if my_reqs <> [] then begin
+    let prev = Option.value ~default:[] (Hashtbl.find_opt b.wsync_tbl my_epoch) in
+    Hashtbl.replace b.wsync_tbl my_epoch ((p, my_reqs) :: prev)
+  end;
+  let nbytes =
+    (cfg.Config.notice_bytes * new_notice_count sys p)
+    + wsync_req_bytes sys my_reqs
+  in
+  st.notices_sent_seq <- Vc.get st.vc p;
+  if p <> 0 then ignore (Cluster.send sys.cluster ~src:p ~dst:0 ~bytes:nbytes);
+  b.arrival_clock.(p) <- Cluster.time sys.cluster p;
+  b.arrived <- b.arrived + 1;
+  if b.arrived = sys.nprocs then begin
+    (* Last arriver performs the master's merge on its behalf. *)
+    let alpha = cfg.Config.wire_latency_us
+    and o = cfg.Config.msg_overhead_us
+    and i = cfg.Config.interrupt_us in
+    let latest = ref b.arrival_clock.(0) in
+    for q = 1 to sys.nprocs - 1 do
+      let at_master = b.arrival_clock.(q) +. alpha in
+      if at_master > !latest then latest := at_master
+    done;
+    let n1 = float_of_int (sys.nprocs - 1) in
+    let ready = !latest +. (n1 *. (i +. o)) in
+    let dep_send = ready +. (n1 *. o) in
+    b.master_resume_clock <- dep_send;
+    b.departure_clock <- dep_send +. alpha +. o;
+    (* Master's departure messages redistribute all new notices. *)
+    let total_new =
+      let sum = ref 0 in
+      for q = 0 to sys.nprocs - 1 do
+        sum := !sum + new_notice_count sys q
+      done;
+      !sum
+    in
+    let mstats = sys.cluster.Cluster.stats.(0) in
+    mstats.Stats.messages <- mstats.Stats.messages + (sys.nprocs - 1);
+    mstats.Stats.bytes <-
+      mstats.Stats.bytes
+      + ((sys.nprocs - 1) * cfg.Config.notice_bytes * total_new);
+    let dvc = Vc.create sys.nprocs in
+    Array.iter (fun stq -> Vc.merge dvc stq.vc) sys.states;
+    b.departure_vc <- dvc;
+    b.bcast_plan <-
+      detect_bcast sys ~epoch:my_epoch ~departure_clock:b.departure_clock
+        (Option.value ~default:[] (Hashtbl.find_opt b.wsync_tbl my_epoch));
+    b.epoch <- b.epoch + 1;
+    b.arrived <- 0
+  end;
+  Engine.block ~until:(fun () -> b.epoch > my_epoch);
+  if p = 0 then Cluster.sync_clock sys.cluster 0 b.master_resume_clock
+  else Cluster.sync_clock sys.cluster p b.departure_clock;
+  ignore (Protocol.pull_notices sys p ~upto:b.departure_vc);
+  (* restore full consistency for pages only partially covered by pushes:
+     roll the applied watermark back so the next access refetches the whole
+     modification set *)
+  let rolled = ref [] in
+  List.iter
+    (fun (page, writer, seq) ->
+      let m = Protocol.meta st ~nprocs:sys.nprocs page in
+      if m.applied.(writer) = seq then begin
+        m.applied.(writer) <- seq - 1;
+        let pg = Dsm_mem.Page_table.get st.pt page in
+        if pg.Dsm_mem.Page_table.prot <> Dsm_mem.Page_table.No_access then begin
+          pg.Dsm_mem.Page_table.prot <- Dsm_mem.Page_table.No_access;
+          rolled := page :: !rolled
+        end
+      end)
+    st.partial_push;
+  st.partial_push <- [];
+  if !rolled <> [] then Protocol.protect_runs sys p !rolled;
+  handle_wsync_at_barrier sys p ~epoch:my_epoch
+    ~departure_clock:b.departure_clock ~my_reqs
+
+(* {1 Locks} *)
+
+let get_lock sys lid =
+  match Hashtbl.find_opt sys.locks lid with
+  | Some lk -> lk
+  | None ->
+      let lk =
+        {
+          lid;
+          held_by = None;
+          last_releaser = lid mod sys.nprocs;
+          release_clock = 0.0;
+          release_vc = None;
+          pending = [];
+          granted = None;
+          grant_clock = 0.0;
+        }
+      in
+      Hashtbl.replace sys.locks lid lk;
+      lk
+
+let lock_acquire t lid =
+  let sys = t.sys
+  and p = t.p in
+  let st = state t in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  pstats.Stats.lock_acquires <- pstats.Stats.lock_acquires + 1;
+  let lk = get_lock sys lid in
+  let my_reqs = st.pending_wsync in
+  st.pending_wsync <- [];
+  let req_bytes = 16 + wsync_req_bytes sys my_reqs in
+  let manager = lid mod sys.nprocs in
+  let arrival = Cluster.send sys.cluster ~src:p ~dst:manager ~bytes:req_bytes in
+  let arrival =
+    if manager <> lk.last_releaser && manager <> p then begin
+      (* the manager forwards the request to the current owner *)
+      let mstats = sys.cluster.Cluster.stats.(manager) in
+      mstats.Stats.messages <- mstats.Stats.messages + 1;
+      mstats.Stats.bytes <- mstats.Stats.bytes + req_bytes;
+      Cluster.charge sys.cluster manager
+        (cfg.Config.interrupt_us +. (2.0 *. cfg.Config.msg_overhead_us));
+      arrival
+      +. cfg.Config.interrupt_us
+      +. (2.0 *. cfg.Config.msg_overhead_us)
+      +. cfg.Config.wire_latency_us
+    end
+    else arrival
+  in
+  if lk.held_by = None && lk.granted = None && lk.pending = [] then begin
+    lk.granted <- Some p;
+    lk.grant_clock <- Float.max arrival lk.release_clock
+  end
+  else lk.pending <- lk.pending @ [ (p, arrival) ];
+  Engine.block ~until:(fun () -> lk.granted = Some p);
+  lk.granted <- None;
+  lk.held_by <- Some p;
+  let grantor = lk.last_releaser in
+  let grant_ready =
+    lk.grant_clock +. cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+    +. cfg.Config.lock_service_us
+  in
+  if grantor <> p then begin
+    (* grant handling steals cycles from the grantor *)
+    Cluster.charge sys.cluster grantor
+      (cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+     +. cfg.Config.lock_service_us);
+    let gstats = sys.cluster.Cluster.stats.(grantor) in
+    gstats.Stats.messages <- gstats.Stats.messages + 1;
+    Cluster.sync_clock sys.cluster p
+      (grant_ready +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us);
+    let upto = match lk.release_vc with Some v -> v | None -> st.vc in
+    let ncount = Protocol.pull_notices sys p ~upto in
+    let grant_bytes = 16 + (cfg.Config.notice_bytes * ncount) in
+    gstats.Stats.bytes <- gstats.Stats.bytes + grant_bytes;
+    Cluster.charge sys.cluster p
+      (cfg.Config.per_byte_us *. float_of_int grant_bytes)
+  end
+  else
+    (* re-acquiring a lock this processor released last: local grant *)
+    Cluster.sync_clock sys.cluster p grant_ready;
+  (* piggy-backed section requests are answered on the grant message with
+     the diffs the grantor holds locally *)
+  List.iter
+    (fun req ->
+      let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
+      if grantor <> p then begin
+        Cluster.charge sys.cluster grantor
+          (cfg.Config.wsync_scan_per_page_us
+          *. float_of_int (List.length pages));
+        Protocol.fetch_and_apply sys p pages
+          ~mode:(Protocol.Piggyback grant_ready) ~only_via:grantor ()
+      end;
+      Protocol.apply_access_state sys p ~ranges:req.wr_ranges
+        ~access:req.wr_access)
+    my_reqs
+
+let lock_release t lid =
+  let sys = t.sys
+  and p = t.p in
+  let lk = get_lock sys lid in
+  if lk.held_by <> Some p then invalid_arg "lock_release: not the holder";
+  ignore (Protocol.release sys p);
+  lk.release_clock <- Cluster.time sys.cluster p;
+  lk.release_vc <- Some (Vc.copy (state t).vc);
+  lk.last_releaser <- p;
+  lk.held_by <- None;
+  match lk.pending with
+  | [] -> ()
+  | pending ->
+      let (next, arr), rest =
+        List.fold_left
+          (fun ((bp, ba), rest) (q, a) ->
+            if a < ba then ((q, a), (bp, ba) :: rest)
+            else ((bp, ba), (q, a) :: rest))
+          (List.hd pending, [])
+          (List.tl pending)
+      in
+      lk.pending <- List.rev rest;
+      lk.granted <- Some next;
+      lk.grant_clock <- Float.max arr lk.release_clock

@@ -1,0 +1,113 @@
+type system = Types.system
+type t = Types.t
+
+type access = Types.access =
+  | Read
+  | Write
+  | Read_write
+  | Write_all
+  | Read_write_all
+
+module Cluster = Dsm_sim.Cluster
+module Config = Dsm_sim.Config
+module Engine = Dsm_sim.Engine
+
+let make cfg =
+  let nprocs = cfg.Config.nprocs in
+  let cluster = Cluster.create cfg in
+  {
+    Types.cluster;
+    space = Dsm_mem.Addr_space.create ~page_size:cfg.Config.page_size;
+    store = Diff_store.create ~nprocs ~page_size:cfg.Config.page_size;
+    states =
+      Array.init nprocs (fun p ->
+          {
+            Types.me = p;
+            pt = Dsm_mem.Page_table.create ~page_size:cfg.Config.page_size;
+            vc = Vc.create nprocs;
+            dirty = [];
+            meta = Hashtbl.create 256;
+            pending_async = Hashtbl.create 64;
+            pending_wsync = [];
+            barrier_epoch = 0;
+            notices_sent_seq = 0;
+            partial_push = [];
+          });
+    logs = Array.make nprocs [];
+    locks = Hashtbl.create 16;
+    barrier =
+      {
+        Types.epoch = 0;
+        arrived = 0;
+        arrival_clock = Array.make nprocs 0.0;
+        departure_clock = 0.0;
+        master_resume_clock = 0.0;
+        departure_vc = Vc.create nprocs;
+        wsync_tbl = Hashtbl.create 64;
+        bcast_plan = None;
+      };
+    pushbox = Hashtbl.create 64;
+    page_size = cfg.Config.page_size;
+    nprocs;
+  }
+
+let run sys main =
+  (* every program ends with an exit barrier, as in TreadMarks: it restores
+     full consistency after any trailing Push phases *)
+  Engine.run ~nprocs:sys.Types.nprocs (fun p ->
+      let t = { Types.sys; p } in
+      main t;
+      Sync_ops.barrier t)
+
+let update_pages_in_use sys =
+  sys.Types.cluster.Cluster.pages_in_use <-
+    Dsm_mem.Addr_space.n_pages sys.Types.space
+
+let alloc_f64_1 sys name n =
+  let a =
+    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8 [| n |]
+  in
+  update_pages_in_use sys;
+  a
+
+let alloc_f64_2 sys name n0 n1 =
+  let a =
+    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
+      [| n0; n1 |]
+  in
+  update_pages_in_use sys;
+  a
+
+let alloc_f64_3 sys name n0 n1 n2 =
+  let a =
+    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
+      [| n0; n1; n2 |]
+  in
+  update_pages_in_use sys;
+  a
+
+let alloc_i64_1 sys name n =
+  let a =
+    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8 [| n |]
+  in
+  update_pages_in_use sys;
+  a
+
+let pid (t : t) = t.Types.p
+let nprocs (t : t) = t.Types.sys.Types.nprocs
+let charge (t : t) us = Cluster.charge t.Types.sys.Types.cluster t.Types.p us
+let barrier = Sync_ops.barrier
+let lock_acquire = Sync_ops.lock_acquire
+let lock_release = Sync_ops.lock_release
+let validate = Validate.validate
+let validate_w_sync = Validate.validate_w_sync
+let push = Validate.push
+let elapsed sys = Cluster.elapsed sys.Types.cluster
+let time (t : t) = Cluster.time t.Types.sys.Types.cluster t.Types.p
+let stats sys = sys.Types.cluster.Cluster.stats
+let total_stats sys = Dsm_sim.Stats.total (stats sys)
+let cluster sys = sys.Types.cluster
+
+module Shm = Shm
+module Section = Dsm_rsd.Section
+module Rsd = Dsm_rsd.Rsd

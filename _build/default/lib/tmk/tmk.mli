@@ -1,0 +1,91 @@
+(** TreadMarks-style lazy-release-consistency software DSM, with the
+    augmented compiler interface of the paper (Validate, Validate_w_sync,
+    Push).
+
+    Typical use:
+    {[
+      let sys = Tmk.make (Dsm_sim.Config.default) in
+      let b = Tmk.alloc_f64_2 sys "b" rows cols in
+      Tmk.run sys (fun t ->
+          let p = Tmk.pid t in
+          ...
+          Tmk.Shm.F64_2.set t b i j v;
+          Tmk.barrier t);
+      Format.printf "parallel time: %.0f us@." (Tmk.elapsed sys)
+    ]} *)
+
+type system = Types.system
+type t = Types.t
+(** Per-processor handle, passed to the program run on each processor. *)
+
+type access = Types.access =
+  | Read
+  | Write
+  | Read_write
+  | Write_all
+  | Read_write_all
+      (** Access types of the augmented interface (Figure 3 of the paper).
+          The first three preserve consistency; the [_all] types disable it
+          and require exact compiler analysis. *)
+
+val make : Dsm_sim.Config.t -> system
+
+val run : system -> (t -> unit) -> unit
+(** Execute the program on every simulated processor. *)
+
+(** {1 Allocation} (before {!run}) *)
+
+val alloc_f64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
+val alloc_f64_2 : system -> string -> int -> int -> Dsm_rsd.Section.array_info
+val alloc_f64_3 :
+  system -> string -> int -> int -> int -> Dsm_rsd.Section.array_info
+val alloc_i64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
+
+(** {1 Per-processor operations} *)
+
+val pid : t -> int
+val nprocs : t -> int
+
+val charge : t -> float -> unit
+(** Account [us] microseconds of local computation. *)
+
+val barrier : t -> unit
+val lock_acquire : t -> int -> unit
+val lock_release : t -> int -> unit
+
+val validate :
+  t -> ?async:bool -> Dsm_rsd.Section.t list -> access -> unit
+(** Inform the run-time of upcoming accesses: fetches and applies the
+    missing diffs for the sections (aggregated, one request per writer) and
+    sets protections per the access type. [async] sends the fetch requests
+    and lets the page-fault handler complete the work (Section 3.2.3). *)
+
+val validate_w_sync :
+  t -> ?async:bool -> Dsm_rsd.Section.t list -> access -> unit
+(** Like {!validate}, but piggy-backs the diff request on the next
+    synchronization operation (lock acquire or barrier). *)
+
+val push :
+  t ->
+  read_sections:Dsm_rsd.Section.t list array ->
+  write_sections:Dsm_rsd.Section.t list array ->
+  unit
+(** Replace a barrier: point-to-point exchange of
+    [w_section(me) inter r_section(i)] (Figure 3). Synchronous only, as in
+    the paper's implementation. *)
+
+(** {1 Results} *)
+
+val elapsed : system -> float
+(** Parallel execution time so far (max over processor clocks), us. *)
+
+val time : t -> float
+val stats : system -> Dsm_sim.Stats.t array
+val total_stats : system -> Dsm_sim.Stats.t
+val cluster : system -> Dsm_sim.Cluster.t
+
+(** {1 Raw shared-memory access} *)
+
+module Shm = Shm
+module Section = Dsm_rsd.Section
+module Rsd = Dsm_rsd.Rsd

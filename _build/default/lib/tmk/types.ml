@@ -1,0 +1,126 @@
+(* Shared record types of the TreadMarks run-time. Kept in one module so
+   that the protocol, synchronization, and augmented-interface modules can
+   share them without circular dependencies; the operations live in
+   {!Protocol}, {!Sync_ops} and {!Validate}. *)
+
+(* Access types of the augmented interface (Figure 3 of the paper). *)
+type access =
+  | Read
+  | Write
+  | Read_write
+  | Write_all  (** entire section written before read: consistency disabled *)
+  | Read_write_all
+      (** entire section written, but partly read first: fetch, no twins *)
+
+let access_to_string = function
+  | Read -> "READ"
+  | Write -> "WRITE"
+  | Read_write -> "READ&WRITE"
+  | Write_all -> "WRITE_ALL"
+  | Read_write_all -> "READ&WRITE_ALL"
+
+(* Per-page protocol metadata of one processor. *)
+type page_meta = {
+  applied : int array;  (* per-writer interval seq applied into my copy *)
+  known : int array;  (* per-writer highest interval seq noticed *)
+  mutable write_all : Dsm_rsd.Range.t;
+      (* byte ranges (absolute) validated WRITE_ALL; sticky until the page's
+         diff is materialized *)
+  mutable lazy_hi : int;
+      (* highest released interval seq whose modifications to this page have
+         not been materialized as a diff yet (lazy diffing); 0 = none *)
+  mutable lazy_vcsum : int;
+      (* vector-clock sum at that release: the happens-before order stamp the
+         materialized diff must carry (materialization happens much later) *)
+}
+
+(* Per-processor run-time state. *)
+type pstate = {
+  me : int;
+  pt : Dsm_mem.Page_table.t;
+  vc : Vc.t;
+  mutable dirty : int list;  (* pages write-enabled in the current interval *)
+  meta : (int, page_meta) Hashtbl.t;
+  pending_async : (int, float) Hashtbl.t;  (* page -> response arrival time *)
+  mutable pending_wsync : wsync_req list;
+  mutable barrier_epoch : int;
+  mutable notices_sent_seq : int;
+      (* my highest interval seq already shipped on a barrier arrival;
+         arrival-message sizes count only notices newer than this *)
+  mutable partial_push : (int * int * int) list;
+      (* (page, writer, seq) for push data that only partially covered the
+         page: the next barrier rolls the applied watermark back so that the
+         whole page becomes consistent again ("the run-time system ensures
+         that ... all data is made consistent ... after that global
+         synchronization", Section 3.1.2) *)
+}
+
+and wsync_req = {
+  wr_ranges : Dsm_rsd.Range.t;
+  wr_access : access;
+  wr_async : bool;
+}
+
+type lock = {
+  lid : int;
+  mutable held_by : int option;
+  mutable last_releaser : int;
+  mutable release_clock : float;
+  mutable release_vc : Vc.t option;  (* None until first release *)
+  mutable pending : (int * float) list;  (* (pid, request arrival time) *)
+  mutable granted : int option;
+  mutable grant_clock : float;
+}
+
+(* Decision, made at barrier departure, to broadcast data instead of sending
+   per-requester responses (Section 3.2.1: "Fetch_diffs_w_sync uses broadcast
+   if the processor can determine that it sends the same data to all other
+   processors"). *)
+type bcast_plan = {
+  bp_src : int;
+  bp_pages : int list;
+  bp_base : float;  (* broadcast start time (barrier departure) *)
+  bp_per_hop : float;  (* one tree-hop transfer time *)
+  bp_requesters : int list;
+  bp_bytes : int;
+}
+
+type barrier = {
+  mutable epoch : int;
+  mutable arrived : int;
+  arrival_clock : float array;  (* per proc, at arrival-send completion *)
+  mutable departure_clock : float;  (* resume clock for non-master procs *)
+  mutable master_resume_clock : float;
+  mutable departure_vc : Vc.t;  (* pointwise max of all vcs at departure *)
+  wsync_tbl : (int, (int * wsync_req list) list) Hashtbl.t;
+      (* epoch -> requests piggy-backed on arrival messages, per requester *)
+  mutable bcast_plan : (int * bcast_plan) option;  (* (epoch, plan) *)
+}
+
+type push_msg = {
+  pm_arrival : float;
+  pm_payload : (int * Bytes.t) list;  (* (absolute address, bytes) runs *)
+  pm_seq : int;  (* sender's interval seq covering the pushed writes *)
+  pm_notices : (int * int list) list;  (* sender's new (seq, pages) *)
+  pm_vc : Vc.t;
+}
+
+type system = {
+  cluster : Dsm_sim.Cluster.t;
+  space : Dsm_mem.Addr_space.t;
+  store : Diff_store.t;
+  states : pstate array;
+  logs : (int * int list) list array;  (* per proc: (seq, pages), newest first *)
+  locks : (int, lock) Hashtbl.t;
+  barrier : barrier;
+  pushbox : (int * int, push_msg) Hashtbl.t;  (* (src, dst) *)
+  page_size : int;
+  nprocs : int;
+}
+
+(* Per-processor handle passed to application code. *)
+type t = { sys : system; p : int }
+
+let state t = t.sys.states.(t.p)
+let cfg t = t.sys.cluster.Dsm_sim.Cluster.cfg
+let stats t = t.sys.cluster.Dsm_sim.Cluster.stats.(t.p)

@@ -1,0 +1,185 @@
+(* The augmented run-time interface of Section 3 of the paper: [Validate],
+   [Validate_w_sync] and [Push]. *)
+
+open Types
+module Cluster = Dsm_sim.Cluster
+module Config = Dsm_sim.Config
+module Stats = Dsm_sim.Stats
+module Engine = Dsm_sim.Engine
+module Range = Dsm_rsd.Range
+module Section = Dsm_rsd.Section
+module Page_table = Dsm_mem.Page_table
+
+let ranges_of_sections sections =
+  List.fold_left
+    (fun acc s -> Range.union acc (Section.ranges s))
+    Range.empty sections
+
+(* Validate(section, access_type), Figure 3. The synchronous version fetches
+   and applies diffs before returning; the asynchronous version only sends
+   the fetch requests — the page-fault handler completes the work at the
+   first access (Section 3.2.3). *)
+let validate t ?(async = false) sections access =
+  let sys = t.sys
+  and p = t.p in
+  let pstats = stats t in
+  pstats.Stats.validates <- pstats.Stats.validates + 1;
+  let ranges = ranges_of_sections sections in
+  let pages = Range.pages ~page_size:sys.page_size ranges in
+  match access with
+  | Read | Write | Read_write ->
+      if async then Protocol.async_fetch sys p pages
+      else begin
+        Protocol.fetch_and_apply sys p pages ~mode:Protocol.Rpc ();
+        Protocol.apply_access_state sys p ~ranges ~access
+      end
+  | Write_all ->
+      (* no data movement: consistency deliberately bypassed *)
+      Protocol.apply_access_state sys p ~ranges ~access
+  | Read_write_all ->
+      if async then begin
+        Protocol.async_fetch sys p pages;
+        (* record now so the fault handler skips twin creation *)
+        Protocol.record_write_all sys p ranges
+      end
+      else begin
+        Protocol.fetch_and_apply sys p pages ~mode:Protocol.Rpc ();
+        Protocol.apply_access_state sys p ~ranges ~access
+      end
+
+(* Validate_w_sync: identical to Validate, but the request for diffs is
+   piggy-backed on the next synchronization operation (lock acquire or
+   barrier), where it is answered with the diffs the releaser (or the other
+   processors) hold locally. *)
+let validate_w_sync t ?(async = false) sections access =
+  let st = state t in
+  let pstats = stats t in
+  pstats.Stats.validates <- pstats.Stats.validates + 1;
+  st.pending_wsync <-
+    st.pending_wsync
+    @ [ { wr_ranges = ranges_of_sections sections; wr_access = access; wr_async = async } ]
+
+(* Push(r_section[0..N-1], w_section[0..N-1]), Figure 3: replaces a barrier
+   with point-to-point exchanges of exactly the data written before and read
+   after. Data is received in place, not as diffs. Only the pushed sections
+   are made consistent; full consistency is restored at the next barrier. *)
+let push t ~read_sections ~write_sections =
+  let sys = t.sys
+  and p = t.p in
+  let st = state t in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = stats t in
+  pstats.Stats.pushes <- pstats.Stats.pushes + 1;
+  let entry = Protocol.release sys p in
+  let my_seq = Vc.get st.vc p in
+  let my_writes = ranges_of_sections write_sections.(p) in
+  (* send phase *)
+  for i = 0 to sys.nprocs - 1 do
+    if i <> p then begin
+      let inter = Range.inter (ranges_of_sections read_sections.(i)) my_writes in
+      if not (Range.is_empty inter) then begin
+        (* collect payload from my own copy *)
+        let payload = ref [] in
+        Range.iter inter (fun ~lo ~hi ->
+            let buf = Bytes.create (hi - lo) in
+            let pos = ref lo in
+            while !pos < hi do
+              let page = !pos / sys.page_size in
+              let off = !pos mod sys.page_size in
+              let len = min (hi - !pos) (sys.page_size - off) in
+              let pg = Page_table.get st.pt page in
+              Bytes.blit pg.Page_table.data off buf (!pos - lo) len;
+              pos := !pos + len
+            done;
+            payload := (lo, buf) :: !payload);
+        (* back-pressure: at most one in-flight push per (src, dst) pair *)
+        Engine.block ~until:(fun () -> not (Hashtbl.mem sys.pushbox (p, i)));
+        let bytes = Range.size inter + 32 in
+        let arrival = Cluster.send sys.cluster ~src:p ~dst:i ~bytes in
+        Hashtbl.replace sys.pushbox (p, i)
+          {
+            pm_arrival = arrival;
+            pm_payload = List.rev !payload;
+            pm_seq = my_seq;
+            pm_notices = (match entry with Some e -> [ e ] | None -> []);
+            pm_vc = Vc.copy st.vc;
+          }
+      end
+    end
+  done;
+  (* receive phase *)
+  let my_reads = ranges_of_sections read_sections.(p) in
+  for i = 0 to sys.nprocs - 1 do
+    if i <> p then begin
+      let expect =
+        Range.inter (ranges_of_sections write_sections.(i)) my_reads
+      in
+      if not (Range.is_empty expect) then begin
+        Engine.block ~until:(fun () -> Hashtbl.mem sys.pushbox (i, p));
+        let msg = Hashtbl.find sys.pushbox (i, p) in
+        Hashtbl.remove sys.pushbox (i, p);
+        Cluster.recv_charge sys.cluster ~dst:p ~arrival:msg.pm_arrival
+          ~interrupt:true;
+        (* overlay the pushed data in place *)
+        let pushed_ranges = ref Range.empty in
+        let total = ref 0 in
+        List.iter
+          (fun (lo, buf) ->
+            let hi = lo + Bytes.length buf in
+            total := !total + (hi - lo);
+            pushed_ranges := Range.union !pushed_ranges (Range.of_interval lo hi);
+            let pos = ref lo in
+            while !pos < hi do
+              let page = !pos / sys.page_size in
+              let off = !pos mod sys.page_size in
+              let len = min (hi - !pos) (sys.page_size - off) in
+              let pg = Page_table.get st.pt page in
+              Bytes.blit buf (!pos - lo) pg.Page_table.data off len;
+              (match pg.Page_table.twin with
+              | Some twin -> Bytes.blit buf (!pos - lo) twin off len
+              | None -> ());
+              pos := !pos + len
+            done)
+          msg.pm_payload;
+        Cluster.charge sys.cluster p
+          (cfg.Config.diff_apply_per_byte_us *. float_of_int !total);
+        (* The pushed interval counts as received in place for every page it
+           touched — even partially covered ones: the compiler guarantees
+           the program does not read the regions left inconsistent, and the
+           next global synchronization restores full consistency for
+           everything else (the sender's write notices still travel with the
+           barrier, but find [applied = known] for these pages). *)
+        let revalidated = ref [] in
+        List.iter
+          (fun page ->
+            let m = Protocol.meta st ~nprocs:sys.nprocs page in
+            if msg.pm_seq > m.applied.(i) then begin
+              m.applied.(i) <- msg.pm_seq;
+              if msg.pm_seq > m.known.(i) then m.known.(i) <- msg.pm_seq;
+              Diff_store.note_applied sys.store ~writer:i ~page ~by:p
+                ~seq:msg.pm_seq;
+              if
+                not
+                  (Range.covers !pushed_ranges ~lo:(page * sys.page_size)
+                     ~hi:((page + 1) * sys.page_size))
+              then
+                (* the rest of the page stays inconsistent until the next
+                   global synchronization rolls this watermark back *)
+                st.partial_push <- (page, i, msg.pm_seq) :: st.partial_push
+            end;
+            let pg = Page_table.get st.pt page in
+            if pg.Page_table.prot = Page_table.No_access then begin
+              let stale = ref false in
+              for q = 0 to sys.nprocs - 1 do
+                if q <> p && m.known.(q) > m.applied.(q) then stale := true
+              done;
+              if not !stale then begin
+                pg.Page_table.prot <- Page_table.Read_only;
+                revalidated := page :: !revalidated
+              end
+            end)
+          (Range.pages ~page_size:sys.page_size !pushed_ranges);
+        if !revalidated <> [] then Protocol.protect_runs sys p !revalidated
+      end
+    end
+  done

@@ -1,0 +1,24 @@
+type t = int array
+
+let create n = Array.make n 0
+let copy = Array.copy
+let get v q = v.(q)
+let set v q x = v.(q) <- x
+
+let merge dst src =
+  Array.iteri (fun i x -> if x > dst.(i) then dst.(i) <- x) src
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let dominates a b = leq b a
+let sum = Array.fold_left ( + ) 0
+
+let pp ppf v =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_seq v)

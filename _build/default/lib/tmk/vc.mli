@@ -1,0 +1,28 @@
+(** Vector timestamps (reference [17] of the paper, Keleher et al.).
+
+    [v.(q)] is the sequence number of the most recent interval of processor
+    [q] whose write notices the owner of the clock has seen. *)
+
+type t = int array
+
+val create : int -> t
+val copy : t -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val merge : t -> t -> unit
+(** [merge dst src]: pointwise maximum, into [dst]. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: happens-before-or-equal. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [leq b a]. *)
+
+val sum : t -> int
+(** Total of the components. Sorting application units by [sum] yields an
+    order consistent with happens-before (strictly smaller sums for strictly
+    dominated clocks); concurrent intervals touch disjoint bytes in
+    data-race-free programs, so their relative order is immaterial. *)
+
+val pp : Format.formatter -> t -> unit

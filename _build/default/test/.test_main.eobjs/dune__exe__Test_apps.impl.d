@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Dsm_apps Dsm_sim List Printf

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Dsm_compiler Dsm_rsd Dsm_sim Dsm_tmk Float Format List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Dsm_apps Dsm_harness Dsm_sim Format List

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_compiler Test_harness Test_mem Test_mp Test_props Test_range Test_rsd Test_shm Test_sim Test_store Test_tmk

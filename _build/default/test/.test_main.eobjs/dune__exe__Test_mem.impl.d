@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Dsm_mem Dsm_rsd List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Dsm_hpf Dsm_mp Dsm_sim List Printf

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Dsm_sim Dsm_tmk List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Dsm_rsd List Printf QCheck QCheck_alcotest String

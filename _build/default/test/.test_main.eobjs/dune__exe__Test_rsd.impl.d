@@ -1,0 +1,1 @@
+test/test_rsd.ml: Alcotest Array Dsm_rsd List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Dsm_rsd Dsm_sim Dsm_tmk

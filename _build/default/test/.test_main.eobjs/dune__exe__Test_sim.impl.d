@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dsm_sim Dsm_tmk List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Dsm_mem Dsm_tmk List

@@ -1,0 +1,1 @@
+test/test_tmk.ml: Alcotest Array Dsm_sim Dsm_tmk Printf

@@ -1,0 +1,79 @@
+(* Quick runtime smoke test during development; superseded by the full
+   suites. *)
+
+module Tmk = Dsm_tmk.Tmk
+
+let () =
+  let cfg = { Dsm_sim.Config.default with nprocs = 4 } in
+  let sys = Tmk.make cfg in
+  let n = 64 in
+  let b = Tmk.alloc_f64_2 sys "b" n n in
+  let a = Tmk.alloc_f64_2 sys "a" n n in
+  Tmk.run sys (fun t ->
+      let p = Tmk.pid t
+      and np = Tmk.nprocs t in
+      let cols = n / np in
+      let begin_ = p * cols
+      and end_ = (p * cols) + cols - 1 in
+      (* init own columns *)
+      for j = begin_ to end_ do
+        for i = 0 to n - 1 do
+          Tmk.Shm.F64_2.set t b i j (float_of_int ((i * n) + j))
+        done
+      done;
+      Tmk.barrier t;
+      for _iter = 1 to 5 do
+        for j = begin_ to end_ do
+          for i = 1 to n - 2 do
+            if j > 0 && j < n - 1 then begin
+              let v =
+                0.25
+                *. (Tmk.Shm.F64_2.get t b (i - 1) j
+                   +. Tmk.Shm.F64_2.get t b (i + 1) j
+                   +. Tmk.Shm.F64_2.get t b i (j - 1)
+                   +. Tmk.Shm.F64_2.get t b i (j + 1))
+              in
+              Tmk.Shm.F64_2.set t a i j v
+            end
+          done
+        done;
+        Tmk.barrier t;
+        for j = begin_ to end_ do
+          for i = 1 to n - 2 do
+            if j > 0 && j < n - 1 then
+              Tmk.Shm.F64_2.set t b i j (Tmk.Shm.F64_2.get t a i j)
+          done
+        done;
+        Tmk.barrier t
+      done);
+  (* sequential reference *)
+  let bb = Array.init n (fun i -> Array.init n (fun j -> float_of_int ((i * n) + j))) in
+  let aa = Array.make_matrix n n 0.0 in
+  for _iter = 1 to 5 do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        aa.(i).(j) <-
+          0.25 *. (bb.(i - 1).(j) +. bb.(i + 1).(j) +. bb.(i).(j - 1) +. bb.(i).(j + 1))
+      done
+    done;
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        bb.(i).(j) <- aa.(i).(j)
+      done
+    done
+  done;
+  (* check: read b from proc-0's copy via a fresh run *)
+  let errors = ref 0 in
+  Tmk.run sys (fun t ->
+      if Tmk.pid t = 0 then
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let got = Tmk.Shm.F64_2.get t b i j in
+            if abs_float (got -. bb.(i).(j)) > 1e-9 then incr errors
+          done
+        done);
+  let st = Tmk.total_stats sys in
+  Format.printf "errors=%d elapsed=%.0fus@.%a@." !errors (Tmk.elapsed sys)
+    Dsm_sim.Stats.pp st;
+  ignore a;
+  if !errors > 0 then exit 1

@@ -1,0 +1,48 @@
+(* Development smoke test for applications across versions and levels. *)
+
+module A = Dsm_apps.App_common
+
+let run_app (module App : A.APP) size =
+  let params = match size with `Large -> App.large | `Small -> App.small in
+  let cfg = Dsm_sim.Config.default in
+  Format.printf "@.== %s (%s), seq = %.0f us ==@." App.name
+    (App.size_name params) (App.seq_time_us params);
+  let show tag (r : A.result) =
+    let s = r.A.stats in
+    Format.printf
+      "%-11s time=%9.0f  speedup=%5.2f  msgs=%7d  segv=%6d  data=%9d  err=%g@."
+      tag r.A.time_us
+      (App.seq_time_us params /. r.A.time_us)
+      s.Dsm_sim.Stats.messages s.Dsm_sim.Stats.segv s.Dsm_sim.Stats.bytes
+      r.A.max_err;
+    if r.A.max_err > 1e-6 then begin
+      Format.printf "!!! WRONG RESULTS (%s %s)@." App.name tag;
+      exit 1
+    end
+  in
+  List.iter
+    (fun level ->
+      show (A.opt_level_name level)
+        (App.run_tmk cfg params ~level ~async:true))
+    App.levels;
+  show "pvm" (App.run_pvm cfg params);
+  match App.run_xhpf with
+  | Some f -> show "xhpf" (f cfg params)
+  | None -> Format.printf "%-11s (not applicable)@." "xhpf"
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "jacobi" in
+  match which with
+  | "jacobi" -> run_app (module Dsm_apps.Jacobi) `Small
+  | "jacobi-large" -> run_app (module Dsm_apps.Jacobi) `Large
+  | "gauss" -> run_app (module Dsm_apps.Gauss) `Small
+  | "gauss-large" -> run_app (module Dsm_apps.Gauss) `Large
+  | "mgs" -> run_app (module Dsm_apps.Mgs) `Small
+  | "mgs-large" -> run_app (module Dsm_apps.Mgs) `Large
+  | "is" -> run_app (module Dsm_apps.Is) `Small
+  | "is-large" -> run_app (module Dsm_apps.Is) `Large
+  | "fft" -> run_app (module Dsm_apps.Fft3d) `Small
+  | "fft-large" -> run_app (module Dsm_apps.Fft3d) `Large
+  | "shallow" -> run_app (module Dsm_apps.Shallow) `Small
+  | "shallow-large" -> run_app (module Dsm_apps.Shallow) `Large
+  | _ -> failwith "unknown app"

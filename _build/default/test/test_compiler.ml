@@ -1,0 +1,420 @@
+(* The compiler: linear expressions, symbolic RSDs, the access analysis,
+   the Section 4.2 transformation, and end-to-end execution equivalence. *)
+
+module Lin = Dsm_compiler.Lin
+module Sym_rsd = Dsm_compiler.Sym_rsd
+module Ir = Dsm_compiler.Ir
+module Access = Dsm_compiler.Access
+module Transform = Dsm_compiler.Transform
+module Interp = Dsm_compiler.Interp
+module Pretty = Dsm_compiler.Pretty
+module Programs = Dsm_compiler.Programs
+module Config = Dsm_sim.Config
+
+(* {1 Lin} *)
+
+let lin_str l = Format.asprintf "%a" Lin.pp l
+
+let test_lin_algebra () =
+  let x = Lin.var "x"
+  and y = Lin.var "y" in
+  let e = Lin.add (Lin.scale 2 x) (Lin.offset y 3) in
+  Alcotest.(check int) "eval" 14
+    (Lin.eval (function "x" -> 4 | _ -> 3) e);
+  Alcotest.(check bool) "equal normal forms" true
+    (Lin.equal (Lin.add x y) (Lin.add y x));
+  Alcotest.(check (option int)) "diff const" (Some 3)
+    (Lin.diff_const (Lin.offset x 5) (Lin.offset x 2));
+  Alcotest.(check (option int)) "diff not const" None
+    (Lin.diff_const x y);
+  Alcotest.(check string) "pp" "2*x + y + 3" (lin_str e)
+
+let test_lin_subst () =
+  let e = Lin.add (Lin.scale 3 (Lin.var "i")) (Lin.const 1) in
+  let s = Lin.subst e "i" (Lin.offset (Lin.var "k") 2) in
+  Alcotest.(check int) "subst eval" 22 (Lin.eval (fun _ -> 5) s);
+  Alcotest.(check int) "coeff gone" 0 (Lin.coeff_of s "i");
+  Alcotest.(check int) "coeff moved" 3 (Lin.coeff_of s "k")
+
+let qcheck_lin =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun a b c -> (a, b, c))
+        (int_range (-5) 5) (int_range (-5) 5) (int_range (-5) 5))
+  in
+  QCheck.Test.make ~count:300 ~name:"lin eval homomorphic"
+    (QCheck.make gen) (fun (a, b, c) ->
+      let e =
+        Lin.add
+          (Lin.scale a (Lin.var "x"))
+          (Lin.add (Lin.scale b (Lin.var "y")) (Lin.const c))
+      in
+      let env = function "x" -> 7 | _ -> -2 in
+      Lin.eval env e = (a * 7) + (b * -2) + c)
+
+(* {1 Sym_rsd} *)
+
+let probe = function "M" -> 64 | "begin" -> 9 | "end" -> 16 | _ -> 0
+
+let test_sym_union () =
+  (* the Jacobi column union: [begin-1,end-1] u [begin,end] u [begin+1,end+1] *)
+  let d v k = (Lin.offset (Lin.var v) k, Lin.offset (Lin.var v) k, 1) in
+  ignore d;
+  let mk lo hi = Sym_rsd.make [ (lo, hi, 1) ] in
+  let b = Lin.var "begin"
+  and e = Lin.var "end" in
+  let u =
+    Sym_rsd.union ~probe
+      (Sym_rsd.union ~probe
+         (mk (Lin.offset b (-1)) (Lin.offset e (-1)))
+         (mk b e))
+      (mk (Lin.offset b 1) (Lin.offset e 1))
+  in
+  Alcotest.(check bool) "exact" true u.Sym_rsd.exact;
+  let r = Sym_rsd.eval probe u in
+  Alcotest.(check int) "concrete size" (16 + 1 - 9 + 2) (Dsm_rsd.Rsd.size r)
+
+let test_sym_contains () =
+  let mk lo hi = Sym_rsd.make [ (Lin.const lo, hi, 1) ] in
+  let a = mk 0 (Lin.offset (Lin.var "M") (-1)) in
+  let b = mk 1 (Lin.offset (Lin.var "M") (-2)) in
+  Alcotest.(check bool) "contains" true (Sym_rsd.contains ~probe a b);
+  Alcotest.(check bool) "not contained" false (Sym_rsd.contains ~probe b a)
+
+(* {1 Access analysis on the Jacobi example (Section 4.3)} *)
+
+let nprocs = 4
+
+let find_region regions after =
+  List.find (fun (r : Access.region) -> r.Access.after_sync = after) regions
+
+let test_jacobi_analysis () =
+  let prog = Programs.jacobi ~m:64 ~iters:3 in
+  let res = Access.analyze prog ~nprocs in
+  Alcotest.(check int) "two regions" 2 (List.length res.Access.regions);
+  Alcotest.(check bool) "cyclic" true res.Access.cyclic;
+  (* region after Barrier(1): b {write, write-first} over the own columns *)
+  let r1 = find_region res.Access.regions 0 in
+  (match r1.Access.summary with
+  | [ e ] ->
+      Alcotest.(check string) "array" "b" e.Access.arr;
+      Alcotest.(check bool) "write" true e.Access.tag.Access.write;
+      Alcotest.(check bool) "write-first" true e.Access.tag.Access.write_first;
+      Alcotest.(check string) "section"
+        "b[0:M - 1, begin:end]"
+        (Format.asprintf "%a" (Sym_rsd.pp "b") e.Access.rsd)
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
+  (* region after Barrier(2): b {read} of [begin-1, end+1] *)
+  let r2 = find_region res.Access.regions 1 in
+  match r2.Access.summary with
+  | [ e ] ->
+      Alcotest.(check bool) "read only" true
+        (e.Access.tag.Access.read && not e.Access.tag.Access.write);
+      Alcotest.(check string) "section"
+        "b[0:M - 1, begin - 1:end + 1]"
+        (Format.asprintf "%a" (Sym_rsd.pp "b") e.Access.rsd)
+  | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
+
+let test_jacobi_transform () =
+  (* the paper's Figure 2: Barrier(2) becomes a Push, a WRITE_ALL Validate
+     follows Barrier(1), and Barrier(1) itself is kept (the anti-dependence
+     on b makes its removal unsafe) *)
+  let prog = Programs.jacobi ~m:64 ~iters:3 in
+  let _, decisions = Transform.transform prog ~nprocs ~opts:Transform.all in
+  (match List.assoc 0 decisions with
+  | Transform.Validated [ vc ] ->
+      Alcotest.(check bool) "WRITE_ALL at Barrier(1)" true
+        (vc.Ir.vaccess = Dsm_tmk.Tmk.Write_all)
+  | _ -> Alcotest.fail "expected a Validate after Barrier(1)");
+  match List.assoc 1 decisions with
+  | Transform.Replaced_by_push (pc, _) ->
+      Alcotest.(check int) "push reads b" 1 (List.length pc.Ir.pread);
+      Alcotest.(check int) "push writes b" 1 (List.length pc.Ir.pwrite)
+  | _ -> Alcotest.fail "expected Barrier(2) replaced by Push"
+
+let test_transform_levels () =
+  let prog = Programs.jacobi ~m:64 ~iters:3 in
+  (* base: untouched *)
+  let _, d0 = Transform.transform prog ~nprocs ~opts:Transform.base in
+  Alcotest.(check bool) "base keeps everything" true
+    (List.for_all (fun (_, d) -> d = Transform.Keep) d0);
+  (* aggregation only: consistency-preserving access types *)
+  let _, d1 = Transform.transform prog ~nprocs ~opts:Transform.level_aggregate in
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Transform.Validated calls | Transform.Merged_with_sync calls ->
+          List.iter
+            (fun (c : Ir.vcall) ->
+              match c.Ir.vaccess with
+              | Dsm_tmk.Tmk.Write_all | Dsm_tmk.Tmk.Read_write_all ->
+                  Alcotest.fail "aggregation level must preserve consistency"
+              | _ -> ())
+            calls
+      | Transform.Replaced_by_push _ ->
+          Alcotest.fail "no push at aggregation level"
+      | Transform.Keep -> ())
+    d1
+
+let test_redblack_strided () =
+  (* stride-2 sections: exact but not contiguous, so consistency elimination
+     must fall back to consistency-preserving validates *)
+  let prog = Programs.redblack ~n:64 ~iters:2 in
+  let res = Access.analyze prog ~nprocs in
+  let r = find_region res.Access.regions 0 in
+  (match r.Access.summary with
+  | e :: _ ->
+      Alcotest.(check bool) "strided dim" true
+        (List.exists (fun d -> d.Sym_rsd.stride = 2) e.Access.rsd.Sym_rsd.dims)
+  | [] -> Alcotest.fail "no summary");
+  let _, decisions =
+    Transform.transform prog ~nprocs ~opts:Transform.level_cons_elim
+  in
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Transform.Validated calls ->
+          List.iter
+            (fun (c : Ir.vcall) ->
+              match c.Ir.vaccess with
+              | Dsm_tmk.Tmk.Write_all | Dsm_tmk.Tmk.Read_write_all ->
+                  Alcotest.fail "non-contiguous sections cannot use _ALL"
+              | _ -> ())
+            calls
+      | _ -> ())
+    decisions
+
+(* {1 End-to-end equivalence} *)
+
+let cfg = { Config.default with Config.nprocs }
+
+let max_err a b =
+  let e = ref 0.0 in
+  Array.iteri (fun i x -> e := Float.max !e (abs_float (x -. b.(i)))) a;
+  !e
+
+let check_program_all_levels prog shared_name =
+  let seq = List.assoc shared_name (Interp.run_sequential prog) in
+  List.iter
+    (fun (label, opts) ->
+      let transformed, _ = Transform.transform prog ~nprocs ~opts in
+      let sys, outcome = Interp.execute cfg transformed in
+      let got =
+        Interp.fetch_array sys (List.assoc shared_name outcome.Interp.arrays)
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s @ %s" prog.Ir.pname label)
+        0.0 (max_err got seq))
+    [
+      ("base", Transform.base);
+      ("aggregate", Transform.level_aggregate);
+      ("cons-elim", Transform.level_cons_elim);
+      ("sync-merge", Transform.level_sync_merge);
+      ("push", Transform.level_push);
+    ]
+
+let test_exec_jacobi () =
+  check_program_all_levels (Programs.jacobi ~m:48 ~iters:3) "b"
+
+let test_exec_transpose () =
+  check_program_all_levels (Programs.transpose ~m:32 ~iters:2) "a"
+
+let test_masked_conditional () =
+  (* conditionals make the guarded sections inexact: no WRITE_ALL, no Push *)
+  let prog = Programs.masked ~m:64 ~iters:3 in
+  let res = Access.analyze prog ~nprocs in
+  let all_entries =
+    List.concat_map (fun (r : Access.region) -> r.Access.summary) res.Access.regions
+  in
+  Alcotest.(check bool) "some inexact section" true
+    (List.exists (fun (e : Access.summary_entry) -> not e.Access.rsd.Sym_rsd.exact)
+       all_entries);
+  let _, decisions = Transform.transform prog ~nprocs ~opts:Transform.all in
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Transform.Replaced_by_push _ -> Alcotest.fail "no push under conditionals"
+      | Transform.Validated calls | Transform.Merged_with_sync calls ->
+          (* _ALL access types may only be attached to exact sections (the
+             unconditional copy-back phase legitimately earns a WRITE_ALL;
+             the conditional phase must not) *)
+          List.iter
+            (fun (cl : Ir.vcall) ->
+              match cl.Ir.vaccess with
+              | Dsm_tmk.Tmk.Write_all | Dsm_tmk.Tmk.Read_write_all ->
+                  List.iter
+                    (fun (_, srsd) ->
+                      Alcotest.(check bool) "_ALL only on exact sections" true
+                        srsd.Sym_rsd.exact)
+                    cl.Ir.vsections
+              | _ -> ())
+            calls
+      | Transform.Keep -> ())
+    decisions;
+  check_program_all_levels prog "u"
+
+let test_exec_redblack () =
+  check_program_all_levels (Programs.redblack ~n:128 ~iters:3) "u"
+
+let test_lock_accum_validate_at_acquire () =
+  (* Section 4.3: "our analysis creates a section for the sub-array and
+     issues a Validate when the lock is acquired" *)
+  let prog = Programs.lock_accum ~n:64 ~iters:3 in
+  let _, decisions =
+    Transform.transform prog ~nprocs ~opts:Transform.level_cons_elim
+  in
+  (* sync #0 is the Lock_acquire *)
+  (match List.assoc 0 decisions with
+  | Transform.Validated [ vc ] ->
+      Alcotest.(check bool) "READ&WRITE_ALL at the acquire" true
+        (vc.Ir.vaccess = Dsm_tmk.Tmk.Read_write_all)
+  | _ -> Alcotest.fail "expected a Validate after the lock acquire");
+  (* every processor increments every slot in every iteration, so the
+     analytic result is nprocs * iters (the sequential interpreter is not a
+     reference here: this program's work is not partitioned) *)
+  List.iter
+    (fun (label, opts) ->
+      let transformed, _ = Transform.transform prog ~nprocs ~opts in
+      let sys, outcome = Interp.execute cfg transformed in
+      let got =
+        Interp.fetch_array sys (List.assoc "acc" outcome.Interp.arrays)
+      in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "lock_accum @ %s slot %d" label i)
+            (float_of_int (nprocs * 3))
+            x)
+        got)
+    [
+      ("base", Transform.base);
+      ("cons-elim", Transform.level_cons_elim);
+      ("sync-merge", Transform.level_sync_merge);
+    ]
+
+let test_optimized_is_faster () =
+  let prog = Programs.jacobi ~m:64 ~iters:5 in
+  let run opts =
+    let p, _ = Transform.transform prog ~nprocs ~opts in
+    let _, o = Interp.execute cfg p in
+    o.Interp.elapsed_us
+  in
+  Alcotest.(check bool) "optimization helps" true
+    (run Transform.all < run Transform.base)
+
+let test_pretty_roundtrip_mentions () =
+  let prog = Programs.jacobi ~m:64 ~iters:3 in
+  let t, _ = Transform.transform prog ~nprocs ~opts:Transform.all in
+  let s = Pretty.program_to_string t in
+  let contains hay needle =
+    let nh = String.length hay
+    and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " printed") true (contains s needle))
+    [ "WRITE_ALL"; "call Push"; "call Barrier(1)" ]
+
+(* {1 Property: analysis soundness}
+
+   Random single-array loop nests: every element the program actually
+   accesses must lie inside the region summary. *)
+
+let gen_prog =
+  QCheck.Gen.(
+    let idx =
+      map2
+        (fun c off ->
+          if c = 0 then Lin.const (abs off mod 8)
+          else Lin.offset (Lin.var "i") (off mod 4))
+        (int_bound 1) (int_range 0 16)
+    in
+    map2
+      (fun i1 i2 -> (i1, i2))
+      idx idx)
+
+let qcheck_soundness =
+  QCheck.Test.make ~count:200 ~name:"access analysis covers all accesses"
+    (QCheck.make gen_prog) (fun (widx, ridx) ->
+      let m = 32 in
+      let prog =
+        {
+          Ir.pname = "rand";
+          params = [ ("M", m) ];
+          arrays = [ ("a", [ Lin.const m ]) ];
+          privates = [];
+          proc_bindings = (fun ~nprocs:_ ~p -> [ ("p", p) ]);
+          body =
+            [
+              Ir.For
+                {
+                  ivar = "k";
+                  lo = Lin.const 1;
+                  hi = Lin.const 2;
+                  body =
+                    [
+                      Ir.For
+                        {
+                          ivar = "i";
+                          lo = Lin.const 4;
+                          hi = Lin.const 20;
+                          body =
+                            [
+                              Ir.Assign
+                                ( { Ir.aname = "a"; aidx = [ widx ] },
+                                  Ir.Bin
+                                    ( Ir.Add,
+                                      Ir.Load { Ir.aname = "a"; aidx = [ ridx ] },
+                                      Ir.Fconst 1.0 ) );
+                            ];
+                        };
+                      Ir.Barrier 1;
+                    ];
+                };
+            ];
+        }
+      in
+      let res = Access.analyze prog ~nprocs:1 in
+      match res.Access.regions with
+      | [ r ] -> (
+          match r.Access.summary with
+          | [ e ] ->
+              let rsd = Sym_rsd.eval (fun v -> List.assoc v prog.Ir.params) e.Access.rsd in
+              let mem idx =
+                Dsm_rsd.Rsd.mem rsd [| idx |]
+                || not rsd.Dsm_rsd.Rsd.exact
+              in
+              let covered = ref true in
+              for i = 4 to 20 do
+                let wv = Lin.eval (function "i" -> i | v -> List.assoc v prog.Ir.params) widx in
+                let rv = Lin.eval (function "i" -> i | v -> List.assoc v prog.Ir.params) ridx in
+                if not (mem wv && mem rv) then covered := false
+              done;
+              !covered
+          | _ -> false)
+      | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "lin algebra" `Quick test_lin_algebra;
+    Alcotest.test_case "lin subst" `Quick test_lin_subst;
+    Alcotest.test_case "sym union (jacobi columns)" `Quick test_sym_union;
+    Alcotest.test_case "sym contains" `Quick test_sym_contains;
+    Alcotest.test_case "jacobi analysis = Section 4.3" `Quick test_jacobi_analysis;
+    Alcotest.test_case "jacobi transform = Figure 2" `Quick test_jacobi_transform;
+    Alcotest.test_case "transform levels" `Quick test_transform_levels;
+    Alcotest.test_case "redblack strided sections" `Quick test_redblack_strided;
+    Alcotest.test_case "exec jacobi (all levels)" `Quick test_exec_jacobi;
+    Alcotest.test_case "exec transpose (all levels)" `Quick test_exec_transpose;
+    Alcotest.test_case "exec redblack (all levels)" `Quick test_exec_redblack;
+    Alcotest.test_case "masked conditional (partial analysis)" `Quick
+      test_masked_conditional;
+    Alcotest.test_case "lock_accum: Validate at acquire (Section 4.3)" `Quick
+      test_lock_accum_validate_at_acquire;
+    Alcotest.test_case "optimized faster" `Quick test_optimized_is_faster;
+    Alcotest.test_case "pretty printing" `Quick test_pretty_roundtrip_mentions;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ qcheck_lin; qcheck_soundness ]

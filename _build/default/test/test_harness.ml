@@ -1,0 +1,109 @@
+(* The experiment harness and the ablation switches. *)
+
+module Runset = Dsm_harness.Runset
+module Experiments = Dsm_harness.Experiments
+module Config = Dsm_sim.Config
+open Dsm_apps.App_common
+
+let null =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let cfg4 = { Config.default with Config.nprocs = 4 }
+
+let test_runset_shape () =
+  let apps = Runset.all cfg4 in
+  Alcotest.(check int) "12 rows (6 apps x 2 sizes)" 12 (List.length apps);
+  let names = List.map (fun (a : Runset.sized_app) -> a.Runset.app_name) apps in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (List.mem n names))
+    [ "Jacobi"; "3D-FFT"; "Shallow"; "IS"; "Gauss"; "MGS" ];
+  let is_rows =
+    List.filter (fun (a : Runset.sized_app) -> a.Runset.app_name = "IS") apps
+  in
+  List.iter
+    (fun (a : Runset.sized_app) ->
+      Alcotest.(check bool) "IS has no xhpf" false a.Runset.has_xhpf;
+      Alcotest.(check bool) "IS xhpf run is None" true
+        (a.Runset.run Runset.Xhpf = None))
+    is_rows
+
+let test_run_caching () =
+  let apps = Runset.all cfg4 in
+  let jac =
+    List.find
+      (fun (a : Runset.sized_app) ->
+        a.Runset.app_name = "Jacobi" && a.Runset.size_label = "small")
+      apps
+  in
+  let r1 = Runset.base jac
+  and r2 = Runset.base jac in
+  Alcotest.(check bool) "memoized (same result)" true (r1 == r2)
+
+let test_best_opt_beats_base () =
+  let apps = Runset.all cfg4 in
+  List.iter
+    (fun (a : Runset.sized_app) ->
+      if a.Runset.size_label = "small" then begin
+        let b = Runset.base a
+        and o = Runset.best_opt a in
+        Alcotest.(check bool)
+          (a.Runset.app_name ^ ": optimization does not hurt")
+          true
+          (o.time_us <= b.time_us)
+      end)
+    apps
+
+let test_micro_prints () = Experiments.micro null Config.default
+
+let test_ablation_supersede () =
+  (* turning supersede pruning off must increase IS's data volume *)
+  let on = Dsm_apps.Is.run_tmk cfg4 Dsm_apps.Is.small ~level:Cons_elim ~async:true in
+  let off =
+    Dsm_apps.Is.run_tmk
+      { cfg4 with Config.enable_supersede = false }
+      Dsm_apps.Is.small ~level:Cons_elim ~async:true
+  in
+  Alcotest.(check (float 1e-6)) "still correct" 0.0 off.max_err;
+  Alcotest.(check bool) "more data without pruning" true
+    (off.stats.Dsm_sim.Stats.bytes > on.stats.Dsm_sim.Stats.bytes)
+
+let test_ablation_bcast () =
+  (* without broadcast detection, no broadcasts happen and results hold *)
+  let off =
+    Dsm_apps.Gauss.run_tmk
+      { cfg4 with Config.enable_bcast = false }
+      Dsm_apps.Gauss.small ~level:Sync_merge ~async:false
+  in
+  Alcotest.(check (float 1e-6)) "still correct" 0.0 off.max_err;
+  Alcotest.(check int) "no broadcasts" 0 off.stats.Dsm_sim.Stats.broadcasts
+
+let test_ablation_queueing () =
+  (* disabling hot-spot queueing only changes time, never results *)
+  let off =
+    Dsm_apps.Mgs.run_tmk
+      { cfg4 with Config.enable_hotspot_queueing = false }
+      Dsm_apps.Mgs.small ~level:Base ~async:false
+  in
+  Alcotest.(check (float 1e-6)) "still correct" 0.0 off.max_err
+
+let test_determinism () =
+  (* identical runs produce identical virtual times and statistics *)
+  let r1 = Dsm_apps.Jacobi.run_tmk cfg4 Dsm_apps.Jacobi.small ~level:Push_opt ~async:true in
+  let r2 = Dsm_apps.Jacobi.run_tmk cfg4 Dsm_apps.Jacobi.small ~level:Push_opt ~async:true in
+  Alcotest.(check (float 0.0)) "same time" r1.time_us r2.time_us;
+  Alcotest.(check int) "same messages" r1.stats.Dsm_sim.Stats.messages
+    r2.stats.Dsm_sim.Stats.messages;
+  Alcotest.(check int) "same bytes" r1.stats.Dsm_sim.Stats.bytes
+    r2.stats.Dsm_sim.Stats.bytes
+
+let tests =
+  [
+    Alcotest.test_case "runset shape" `Slow test_runset_shape;
+    Alcotest.test_case "run caching" `Slow test_run_caching;
+    Alcotest.test_case "best opt beats base" `Slow test_best_opt_beats_base;
+    Alcotest.test_case "micro experiment prints" `Quick test_micro_prints;
+    Alcotest.test_case "ablation: supersede" `Slow test_ablation_supersede;
+    Alcotest.test_case "ablation: broadcast" `Slow test_ablation_bcast;
+    Alcotest.test_case "ablation: queueing" `Slow test_ablation_queueing;
+    Alcotest.test_case "determinism" `Slow test_determinism;
+  ]

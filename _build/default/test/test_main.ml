@@ -1,0 +1,19 @@
+(* Entry point for the whole test suite: one alcotest run over every
+   module's suites. *)
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ("range", Test_range.tests);
+      ("rsd", Test_rsd.tests);
+      ("mem", Test_mem.tests);
+      ("sim", Test_sim.tests);
+      ("tmk", Test_tmk.tests);
+      ("diff-store", Test_store.tests);
+      ("shm", Test_shm.tests);
+      ("mp+hpf", Test_mp.tests);
+      ("compiler", Test_compiler.tests);
+      ("apps", Test_apps.tests);
+      ("harness", Test_harness.tests);
+      ("protocol-properties", Test_props.tests);
+    ]

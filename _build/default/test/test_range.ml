@@ -1,0 +1,114 @@
+(* Range: sorted disjoint interval sets — unit tests plus property-based
+   comparison against a naive set-of-integers model. *)
+
+module Range = Dsm_rsd.Range
+
+let check = Alcotest.(check (list (pair int int)))
+
+let test_normalize () =
+  check "merge overlapping" [ (0, 10) ] (Range.normalize [ (3, 10); (0, 5) ]);
+  check "merge adjacent" [ (0, 10) ] (Range.normalize [ (0, 5); (5, 10) ]);
+  check "drop empty" [ (1, 2) ] (Range.normalize [ (5, 5); (1, 2); (3, 3) ]);
+  check "keep disjoint" [ (0, 1); (3, 4) ] (Range.normalize [ (3, 4); (0, 1) ])
+
+let test_union () =
+  check "union" [ (0, 6) ] (Range.union [ (0, 3) ] [ (2, 6) ]);
+  check "union disjoint" [ (0, 1); (5, 6) ] (Range.union [ (0, 1) ] [ (5, 6) ])
+
+let test_inter () =
+  check "inter" [ (2, 3) ] (Range.inter [ (0, 3) ] [ (2, 6) ]);
+  check "inter empty" [] (Range.inter [ (0, 2) ] [ (4, 6) ]);
+  check "inter multi"
+    [ (1, 2); (4, 5) ]
+    (Range.inter [ (0, 2); (4, 8) ] [ (1, 5) ])
+
+let test_diff () =
+  check "diff splits" [ (0, 2); (4, 6) ] (Range.diff [ (0, 6) ] [ (2, 4) ]);
+  check "diff all" [] (Range.diff [ (2, 4) ] [ (0, 6) ])
+
+let test_queries () =
+  Alcotest.(check int) "size" 5 (Range.size [ (0, 2); (4, 7) ]);
+  Alcotest.(check bool) "mem" true (Range.mem 5 [ (0, 2); (4, 7) ]);
+  Alcotest.(check bool) "not mem" false (Range.mem 3 [ (0, 2); (4, 7) ]);
+  Alcotest.(check bool) "covers" true (Range.covers [ (0, 10) ] ~lo:2 ~hi:8);
+  Alcotest.(check bool) "covers gap" false
+    (Range.covers [ (0, 4); (6, 10) ] ~lo:2 ~hi:8);
+  Alcotest.(check bool) "covers empty interval" true
+    (Range.covers [] ~lo:5 ~hi:5)
+
+let test_pages () =
+  Alcotest.(check (list int))
+    "pages" [ 0; 1; 2 ]
+    (Range.pages ~page_size:100 [ (50, 250) ]);
+  Alcotest.(check (list int))
+    "page boundary" [ 0 ]
+    (Range.pages ~page_size:100 [ (0, 100) ]);
+  check "clip" [ (100, 150) ]
+    (Range.clip_to_page ~page_size:100 ~page:1 [ (50, 150) ])
+
+let test_contiguous () =
+  Alcotest.(check bool) "empty" true (Range.is_contiguous []);
+  Alcotest.(check bool) "one" true (Range.is_contiguous [ (0, 5) ]);
+  Alcotest.(check bool) "two" false (Range.is_contiguous [ (0, 1); (3, 4) ])
+
+(* property-based: compare against a set-of-ints model over [0, 64) *)
+let gen_range =
+  QCheck.Gen.(
+    list_size (int_bound 5)
+      (map2 (fun a b -> (min a b, max a b)) (int_bound 63) (int_bound 63)))
+  |> QCheck.make ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+
+let model r =
+  List.concat_map (fun (lo, hi) -> List.init (max 0 (hi - lo)) (fun k -> lo + k)) r
+  |> List.sort_uniq compare
+
+let prop name f = QCheck.Test.make ~count:500 ~name (QCheck.pair gen_range gen_range) f
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop "union = model union" (fun (a, b) ->
+          let a = Range.normalize a
+          and b = Range.normalize b in
+          model (Range.union a b)
+          = List.sort_uniq compare (model a @ model b));
+      prop "inter = model inter" (fun (a, b) ->
+          let a = Range.normalize a
+          and b = Range.normalize b in
+          model (Range.inter a b)
+          = List.filter (fun x -> List.mem x (model b)) (model a));
+      prop "diff = model diff" (fun (a, b) ->
+          let a = Range.normalize a
+          and b = Range.normalize b in
+          model (Range.diff a b)
+          = List.filter (fun x -> not (List.mem x (model b))) (model a));
+      prop "size = model card" (fun (a, _) ->
+          let a = Range.normalize a in
+          Range.size a = List.length (model a));
+      prop "normalize idempotent" (fun (a, _) ->
+          let a = Range.normalize a in
+          Range.normalize a = a);
+      prop "union commutative" (fun (a, b) ->
+          let a = Range.normalize a
+          and b = Range.normalize b in
+          Range.union a b = Range.union b a);
+      prop "inter subset of both" (fun (a, b) ->
+          let a = Range.normalize a
+          and b = Range.normalize b in
+          let i = Range.inter a b in
+          List.for_all (fun x -> Range.mem x a && Range.mem x b) (model i));
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "queries" `Quick test_queries;
+    Alcotest.test_case "pages" `Quick test_pages;
+    Alcotest.test_case "contiguous" `Quick test_contiguous;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,132 @@
+(* Regular section descriptors: algebra vs an enumerated-point model. *)
+
+module Rsd = Dsm_rsd.Rsd
+
+let mk l = Rsd.make l
+
+let test_size () =
+  Alcotest.(check int) "1d" 5 (Rsd.size (mk [ (0, 4, 1) ]));
+  Alcotest.(check int) "strided" 3 (Rsd.size (mk [ (0, 4, 2) ]));
+  Alcotest.(check int) "2d" 15 (Rsd.size (mk [ (0, 4, 1); (1, 3, 1) ]));
+  Alcotest.(check int) "empty" 0 (Rsd.size (mk [ (3, 2, 1) ]))
+
+let test_mem () =
+  let r = mk [ (0, 8, 2); (1, 5, 1) ] in
+  Alcotest.(check bool) "in" true (Rsd.mem r [| 4; 3 |]);
+  Alcotest.(check bool) "off stride" false (Rsd.mem r [| 3; 3 |]);
+  Alcotest.(check bool) "out of range" false (Rsd.mem r [| 4; 6 |])
+
+let test_inter () =
+  let a = mk [ (0, 10, 2) ]
+  and b = mk [ (4, 20, 2) ] in
+  let i = Rsd.inter a b in
+  Alcotest.(check int) "inter strided size" 4 (Rsd.size i);
+  Alcotest.(check bool) "inter exact" true i.Rsd.exact;
+  (* incompatible phases: empty *)
+  let c = mk [ (1, 11, 2) ] in
+  Alcotest.(check int) "phase mismatch" 0 (Rsd.size (Rsd.inter a c))
+
+let test_union_exact () =
+  (* the Jacobi pattern: column ranges differing by constants merge exactly *)
+  let a = mk [ (1, 6, 1) ]
+  and b = mk [ (0, 5, 1) ] in
+  let u = Rsd.union a b in
+  Alcotest.(check bool) "exact" true u.Rsd.exact;
+  Alcotest.(check int) "size" 7 (Rsd.size u);
+  (* disjoint pieces: inexact bounding *)
+  let c = mk [ (10, 12, 1) ] in
+  let u2 = Rsd.union a c in
+  Alcotest.(check bool) "bounding inexact" false u2.Rsd.exact
+
+let test_union_2d () =
+  (* [1,M-2:b,e] u [3,M:b,e] u [2,M-1:b-1,e-1] u [2,M-1:b+1,e+1] as in
+     Section 4.3 *)
+  let m = 16
+  and b = 4
+  and e = 7 in
+  let u =
+    List.fold_left Rsd.union
+      (mk [ (0, m - 3, 1); (b, e, 1) ])
+      [
+        mk [ (2, m - 1, 1); (b, e, 1) ];
+        mk [ (1, m - 2, 1); (b - 1, e - 1, 1) ];
+        mk [ (1, m - 2, 1); (b + 1, e + 1, 1) ];
+      ]
+  in
+  Alcotest.(check int) "rows full" (m * (e - b + 3)) (Rsd.size u)
+
+let test_contains () =
+  let a = mk [ (0, 10, 1); (0, 10, 1) ] in
+  Alcotest.(check bool) "contains" true
+    (Rsd.contains a (mk [ (2, 8, 2); (3, 5, 1) ]));
+  Alcotest.(check bool) "not contains" false
+    (Rsd.contains a (mk [ (2, 12, 1); (3, 5, 1) ]))
+
+(* qcheck: 1-d descriptors vs enumeration *)
+let gen_dim =
+  QCheck.Gen.(
+    map3
+      (fun lo len st -> (lo, lo + len, 1 + st))
+      (int_bound 20) (int_bound 20) (int_bound 3))
+
+let enum (lo, hi, st) =
+  let rec go i = if i > hi then [] else i :: go (i + st) in
+  go lo
+
+let arb2 =
+  QCheck.make
+    ~print:(fun ((a, b, c), (d, e, f)) ->
+      Printf.sprintf "(%d,%d,%d) (%d,%d,%d)" a b c d e f)
+    QCheck.Gen.(pair gen_dim gen_dim)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~count:500 ~name:"1d size = enum length"
+        (QCheck.make gen_dim) (fun d -> Rsd.size (mk [ d ]) = List.length (enum d));
+      QCheck.Test.make ~count:500 ~name:"inter sound (subset of both)" arb2
+        (fun (d1, d2) ->
+          let i = Rsd.inter (mk [ d1 ]) (mk [ d2 ]) in
+          (not i.Rsd.exact)
+          || List.for_all
+               (fun x -> List.mem x (enum d1) && List.mem x (enum d2))
+               (match i.Rsd.dims.(0) with
+               | { Rsd.lo; hi; stride } -> enum (lo, hi, stride)));
+      QCheck.Test.make ~count:500 ~name:"exact inter complete" arb2
+        (fun (d1, d2) ->
+          let i = Rsd.inter (mk [ d1 ]) (mk [ d2 ]) in
+          (not i.Rsd.exact)
+          || List.for_all
+               (fun x -> Rsd.mem i [| x |])
+               (List.filter (fun x -> List.mem x (enum d2)) (enum d1)));
+      QCheck.Test.make ~count:500 ~name:"union covers both" arb2
+        (fun (d1, d2) ->
+          let u = Rsd.union (mk [ d1 ]) (mk [ d2 ]) in
+          List.for_all
+            (fun x -> Rsd.mem u [| x |])
+            (enum d1 @ enum d2));
+      QCheck.Test.make ~count:500 ~name:"exact union is precise" arb2
+        (fun (d1, d2) ->
+          let u = Rsd.union (mk [ d1 ]) (mk [ d2 ]) in
+          (not u.Rsd.exact)
+          ||
+          let pts = List.sort_uniq compare (enum d1 @ enum d2) in
+          Rsd.size u = List.length pts);
+      QCheck.Test.make ~count:500 ~name:"contains transitive with mem" arb2
+        (fun (d1, d2) ->
+          let a = mk [ d1 ]
+          and b = mk [ d2 ] in
+          (not (Rsd.contains a b))
+          || List.for_all (fun x -> Rsd.mem a [| x |]) (enum d2));
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "union exactness" `Quick test_union_exact;
+    Alcotest.test_case "union 2d jacobi" `Quick test_union_2d;
+    Alcotest.test_case "contains" `Quick test_contains;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,111 @@
+(* Typed shared-memory accessors and array views. *)
+
+module Tmk = Dsm_tmk.Tmk
+module Shm = Dsm_tmk.Shm
+module Config = Dsm_sim.Config
+
+let cfg = { Config.default with Config.nprocs = 2; page_size = 128 }
+
+let test_scalar_accessors () =
+  let sys = Tmk.make cfg in
+  let a = Tmk.alloc_f64_1 sys "a" 64 in
+  let base = a.Dsm_rsd.Section.base in
+  Tmk.run sys (fun t ->
+      if Tmk.pid t = 0 then begin
+        Shm.set_f64 t base 3.25;
+        Shm.set_i64 t (base + 8) (-42);
+        Shm.set_i32 t (base + 16) 123456;
+        Alcotest.(check (float 0.0)) "f64" 3.25 (Shm.get_f64 t base);
+        Alcotest.(check int) "i64" (-42) (Shm.get_i64 t (base + 8));
+        Alcotest.(check int) "i32" 123456 (Shm.get_i32 t (base + 16))
+      end)
+
+let test_views_addressing () =
+  let sys = Tmk.make cfg in
+  let m2 = Tmk.alloc_f64_2 sys "m2" 8 4 in
+  let m3 = Tmk.alloc_f64_3 sys "m3" 4 3 2 in
+  (* column-major: first index contiguous *)
+  Alcotest.(check int) "m2 (1,0) next to (0,0)" 8
+    (Shm.F64_2.addr m2 1 0 - Shm.F64_2.addr m2 0 0);
+  Alcotest.(check int) "m2 (0,1) one column later" (8 * 8)
+    (Shm.F64_2.addr m2 0 1 - Shm.F64_2.addr m2 0 0);
+  Alcotest.(check int) "m3 plane stride" (4 * 3 * 8)
+    (Shm.F64_3.addr m3 0 0 1 - Shm.F64_3.addr m3 0 0 0);
+  Tmk.run sys (fun t ->
+      if Tmk.pid t = 0 then begin
+        Shm.F64_2.set t m2 3 2 7.5;
+        Alcotest.(check (float 0.0)) "get=set" 7.5 (Shm.F64_2.get t m2 3 2);
+        Shm.F64_3.set t m3 1 2 1 9.0;
+        Alcotest.(check (float 0.0)) "3d get=set" 9.0 (Shm.F64_3.get t m3 1 2 1)
+      end)
+
+let test_rmw () =
+  let sys = Tmk.make cfg in
+  let m2 = Tmk.alloc_f64_2 sys "m2" 8 4 in
+  Tmk.run sys (fun t ->
+      if Tmk.pid t = 0 then begin
+        Shm.F64_2.set t m2 2 1 10.0;
+        Shm.F64_2.rmw t m2 2 1 (fun x -> x *. 3.0);
+        Alcotest.(check (float 0.0)) "rmw applied" 30.0 (Shm.F64_2.get t m2 2 1)
+      end)
+
+let test_section_helpers () =
+  let sys = Tmk.make cfg in
+  let a = Tmk.alloc_f64_1 sys "a" 64 in
+  let s = Shm.F64_1.section a (8, 15, 1) in
+  Alcotest.(check int) "section bytes" 64 (Dsm_rsd.Section.size_bytes s);
+  Alcotest.(check int) "length" 64 (Shm.F64_1.length a);
+  let s2 =
+    Shm.F64_2.section (Tmk.alloc_f64_2 sys "b" 16 16) (0, 15, 1) (2, 3, 1)
+  in
+  Alcotest.(check int) "2d section" (16 * 2 * 8) (Dsm_rsd.Section.size_bytes s2)
+
+let test_fault_counting () =
+  let sys = Tmk.make cfg in
+  let a = Tmk.alloc_f64_1 sys "a" 64 in
+  Tmk.run sys (fun t ->
+      let p = Tmk.pid t in
+      if p = 0 then
+        for k = 0 to 15 do
+          Shm.F64_1.set t a k 1.0
+        done;
+      Tmk.barrier t;
+      if p = 1 then ignore (Shm.F64_1.get t a 0));
+  let st = Tmk.total_stats sys in
+  (* one write fault at p0 (one 128B page touched), one read fault at p1 *)
+  Alcotest.(check int) "exactly two faults" 2 st.Dsm_sim.Stats.segv;
+  Alcotest.(check int) "one twin" 1 st.Dsm_sim.Stats.twins
+
+let test_write_detection_reset () =
+  (* after a release, the next interval's first write faults again (write
+     detection), but the twin is kept and the pending diff accumulates
+     lazily: one diff will later cover both intervals (TreadMarks' diff
+     accumulation) *)
+  let sys = Tmk.make cfg in
+  let a = Tmk.alloc_f64_1 sys "a" 16 in
+  Tmk.run sys (fun t ->
+      if Tmk.pid t = 0 then begin
+        Shm.F64_1.set t a 0 1.0;
+        Tmk.barrier t;
+        Shm.F64_1.set t a 0 2.0;
+        Tmk.barrier t
+      end
+      else begin
+        Tmk.barrier t;
+        Tmk.barrier t
+      end);
+  let st = Tmk.total_stats sys in
+  Alcotest.(check int) "two write faults" 2 st.Dsm_sim.Stats.segv;
+  Alcotest.(check int) "one twin copy" 1 st.Dsm_sim.Stats.twins;
+  Alcotest.(check int) "no diff materialized until requested" 0
+    st.Dsm_sim.Stats.diffs_created
+
+let tests =
+  [
+    Alcotest.test_case "scalar accessors" `Quick test_scalar_accessors;
+    Alcotest.test_case "view addressing" `Quick test_views_addressing;
+    Alcotest.test_case "rmw" `Quick test_rmw;
+    Alcotest.test_case "section helpers" `Quick test_section_helpers;
+    Alcotest.test_case "fault counting" `Quick test_fault_counting;
+    Alcotest.test_case "write detection reset" `Quick test_write_detection_reset;
+  ]

@@ -1,0 +1,120 @@
+(* Diff_store: interval bookkeeping, entitlement filtering, WRITE_ALL
+   supersede, coalescing. *)
+
+module Store = Dsm_tmk.Diff_store
+module Diff = Dsm_mem.Diff
+
+let page_size = 64
+
+let mk_diff off len v =
+  let page = Bytes.make page_size '\000' in
+  Bytes.fill page off len v;
+  Diff.of_range page ~off ~len
+
+let full_diff v = Diff.full (Bytes.make page_size v)
+
+let test_fetch_after () =
+  let t = Store.create ~nprocs:4 ~page_size in
+  Store.add t ~writer:1 ~page:0 ~seq:2 ~vcsum:5 ~diff:(mk_diff 0 4 'a')
+    ~supersedes:false;
+  Store.add t ~writer:1 ~page:0 ~seq:4 ~vcsum:9 ~diff:(mk_diff 4 4 'b')
+    ~supersedes:false;
+  let r = Store.fetch t ~writer:1 ~page:0 ~after:0 ~upto:10 in
+  Alcotest.(check int) "both diffs" 2 r.Store.ndiffs;
+  Alcotest.(check int) "bytes summed" 8 r.Store.charge_bytes;
+  let r2 = Store.fetch t ~writer:1 ~page:0 ~after:2 ~upto:10 in
+  Alcotest.(check int) "only newer" 1 r2.Store.ndiffs;
+  let r3 = Store.fetch t ~writer:1 ~page:0 ~after:4 ~upto:10 in
+  Alcotest.(check int) "nothing newer" 0 r3.Store.ndiffs
+
+let test_entitlement () =
+  (* a diff whose span starts beyond the requester's notices is withheld *)
+  let t = Store.create ~nprocs:4 ~page_size in
+  Store.add t ~writer:1 ~page:0 ~seq:3 ~vcsum:5 ~diff:(mk_diff 0 4 'a')
+    ~supersedes:false;
+  Store.add t ~writer:1 ~page:0 ~seq:7 ~vcsum:11 ~diff:(mk_diff 4 4 'b')
+    ~supersedes:false;
+  (* requester only has notices up to seq 5: the second entry spans [4..7]
+     and its lo (4) is within the entitlement, so it is sent whole *)
+  let r = Store.fetch t ~writer:1 ~page:0 ~after:3 ~upto:5 in
+  Alcotest.(check int) "spanning entry included" 1 r.Store.ndiffs;
+  (* with notices only up to 3, the [4..7] entry must be withheld *)
+  let r2 = Store.fetch t ~writer:1 ~page:0 ~after:3 ~upto:3 in
+  Alcotest.(check int) "beyond entitlement withheld" 0 r2.Store.ndiffs
+
+let test_supersede () =
+  let t = Store.create ~nprocs:4 ~page_size in
+  Store.add t ~writer:2 ~page:5 ~seq:1 ~vcsum:2 ~diff:(mk_diff 0 8 'x')
+    ~supersedes:false;
+  Store.add t ~writer:2 ~page:5 ~seq:2 ~vcsum:4 ~diff:(mk_diff 8 8 'y')
+    ~supersedes:false;
+  Store.add t ~writer:2 ~page:5 ~seq:3 ~vcsum:6 ~diff:(full_diff 'z')
+    ~supersedes:true;
+  let r = Store.fetch t ~writer:2 ~page:5 ~after:0 ~upto:10 in
+  Alcotest.(check int) "older history dropped" 1 r.Store.ndiffs;
+  Alcotest.(check int) "full page bytes" page_size r.Store.charge_bytes;
+  Alcotest.(check bool) "latest is full page" true
+    (Store.latest_full_page t ~writer:2 ~page:5 <> None)
+
+let test_latest_vcsum () =
+  let t = Store.create ~nprocs:4 ~page_size in
+  Alcotest.(check (option int)) "empty" None
+    (Store.latest_vcsum t ~writer:0 ~page:0);
+  Store.add t ~writer:0 ~page:0 ~seq:1 ~vcsum:3 ~diff:(mk_diff 0 4 'a')
+    ~supersedes:false;
+  Store.add t ~writer:0 ~page:0 ~seq:2 ~vcsum:8 ~diff:(mk_diff 0 4 'b')
+    ~supersedes:false;
+  Alcotest.(check (option int)) "latest" (Some 8)
+    (Store.latest_vcsum t ~writer:0 ~page:0)
+
+let test_has_any_and_writers () =
+  let t = Store.create ~nprocs:4 ~page_size in
+  Store.add t ~writer:3 ~page:9 ~seq:5 ~vcsum:5 ~diff:(mk_diff 0 4 'q')
+    ~supersedes:false;
+  Alcotest.(check bool) "has newer" true (Store.has_any t ~writer:3 ~page:9 ~after:4);
+  Alcotest.(check bool) "none newer" false (Store.has_any t ~writer:3 ~page:9 ~after:5);
+  Alcotest.(check (list int)) "writers" [ 3 ] (Store.writers_of_page t ~page:9);
+  Alcotest.(check (list int)) "no writers" [] (Store.writers_of_page t ~page:1)
+
+let test_coalesce_preserves_accounting () =
+  (* many single-writer entries: payloads merge, per-interval sizes stay *)
+  let t = Store.create ~nprocs:2 ~page_size in
+  for seq = 1 to 12 do
+    Store.add t ~writer:0 ~page:0 ~seq ~vcsum:seq ~diff:(mk_diff 0 4 'k')
+      ~supersedes:false
+  done;
+  let r = Store.fetch t ~writer:0 ~page:0 ~after:0 ~upto:20 in
+  Alcotest.(check int) "all twelve accounted" 12 r.Store.ndiffs;
+  Alcotest.(check int) "bytes accumulated" 48 r.Store.charge_bytes;
+  (* applying the returned units reconstructs the content *)
+  let dst = Bytes.make page_size '\000' in
+  List.iter (fun u -> Diff.apply u.Store.payload dst) r.Store.units;
+  Alcotest.(check char) "content" 'k' (Bytes.get dst 0)
+
+let test_apply_order () =
+  (* units sort by their vcsum stamp: the later write wins *)
+  let t = Store.create ~nprocs:4 ~page_size in
+  Store.add t ~writer:0 ~page:0 ~seq:1 ~vcsum:3 ~diff:(mk_diff 0 4 'o')
+    ~supersedes:false;
+  Store.add t ~writer:1 ~page:0 ~seq:1 ~vcsum:7 ~diff:(mk_diff 0 4 'n')
+    ~supersedes:false;
+  let units =
+    (Store.fetch t ~writer:0 ~page:0 ~after:0 ~upto:9).Store.units
+    @ (Store.fetch t ~writer:1 ~page:0 ~after:0 ~upto:9).Store.units
+  in
+  let sorted = List.sort (fun a b -> compare a.Store.order b.Store.order) units in
+  let dst = Bytes.make page_size '\000' in
+  List.iter (fun u -> Diff.apply u.Store.payload dst) sorted;
+  Alcotest.(check char) "happens-after wins" 'n' (Bytes.get dst 0)
+
+let tests =
+  [
+    Alcotest.test_case "fetch after watermark" `Quick test_fetch_after;
+    Alcotest.test_case "entitlement filtering" `Quick test_entitlement;
+    Alcotest.test_case "WRITE_ALL supersede" `Quick test_supersede;
+    Alcotest.test_case "latest vcsum" `Quick test_latest_vcsum;
+    Alcotest.test_case "has_any / writers_of_page" `Quick test_has_any_and_writers;
+    Alcotest.test_case "coalescing keeps accounting" `Quick
+      test_coalesce_preserves_accounting;
+    Alcotest.test_case "apply order by stamp" `Quick test_apply_order;
+  ]
