@@ -2,10 +2,14 @@
 
      dsm_run --app jacobi --version tmk --level push --size large
      dsm_run --app is --version pvm --procs 4
+     dsm_run --app gauss --trace gauss.jsonl --check
      dsm_run --list
 
    Prints the virtual execution time, speedup over the uniprocessor time,
-   and the protocol statistics of the run. *)
+   and the protocol statistics of the run. [--trace FILE] records the
+   protocol events of a tmk run as JSON lines and prints a per-phase
+   summary; [--check] replays the trace through the LRC invariant
+   checker. *)
 
 open Cmdliner
 module A = Core.Apps.Common
@@ -29,7 +33,7 @@ let levels =
     ("push", A.Push_opt);
   ]
 
-let run app version level size procs sync list =
+let run app version level size procs sync trace_file check list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -49,12 +53,20 @@ let run app version level size procs sync list =
         let module App = (val m : A.APP) in
         let params = if size = "large" then App.large else App.small in
         let cfg = { Core.Config.default with Core.Config.nprocs = procs } in
+        let sink =
+          if (trace_file <> None || check) && version <> "tmk" then None
+          else if trace_file <> None || check then
+            Some (Core.Trace.Sink.create ~nprocs:procs ())
+          else None
+        in
         let result =
           match version with
           | "tmk" -> (
               match List.assoc_opt level levels with
               | None -> Error ("unknown level: " ^ level)
-              | Some l -> Ok (App.run_tmk cfg params ~level:l ~async:(not sync)))
+              | Some l ->
+                  Ok (App.run_tmk ?trace:sink cfg params ~level:l
+                        ~async:(not sync)))
           | "pvm" -> Ok (App.run_pvm cfg params)
           | "xhpf" -> (
               match App.run_xhpf with
@@ -74,7 +86,48 @@ let run app version level size procs sync list =
             Format.printf "  verification:      max error %g %s@." r.A.max_err
               (if r.A.max_err <= 1e-6 then "(correct)" else "(WRONG)");
             Format.printf "  %a@." Core.Stats.pp r.A.stats;
-            `Ok ())
+            (match sink with
+            | None ->
+                if trace_file <> None || check then
+                  Format.eprintf
+                    "note: --trace/--check apply to the tmk version only@.";
+                `Ok ()
+            | Some sink ->
+                Format.printf "  trace: %d events (%d dropped)@."
+                  (Core.Trace.Sink.emitted sink)
+                  (Core.Trace.Sink.dropped sink);
+                Format.printf "%a@." Core.Harness.Phases.pp
+                  (Core.Harness.Phases.of_events (Core.Trace.Sink.events sink));
+                let write_err =
+                  match trace_file with
+                  | Some file -> (
+                      match open_out file with
+                      | oc ->
+                          Fun.protect
+                            ~finally:(fun () -> close_out oc)
+                            (fun () -> Core.Trace.Sink.write_jsonl oc sink);
+                          Format.printf "  trace written to %s@." file;
+                          None
+                      | exception Sys_error msg ->
+                          Some ("cannot write trace: " ^ msg))
+                  | None -> None
+                in
+                match write_err with
+                | Some msg -> `Error (false, msg)
+                | None ->
+                if check then begin
+                  match Core.Trace.Check.run_sink sink with
+                  | [] ->
+                      Format.printf "  checker: 0 violations@.";
+                      `Ok ()
+                  | vs ->
+                      Format.printf "@[<v>  checker: %d violations@,%a@]@."
+                        (List.length vs)
+                        (Format.pp_print_list Core.Trace.Check.pp_violation)
+                        vs;
+                      `Error (false, "LRC invariant violations found")
+                end
+                else `Ok ()))
 
 let cmd =
   (* cmdliner's Term module defines [app]; keep the argument terms suffixed *)
@@ -101,11 +154,30 @@ let cmd =
   let sync =
     Arg.(value & flag & info [ "sync" ] ~doc:"Synchronous data fetching.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the protocol events of the (tmk) run to $(docv) as JSON \
+             lines and print a per-phase summary.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Replay the recorded trace through the LRC invariant checker; \
+             exit non-zero on violations.")
+  in
   let list = Arg.(value & flag & info [ "list" ] ~doc:"List applications.") in
   let doc = "run a benchmark application on the simulated DSM" in
   Cmd.v
     (Cmd.info "dsm_run" ~doc)
     Term.(
-      ret (const run $ app_t $ version $ level $ size $ procs $ sync $ list))
+      ret
+        (const run $ app_t $ version $ level $ size $ procs $ sync $ trace_file
+       $ check $ list))
 
 let () = exit (Cmd.eval cmd)

@@ -35,7 +35,10 @@ module type APP = sig
   val seq_time_us : params -> float
 
   val run_tmk :
+    ?trace:Dsm_trace.Sink.t ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
+  (** [trace] records the compute run's protocol events (the untimed
+      verification pass stays untraced). *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
   val run_xhpf : (Dsm_sim.Config.t -> params -> result) option

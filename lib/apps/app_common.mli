@@ -40,7 +40,10 @@ module type APP = sig
   (** Virtual uniprocessor execution time (Table 1 baseline). *)
 
   val run_tmk :
+    ?trace:Dsm_trace.Sink.t ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
+  (** [trace] records the compute run's protocol events (the untimed
+      verification pass stays untraced). *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
 

@@ -207,7 +207,7 @@ let seq_time_us { n; iters; bf_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk cfg ({ n; iters; bf_cost } as prm) ~level ~async =
+let run_tmk ?trace cfg ({ n; iters; bf_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
   let x = Tmk.alloc_f64_3 sys "x" (2 * n) n n in
   let y = Tmk.alloc_f64_3 sys "y" (2 * n) n n in
@@ -232,7 +232,7 @@ let run_tmk cfg ({ n; iters; bf_cost } as prm) ~level ~async =
         let lo, hi = bounds n np q in
         [ Shm.F64_3.section y (2 * lo, (2 * hi) + 1, 1) (0, n - 1, 1) (0, n - 1, 1) ])
   in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       let lo, hi = bounds n np p in
       let w = hi - lo + 1 in

@@ -6,4 +6,7 @@
     readers' slices — the false-sharing amplification [Push] removes. All
     five optimization levels apply. *)
 
-include App_common.APP
+type params = { n : int; iters : int; bf_cost : float }
+(** Cube edge, iteration count and calibrated per-butterfly cost (us). Exposed so callers can size custom runs. *)
+
+include App_common.APP with type params := params

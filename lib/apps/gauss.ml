@@ -103,14 +103,14 @@ let seq_time_us { m; update_cost = u } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk cfg ({ m; update_cost = u } as prm) ~level ~async =
+let run_tmk ?trace cfg ({ m; update_cost = u } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
   let sys = Tmk.make cfg in
   let a = Tmk.alloc_f64_2 sys "a" m m in
   (* work(k+1) = pivot row (as float); work(k+1+d) = multiplier l(k+d) *)
   let work = Tmk.alloc_f64_1 sys "work" (m + 1) in
   let np = cfg.Dsm_sim.Config.nprocs in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       (* initialize own (cyclic) columns *)
       for j = 0 to m - 1 do

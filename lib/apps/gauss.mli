@@ -5,4 +5,7 @@
     effective optimization, as in the paper. No [Push] (two barriers per
     iteration carry anti-dependences). *)
 
-include App_common.APP
+type params = { m : int; update_cost : float }
+(** Matrix edge and calibrated per-element elimination cost (us). Exposed so callers can size custom runs. *)
+
+include App_common.APP with type params := params

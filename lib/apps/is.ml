@@ -92,7 +92,7 @@ let seq_time_us { n_keys; n_buckets; reps; key_cost; bucket_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
+let run_tmk ?trace cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
     ~level ~async =
   (* Our buckets stand in for 16x the paper's (2^19 vs 2^15, 2^15 vs 2^11):
      scale the per-page cost of matching piggy-backed section requests
@@ -122,7 +122,7 @@ let run_tmk cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
   in
   let whole_section = [ Shm.I64_1.section bucket (0, n_buckets - 1, 1) ] in
   let ranks = Array.make n_keys 0 in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       let priv = Array.make n_buckets 0 in
       let my_lo = p * chunk in

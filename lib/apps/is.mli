@@ -5,4 +5,13 @@
     [Validate(..., READ&WRITE_ALL)] pays the most; no [Push] (the last
     lock holder is statically unknown) and no XHPF (indirect accesses). *)
 
-include App_common.APP
+type params = {
+  n_keys : int;
+  n_buckets : int;  (** multiple of the processor count *)
+  reps : int;
+  key_cost : float;  (** per key counted/ranked *)
+  bucket_cost : float;  (** per bucket summed/prefixed *)
+}
+(** Key/bucket counts, repetitions and calibrated per-item costs (us). Exposed so callers can size custom runs. *)
+
+include App_common.APP with type params := params

@@ -78,7 +78,7 @@ let seq_time_us { m; iters; update_cost; copy_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
+let run_tmk ?trace cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
   let b = Tmk.alloc_f64_2 sys "b" m m in
   let np = cfg.Dsm_sim.Config.nprocs in
@@ -91,7 +91,7 @@ let run_tmk cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
         let lo, hi = bounds m np q in
         [ Shm.F64_2.section b (0, m - 1, 1) (lo, hi, 1) ])
   in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       let lo, hi = bounds m np p in
       let width = hi - lo + 1 in

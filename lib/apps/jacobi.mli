@@ -5,4 +5,9 @@
     [Validate(b[...], WRITE_ALL)] after Barrier(1) and Barrier(2) replaced
     by [Push]. All five optimization levels apply. *)
 
-include App_common.APP
+type params = { m : int; iters : int; update_cost : float; copy_cost : float }
+(** Grid edge, iteration count, calibrated per-element costs (us). The
+    record is exposed so callers can size custom runs, e.g.
+    [{ small with m = 128; iters = 3 }]. *)
+
+include App_common.APP with type params := params

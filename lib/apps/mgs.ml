@@ -78,12 +78,12 @@ let seq_time_us { m; n; dot_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk cfg ({ m; n; dot_cost } as prm) ~level ~async =
+let run_tmk ?trace cfg ({ m; n; dot_cost } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
   let sys = Tmk.make cfg in
   let q = Tmk.alloc_f64_2 sys "q" m n in
   let np = cfg.Dsm_sim.Config.nprocs in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       for j = 0 to n - 1 do
         if j mod np = p then begin

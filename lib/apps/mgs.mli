@@ -4,4 +4,7 @@
     optimization; the strided cyclic ownership costs extra run-time work,
     which keeps both the optimized DSM and XHPF behind PVMe (Section 6.2). *)
 
-include App_common.APP
+type params = { m : int; n : int; dot_cost : float }
+(** Vector length, vector count and calibrated per-element cost (us). Exposed so callers can size custom runs. *)
+
+include App_common.APP with type params := params

@@ -220,7 +220,7 @@ let bounds n nprocs p =
   let w = (n + nprocs - 1) / nprocs in
   (p * w, min (n - 1) (((p + 1) * w) - 1))
 
-let run_tmk cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
+let run_tmk ?trace cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
   let names =
     [| "u"; "v"; "p"; "unew"; "vnew"; "pnew"; "uold"; "vold"; "pold";
@@ -228,7 +228,7 @@ let run_tmk cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
   in
   let arrs = Array.map (fun nm -> Tmk.alloc_f64_2 sys nm m n) names in
   let np = cfg.Dsm_sim.Config.nprocs in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       let jlo, jhi = bounds n np p in
       let width = jhi - jlo + 1 in

@@ -6,4 +6,7 @@
     gains are relatively larger than Jacobi's because many more pages are
     in use. *)
 
-include App_common.APP
+type params = { m : int; n : int; steps : int; point_cost : float }
+(** Grid dimensions, time steps and calibrated per-point cost (us). Exposed so callers can size custom runs. *)
+
+include App_common.APP with type params := params

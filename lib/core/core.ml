@@ -24,6 +24,12 @@ module Page_table = Dsm_mem.Page_table
 module Tmk = Dsm_tmk.Tmk
 module Shm = Dsm_tmk.Shm
 module Vc = Dsm_tmk.Vc
+
+module Trace = struct
+  module Event = Dsm_trace.Event
+  module Sink = Dsm_trace.Sink
+  module Check = Dsm_trace.Check
+end
 module Mp = Dsm_mp.Mp
 module Hpf = Dsm_hpf.Hpf
 
@@ -51,4 +57,5 @@ end
 module Harness = struct
   module Runset = Dsm_harness.Runset
   module Experiments = Dsm_harness.Experiments
+  module Phases = Dsm_harness.Phases
 end

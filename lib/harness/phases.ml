@@ -1,0 +1,119 @@
+(* Per-phase trace summaries.
+
+   A traced run decomposes into phases delimited by barrier departures:
+   phase [k] covers, for each processor, the events between its [k]'th and
+   [k+1]'th departures (phase 0 starts at program start). Attribution is
+   per-processor — the simulator interleaves processors inside one global
+   event order, so a fixed global split would misfile events of processors
+   that have not crossed the barrier yet. *)
+
+type phase = {
+  epoch : int;
+  events : int;
+  end_time : float;  (* max virtual time of any event in the phase *)
+  faults : int;
+  twins : int;
+  diffs_created : int;
+  diffs_applied : int;
+  diff_bytes : int;  (* bytes of diff data applied *)
+  notices : int;  (* write notices applied *)
+  invalidations : int;
+  lock_acquires : int;
+  validates : int;
+  push_msgs : int;
+  push_bytes : int;
+  broadcasts : int;
+}
+
+let empty epoch =
+  {
+    epoch;
+    events = 0;
+    end_time = 0.0;
+    faults = 0;
+    twins = 0;
+    diffs_created = 0;
+    diffs_applied = 0;
+    diff_bytes = 0;
+    notices = 0;
+    invalidations = 0;
+    lock_acquires = 0;
+    validates = 0;
+    push_msgs = 0;
+    push_bytes = 0;
+    broadcasts = 0;
+  }
+
+let of_events events =
+  let module E = Dsm_trace.Event in
+  let phases : (int, phase ref) Hashtbl.t = Hashtbl.create 16 in
+  let depart_count : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let phase_of epoch =
+    match Hashtbl.find_opt phases epoch with
+    | Some r -> r
+    | None ->
+        let r = ref (empty epoch) in
+        Hashtbl.replace phases epoch r;
+        r
+  in
+  List.iter
+    (fun (e : E.t) ->
+      let k = Option.value ~default:0 (Hashtbl.find_opt depart_count e.proc) in
+      let r = phase_of k in
+      let ph = !r in
+      let ph = { ph with events = ph.events + 1 } in
+      let ph =
+        if e.time > ph.end_time then { ph with end_time = e.time } else ph
+      in
+      let ph =
+        match e.kind with
+        | E.Page_fault _ -> { ph with faults = ph.faults + 1 }
+        | E.Twin _ -> { ph with twins = ph.twins + 1 }
+        | E.Diff_create _ -> { ph with diffs_created = ph.diffs_created + 1 }
+        | E.Diff_apply { bytes; _ } ->
+            {
+              ph with
+              diffs_applied = ph.diffs_applied + 1;
+              diff_bytes = ph.diff_bytes + bytes;
+            }
+        | E.Notice_apply { invalidated; _ } ->
+            {
+              ph with
+              notices = ph.notices + 1;
+              invalidations = (ph.invalidations + if invalidated then 1 else 0);
+            }
+        | E.Lock_grant _ -> { ph with lock_acquires = ph.lock_acquires + 1 }
+        | E.Validate _ -> { ph with validates = ph.validates + 1 }
+        | E.Push_send { bytes; _ } ->
+            {
+              ph with
+              push_msgs = ph.push_msgs + 1;
+              push_bytes = ph.push_bytes + bytes;
+            }
+        | E.Broadcast _ -> { ph with broadcasts = ph.broadcasts + 1 }
+        | E.Diff_fetch _ | E.Fetch_done _ | E.Notice_send _
+        | E.Barrier_arrive _ | E.Barrier_depart _ | E.Lock_request _
+        | E.Push_recv _ | E.Push_rollback _ ->
+            ph
+      in
+      r := ph;
+      match e.kind with
+      | E.Barrier_depart _ -> Hashtbl.replace depart_count e.proc (k + 1)
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) phases []
+  |> List.sort (fun a b -> compare a.epoch b.epoch)
+
+let pp ppf phases =
+  Format.fprintf ppf
+    "@[<v>%6s %8s %10s %7s %6s %7s %7s %9s %8s %6s %6s %6s@,"
+    "phase" "events" "end(us)" "faults" "twins" "diff_c" "diff_a" "bytes"
+    "notices" "locks" "valid" "push";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "%6d %8d %10.0f %7d %6d %7d %7d %9d %8d %6d %6d %6d@," p.epoch
+        p.events p.end_time p.faults p.twins p.diffs_created p.diffs_applied
+        p.diff_bytes p.notices p.lock_acquires p.validates p.push_msgs)
+    phases;
+  Format.fprintf ppf "@]"

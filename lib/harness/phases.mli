@@ -1,0 +1,31 @@
+(** Per-phase summaries of a protocol trace.
+
+    A traced run decomposes into phases delimited by barrier departures:
+    phase [k] covers, for each processor, its events between its [k]'th and
+    [k+1]'th barrier departures (phase 0 starts at program start, and the
+    run's trailing exit barrier ends the last phase). *)
+
+type phase = {
+  epoch : int;
+  events : int;
+  end_time : float;  (** max virtual time of any event in the phase, us *)
+  faults : int;
+  twins : int;
+  diffs_created : int;
+  diffs_applied : int;
+  diff_bytes : int;  (** bytes of diff data applied *)
+  notices : int;  (** write notices applied *)
+  invalidations : int;
+  lock_acquires : int;
+  validates : int;
+  push_msgs : int;
+  push_bytes : int;
+  broadcasts : int;
+}
+
+val of_events : Dsm_trace.Event.t list -> phase list
+(** Aggregate an event list (in emission order, e.g. from
+    {!Dsm_trace.Sink.events}) into per-phase summaries, sorted by epoch. *)
+
+val pp : Format.formatter -> phase list -> unit
+(** Render as an aligned table, one row per phase. *)

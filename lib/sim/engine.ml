@@ -1,5 +1,16 @@
 exception Deadlock of string
 
+exception Proc_failure of int * exn
+(* An exception escaped one simulated processor's fiber; carries the
+   processor id and the original exception. The scheduler discontinues the
+   surviving fibers before re-raising, so no continuation is leaked. *)
+
+let () =
+  Printexc.register_printer (function
+    | Proc_failure (p, e) ->
+        Some (Printf.sprintf "Proc_failure (p%d, %s)" p (Printexc.to_string e))
+    | _ -> None)
+
 type _ Effect.t += Block : (unit -> bool) -> unit Effect.t
 
 let block ~until = Effect.perform (Block until)
@@ -20,7 +31,14 @@ let run ~nprocs main =
   let handler p =
     {
       Effect.Deep.retc = (fun () -> cells.(p) <- Finished);
-      exnc = (fun e -> raise e);
+      exnc =
+        (fun e ->
+          (* the raising fiber is done; mark it so the cleanup pass below
+             only discontinues the genuinely suspended siblings *)
+          cells.(p) <- Finished;
+          match e with
+          | Proc_failure _ -> raise e
+          | e -> raise (Proc_failure (p, e)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -30,6 +48,18 @@ let run ~nprocs main =
                   cells.(p) <- Waiting { pred; k })
           | _ -> None);
     }
+  in
+  (* Unwind every suspended fiber (running its cleanup handlers) so the
+     scheduler never leaks a continuation when one processor fails. *)
+  let discontinue_waiting () =
+    Array.iteri
+      (fun q c ->
+        match c with
+        | Waiting { k; _ } ->
+            cells.(q) <- Finished;
+            (try Effect.Deep.discontinue k Exit with _ -> ())
+        | Not_started _ | Running | Finished -> ())
+      cells
   in
   let rec loop () =
     let progress = ref false in
@@ -66,4 +96,7 @@ let run ~nprocs main =
         raise (Deadlock (Printf.sprintf "fibers blocked: [%s]" blocked))
       end
   in
-  loop ()
+  try loop ()
+  with e ->
+    discontinue_waiting ();
+    raise e

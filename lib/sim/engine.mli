@@ -11,6 +11,12 @@
 exception Deadlock of string
 (** Raised when no fiber can make progress but some have not terminated. *)
 
+exception Proc_failure of int * exn
+(** An exception escaped processor [p]'s fiber: re-raised as
+    [Proc_failure (p, original)] after every suspended sibling fiber has
+    been discontinued (unwound through its cleanup handlers), so a failing
+    run leaks no continuation and leaves no fiber marked running. *)
+
 val block : until:(unit -> bool) -> unit
 (** Suspend the calling fiber until [until ()] holds. Must be called from
     within {!run}. The predicate is re-evaluated by the scheduler; it must be
@@ -24,4 +30,6 @@ val run : nprocs:int -> (int -> unit) -> unit
     fibers until all terminate.
 
     @raise Deadlock if all remaining fibers are blocked on predicates that no
-    runnable fiber can satisfy. *)
+    runnable fiber can satisfy.
+    @raise Proc_failure if an exception escapes one of the fibers; the
+    remaining fibers are discontinued first. *)

@@ -13,6 +13,26 @@ module Range = Dsm_rsd.Range
 
 let debug = Sys.getenv_opt "DSM_DEBUG" <> None
 
+(* Trace emission. Call sites guard with [sys.trace <> None] BEFORE
+   building the event payload, so a disabled trace allocates nothing.
+   Emission reads the clock and vector clock but never charges: tracing
+   cannot perturb the cost model. *)
+let emit sys p kind =
+  match sys.trace with
+  | None -> ()
+  | Some sink ->
+      Dsm_trace.Sink.emit sink ~proc:p
+        ~time:(Cluster.time sys.cluster p)
+        ~vc:(Vc.copy sys.states.(p).vc)
+        kind
+
+(* The current interval's write set, as a sorted page list (dirty is a
+   hash set; every consumer needs a deterministic order). *)
+let dirty_pages st = Hashtbl.fold (fun page () acc -> page :: acc) st.dirty []
+let in_dirty st page = Hashtbl.mem st.dirty page
+let mark_dirty st page =
+  if not (Hashtbl.mem st.dirty page) then Hashtbl.replace st.dirty page ()
+
 let meta st ~nprocs page =
   match Hashtbl.find_opt st.meta page with
   | Some m -> m
@@ -61,7 +81,7 @@ let protect_runs sys p pages =
    the twin was made. *)
 let release sys p =
   let st = sys.states.(p) in
-  match st.dirty with
+  match dirty_pages st with
   | [] -> None
   | dirty ->
       let seq = Vc.get st.vc p + 1 in
@@ -87,8 +107,10 @@ let release sys p =
             pg.Page_table.prot <- Page_table.Read_only)
         pages;
       protect_runs sys p pages;
-      st.dirty <- [];
+      Hashtbl.reset st.dirty;
       sys.logs.(p) <- (seq, pages) :: sys.logs.(p);
+      if sys.trace <> None then
+        emit sys p (Dsm_trace.Event.Notice_send { seq; pages });
       Some (seq, pages)
 
 (* Create the pending diff of [writer] for [page], covering every interval
@@ -145,8 +167,17 @@ let materialize sys ~writer ~page =
       Diff_store.add sys.store ~writer ~page ~seq:m.lazy_hi
         ~vcsum:m.lazy_vcsum ~diff ~supersedes;
     Diff_store.note_applied sys.store ~writer ~page ~by:writer ~seq:m.lazy_hi;
+    if sys.trace <> None then
+      emit sys writer
+        (Dsm_trace.Event.Diff_create
+           {
+             page;
+             seq = m.lazy_hi;
+             bytes = Diff.size_bytes diff;
+             write_all = not (Range.is_empty m.write_all);
+           });
     m.lazy_hi <- 0;
-    if List.mem page st.dirty then begin
+    if in_dirty st page then begin
       (* The writer is still modifying this page in its current (unreleased)
          interval. The diff above conservatively includes those bytes; keep
          the twin and the WRITE_ALL marker so that the next materialization
@@ -198,7 +229,18 @@ let apply_notice sys p ~writer ~seq ~pages =
             pg.Page_table.prot <- Page_table.No_access;
             invalidated := page :: !invalidated
           end
-        end)
+        end;
+        if sys.trace <> None then
+          emit sys p
+            (Dsm_trace.Event.Notice_apply
+               {
+                 writer;
+                 seq;
+                 page;
+                 invalidated =
+                   (Page_table.get st.pt page).Page_table.prot
+                   = Page_table.No_access;
+               }))
       pages;
     if !invalidated <> [] then protect_runs sys p !invalidated
   end
@@ -306,6 +348,17 @@ let gather_needs sys p pages ?only_via () =
                 List.iter
                   (fun q ->
                     if q <> qstar then begin
+                      (* pruned history counts as applied without moving
+                         data; the watermark advance is still an event *)
+                      if sys.trace <> None then
+                        emit sys p
+                          (Dsm_trace.Event.Diff_fetch
+                             {
+                               writer = q;
+                               page;
+                               after = m.applied.(q);
+                               upto = m.known.(q);
+                             });
                       m.applied.(q) <- m.known.(q);
                       Diff_store.note_applied sys.store ~writer:q ~page ~by:p
                         ~seq:m.applied.(q)
@@ -375,6 +428,9 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
               (fun acc u -> max acc u.Diff_store.upto_seq)
               upto r.Diff_store.units
           in
+          if sys.trace <> None then
+            emit sys p
+              (Dsm_trace.Event.Diff_fetch { writer = q; page; after; upto = high });
           m.applied.(q) <- max m.applied.(q) high;
           Diff_store.note_applied sys.store ~writer:q ~page ~by:p
             ~seq:m.applied.(q))
@@ -425,6 +481,16 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
               p page u.Diff_store.writer u.Diff_store.order
               u.Diff_store.upto_seq
               (Diff.size_bytes u.Diff_store.payload);
+          if sys.trace <> None then
+            emit sys p
+              (Dsm_trace.Event.Diff_apply
+                 {
+                   writer = u.Diff_store.writer;
+                   page;
+                   order = u.Diff_store.order;
+                   upto_seq = u.Diff_store.upto_seq;
+                   bytes = Diff.size_bytes u.Diff_store.payload;
+                 });
           Diff.apply u.Diff_store.payload pg.Page_table.data;
           match pg.Page_table.twin with
           | Some twin -> Diff.apply u.Diff_store.payload twin
@@ -432,7 +498,13 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
         sorted)
     units_by_page;
   Cluster.charge sys.cluster p
-    (cfg.Config.diff_apply_per_byte_us *. float_of_int !applied_bytes)
+    (cfg.Config.diff_apply_per_byte_us *. float_of_int !applied_bytes);
+  if sys.trace <> None then
+    List.iter
+      (fun page ->
+        emit sys p
+          (Dsm_trace.Event.Fetch_done { page; full = only_via = None }))
+      (List.sort_uniq compare pages)
 
 (* Make a page's copy consistent, consuming a pending asynchronous response
    if one covers the page, and paying on-demand requests otherwise. *)
@@ -445,8 +517,6 @@ let make_consistent sys p page =
       fetch_and_apply sys p [ page ] ~mode:Prepaid ()
   | None -> fetch_and_apply sys p [ page ] ~mode:Rpc ()
 
-let in_dirty st page = List.mem page st.dirty
-
 (* {1 Access misses} *)
 
 let read_fault sys p page =
@@ -454,6 +524,8 @@ let read_fault sys p page =
   let pstats = sys.cluster.Cluster.stats.(p) in
   pstats.Stats.segv <- pstats.Stats.segv + 1;
   Cluster.mm_op sys.cluster p ~npages:1;
+  if sys.trace <> None then
+    emit sys p (Dsm_trace.Event.Page_fault { page; write = false; fetch = true });
   make_consistent sys p page;
   let pg = Page_table.get st.pt page in
   pg.Page_table.prot <-
@@ -488,6 +560,7 @@ let apply_access_state sys p ~ranges ~access =
         if twin && pg.Page_table.twin = None then begin
           Page_table.make_twin pg;
           pstats.Stats.twins <- pstats.Stats.twins + 1;
+          if sys.trace <> None then emit sys p (Dsm_trace.Event.Twin { page });
           Cluster.charge sys.cluster p
             (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
         end;
@@ -495,7 +568,7 @@ let apply_access_state sys p ~ranges ~access =
           pg.Page_table.prot <- Page_table.Read_write;
           transitions := page :: !transitions
         end;
-        if not (in_dirty st page) then st.dirty <- page :: st.dirty)
+        mark_dirty st page)
       pages;
     if !transitions <> [] then protect_runs sys p !transitions
   in
@@ -577,12 +650,16 @@ let write_fault sys p page =
   Cluster.mm_op sys.cluster p ~npages:1;
   let pg = Page_table.get st.pt page in
   let m = meta st ~nprocs:sys.nprocs page in
-  if pg.Page_table.prot = Page_table.No_access then make_consistent sys p page;
+  let fetch = pg.Page_table.prot = Page_table.No_access in
+  if sys.trace <> None then
+    emit sys p (Dsm_trace.Event.Page_fault { page; write = true; fetch });
+  if fetch then make_consistent sys p page;
   if Range.is_empty m.write_all && pg.Page_table.twin = None then begin
     Page_table.make_twin pg;
     pstats.Stats.twins <- pstats.Stats.twins + 1;
+    if sys.trace <> None then emit sys p (Dsm_trace.Event.Twin { page });
     Cluster.charge sys.cluster p
       (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
   end;
-  if not (in_dirty st page) then st.dirty <- page :: st.dirty;
+  mark_dirty st page;
   pg.Page_table.prot <- Page_table.Read_write

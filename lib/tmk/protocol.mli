@@ -27,6 +27,12 @@ open Types
 val debug : bool
 (** [DSM_DEBUG] environment toggle: traces fetches and diff applications. *)
 
+val emit : system -> int -> Dsm_trace.Event.kind -> unit
+(** Append a protocol event to the system's sink (no-op when tracing is
+    off). Guard call sites with [sys.trace <> None] before building the
+    event payload so a disabled trace allocates nothing; emission never
+    charges simulated time. *)
+
 val meta : pstate -> nprocs:int -> int -> page_meta
 (** Per-page protocol metadata (applied/known watermarks, WRITE_ALL ranges,
     pending lazy interval), created on first use. *)
@@ -93,6 +99,7 @@ val make_consistent : system -> int -> int -> unit
     response when present, paying on-demand requests otherwise. *)
 
 val in_dirty : pstate -> int -> bool
+(** Membership in the current interval's write set (hash set; O(1)). *)
 
 val record_write_all : system -> int -> Dsm_rsd.Range.t -> unit
 (** Mark byte ranges as validated WRITE_ALL: the fault handler skips twin

@@ -175,7 +175,11 @@ let handle_wsync_at_barrier sys p ~epoch ~departure_clock ~my_reqs =
       Cluster.charge sys.cluster p
         (float_of_int hops
         *. (cfg.Config.msg_overhead_us
-           +. (cfg.Config.per_byte_us *. float_of_int bytes)))
+           +. (cfg.Config.per_byte_us *. float_of_int bytes)));
+      if sys.trace <> None then
+        Protocol.emit sys p
+          (Dsm_trace.Event.Broadcast
+             { bytes; requesters = plan.bp_requesters })
   | Some _ | None -> ());
   (* Requester side: consume responses. The asynchronous variant does not
      wait for the data messages: their arrival times are recorded and the
@@ -305,6 +309,8 @@ let barrier t =
   st.notices_sent_seq <- Vc.get st.vc p;
   if p <> 0 then ignore (Cluster.send sys.cluster ~src:p ~dst:0 ~bytes:nbytes);
   b.arrival_clock.(p) <- Cluster.time sys.cluster p;
+  if sys.trace <> None then
+    Protocol.emit sys p (Dsm_trace.Event.Barrier_arrive { epoch = my_epoch });
   b.arrived <- b.arrived + 1;
   if b.arrived = sys.nprocs then begin
     (* Last arriver performs the master's merge on its behalf. *)
@@ -346,6 +352,8 @@ let barrier t =
   Engine.block ~until:(fun () -> b.epoch > my_epoch);
   if p = 0 then Cluster.sync_clock sys.cluster 0 b.master_resume_clock
   else Cluster.sync_clock sys.cluster p b.departure_clock;
+  if sys.trace <> None then
+    Protocol.emit sys p (Dsm_trace.Event.Barrier_depart { epoch = my_epoch });
   ignore (Protocol.pull_notices sys p ~upto:b.departure_vc);
   (* restore full consistency for pages only partially covered by pushes:
      roll the applied watermark back so the next access refetches the whole
@@ -355,6 +363,9 @@ let barrier t =
     (fun (page, writer, seq) ->
       let m = Protocol.meta st ~nprocs:sys.nprocs page in
       if m.applied.(writer) = seq then begin
+        if sys.trace <> None then
+          Protocol.emit sys p
+            (Dsm_trace.Event.Push_rollback { page; writer; seq });
         m.applied.(writer) <- seq - 1;
         let pg = Dsm_mem.Page_table.get st.pt page in
         if pg.Dsm_mem.Page_table.prot <> Dsm_mem.Page_table.No_access then begin
@@ -366,7 +377,18 @@ let barrier t =
   st.partial_push <- [];
   if !rolled <> [] then Protocol.protect_runs sys p !rolled;
   handle_wsync_at_barrier sys p ~epoch:my_epoch
-    ~departure_clock:b.departure_clock ~my_reqs
+    ~departure_clock:b.departure_clock ~my_reqs;
+  (* prune the piggy-backed-request table once every processor has finished
+     this epoch's departure processing — without this the table (and the
+     departure-count table) grow without bound over a run *)
+  let ndone =
+    1 + Option.value ~default:0 (Hashtbl.find_opt b.wsync_done my_epoch)
+  in
+  if ndone >= sys.nprocs then begin
+    Hashtbl.remove b.wsync_done my_epoch;
+    Hashtbl.remove b.wsync_tbl my_epoch
+  end
+  else Hashtbl.replace b.wsync_done my_epoch ndone
 
 (* {1 Locks} *)
 
@@ -417,11 +439,16 @@ let lock_acquire t lid =
     end
     else arrival
   in
+  if sys.trace <> None then
+    Protocol.emit sys p (Dsm_trace.Event.Lock_request { lock = lid });
   if lk.held_by = None && lk.granted = None && lk.pending = [] then begin
     lk.granted <- Some p;
     lk.grant_clock <- Float.max arrival lk.release_clock
   end
-  else lk.pending <- lk.pending @ [ (p, arrival) ];
+  else
+    (* newest first: O(1) instead of a quadratic append; {!lock_release}
+       still grants by earliest arrival, oldest enqueued on ties *)
+    lk.pending <- (p, arrival) :: lk.pending;
   Engine.block ~until:(fun () -> lk.granted = Some p);
   lk.granted <- None;
   lk.held_by <- Some p;
@@ -430,25 +457,33 @@ let lock_acquire t lid =
     lk.grant_clock +. cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
     +. cfg.Config.lock_service_us
   in
-  if grantor <> p then begin
-    (* grant handling steals cycles from the grantor *)
-    Cluster.charge sys.cluster grantor
-      (cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
-     +. cfg.Config.lock_service_us);
-    let gstats = sys.cluster.Cluster.stats.(grantor) in
-    gstats.Stats.messages <- gstats.Stats.messages + 1;
-    Cluster.sync_clock sys.cluster p
-      (grant_ready +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us);
-    let upto = match lk.release_vc with Some v -> v | None -> st.vc in
-    let ncount = Protocol.pull_notices sys p ~upto in
-    let grant_bytes = 16 + (cfg.Config.notice_bytes * ncount) in
-    gstats.Stats.bytes <- gstats.Stats.bytes + grant_bytes;
-    Cluster.charge sys.cluster p
-      (cfg.Config.per_byte_us *. float_of_int grant_bytes)
-  end
-  else
-    (* re-acquiring a lock this processor released last: local grant *)
-    Cluster.sync_clock sys.cluster p grant_ready;
+  let ncount =
+    if grantor <> p then begin
+      (* grant handling steals cycles from the grantor *)
+      Cluster.charge sys.cluster grantor
+        (cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+       +. cfg.Config.lock_service_us);
+      let gstats = sys.cluster.Cluster.stats.(grantor) in
+      gstats.Stats.messages <- gstats.Stats.messages + 1;
+      Cluster.sync_clock sys.cluster p
+        (grant_ready +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us);
+      let upto = match lk.release_vc with Some v -> v | None -> st.vc in
+      let ncount = Protocol.pull_notices sys p ~upto in
+      let grant_bytes = 16 + (cfg.Config.notice_bytes * ncount) in
+      gstats.Stats.bytes <- gstats.Stats.bytes + grant_bytes;
+      Cluster.charge sys.cluster p
+        (cfg.Config.per_byte_us *. float_of_int grant_bytes);
+      ncount
+    end
+    else begin
+      (* re-acquiring a lock this processor released last: local grant *)
+      Cluster.sync_clock sys.cluster p grant_ready;
+      0
+    end
+  in
+  if sys.trace <> None then
+    Protocol.emit sys p
+      (Dsm_trace.Event.Lock_grant { lock = lid; grantor; notices = ncount });
   (* piggy-backed section requests are answered on the grant message with
      the diffs the grantor holds locally *)
   List.iter
@@ -478,10 +513,14 @@ let lock_release t lid =
   match lk.pending with
   | [] -> ()
   | pending ->
+      (* [pending] is newest first; grant the earliest arrival, breaking
+         ties towards the oldest enqueued request ([<=] walking
+         newest-to-oldest leaves the oldest tied element as winner, exactly
+         as the former append-order list with a strict [<] did) *)
       let (next, arr), rest =
         List.fold_left
           (fun ((bp, ba), rest) (q, a) ->
-            if a < ba then ((q, a), (bp, ba) :: rest)
+            if a <= ba then ((q, a), (bp, ba) :: rest)
             else ((bp, ba), (q, a) :: rest))
           (List.hd pending, [])
           (List.tl pending)

@@ -25,7 +25,7 @@ let make cfg =
             Types.me = p;
             pt = Dsm_mem.Page_table.create ~page_size:cfg.Config.page_size;
             vc = Vc.create nprocs;
-            dirty = [];
+            dirty = Hashtbl.create 64;
             meta = Hashtbl.create 256;
             pending_async = Hashtbl.create 64;
             pending_wsync = [];
@@ -44,20 +44,26 @@ let make cfg =
         master_resume_clock = 0.0;
         departure_vc = Vc.create nprocs;
         wsync_tbl = Hashtbl.create 64;
+        wsync_done = Hashtbl.create 64;
         bcast_plan = None;
       };
     pushbox = Hashtbl.create 64;
     page_size = cfg.Config.page_size;
     nprocs;
+    trace = None;
   }
 
-let run sys main =
+let run ?trace sys main =
+  sys.Types.trace <- trace;
   (* every program ends with an exit barrier, as in TreadMarks: it restores
      full consistency after any trailing Push phases *)
-  Engine.run ~nprocs:sys.Types.nprocs (fun p ->
-      let t = { Types.sys; p } in
-      main t;
-      Sync_ops.barrier t)
+  Fun.protect
+    ~finally:(fun () -> sys.Types.trace <- None)
+    (fun () ->
+      Engine.run ~nprocs:sys.Types.nprocs (fun p ->
+          let t = { Types.sys; p } in
+          main t;
+          Sync_ops.barrier t))
 
 let update_pages_in_use sys =
   sys.Types.cluster.Cluster.pages_in_use <-

@@ -30,8 +30,14 @@ type access = Types.access =
 
 val make : Dsm_sim.Config.t -> system
 
-val run : system -> (t -> unit) -> unit
-(** Execute the program on every simulated processor. *)
+val run : ?trace:Dsm_trace.Sink.t -> system -> (t -> unit) -> unit
+(** Execute the program on every simulated processor. [trace] collects
+    typed protocol events (page faults, twins, diff creations/applications,
+    write notices, synchronization, Validate/Push) for the duration of this
+    run; tracing never charges simulated time, so clocks, statistics and
+    shared memory are bit-identical with and without it. The trace can be
+    replayed through {!Dsm_trace.Check} or serialized with
+    {!Dsm_trace.Sink.write_jsonl}. *)
 
 (** {1 Allocation} (before {!run}) *)
 

@@ -39,7 +39,9 @@ type pstate = {
   me : int;
   pt : Dsm_mem.Page_table.t;
   vc : Vc.t;
-  mutable dirty : int list;  (* pages write-enabled in the current interval *)
+  dirty : (int, unit) Hashtbl.t;
+      (* pages write-enabled in the current interval; a set — {!Protocol.release}
+         takes a sorted snapshot so behaviour stays deterministic *)
   meta : (int, page_meta) Hashtbl.t;
   pending_async : (int, float) Hashtbl.t;  (* page -> response arrival time *)
   mutable pending_wsync : wsync_req list;
@@ -94,6 +96,10 @@ type barrier = {
   mutable departure_vc : Vc.t;  (* pointwise max of all vcs at departure *)
   wsync_tbl : (int, (int * wsync_req list) list) Hashtbl.t;
       (* epoch -> requests piggy-backed on arrival messages, per requester *)
+  wsync_done : (int, int) Hashtbl.t;
+      (* epoch -> processors done with that epoch's departure processing;
+         when the count reaches nprocs the epoch's wsync_tbl entry is dead
+         and both entries are pruned (the tables stay bounded over a run) *)
   mutable bcast_plan : (int * bcast_plan) option;  (* (epoch, plan) *)
 }
 
@@ -116,6 +122,10 @@ type system = {
   pushbox : (int * int, push_msg) Hashtbl.t;  (* (src, dst) *)
   page_size : int;
   nprocs : int;
+  mutable trace : Dsm_trace.Sink.t option;
+      (* protocol event sink; [None] (the default) makes every
+         instrumentation site a single comparison with no allocation, and
+         emission never touches clocks or statistics *)
 }
 
 (* Per-processor handle passed to application code. *)

@@ -26,6 +26,15 @@ let validate t ?(async = false) sections access =
   pstats.Stats.validates <- pstats.Stats.validates + 1;
   let ranges = ranges_of_sections sections in
   let pages = Range.pages ~page_size:sys.page_size ranges in
+  if sys.trace <> None then
+    Protocol.emit sys p
+      (Dsm_trace.Event.Validate
+         {
+           access = access_to_string access;
+           npages = List.length pages;
+           async;
+           w_sync = false;
+         });
   match access with
   | Read | Write | Read_write ->
       if async then Protocol.async_fetch sys p pages
@@ -52,12 +61,23 @@ let validate t ?(async = false) sections access =
    barrier), where it is answered with the diffs the releaser (or the other
    processors) hold locally. *)
 let validate_w_sync t ?(async = false) sections access =
+  let sys = t.sys in
   let st = state t in
   let pstats = stats t in
   pstats.Stats.validates <- pstats.Stats.validates + 1;
+  let ranges = ranges_of_sections sections in
+  if sys.trace <> None then
+    Protocol.emit sys t.p
+      (Dsm_trace.Event.Validate
+         {
+           access = access_to_string access;
+           npages = List.length (Range.pages ~page_size:sys.page_size ranges);
+           async;
+           w_sync = true;
+         });
   st.pending_wsync <-
     st.pending_wsync
-    @ [ { wr_ranges = ranges_of_sections sections; wr_access = access; wr_async = async } ]
+    @ [ { wr_ranges = ranges; wr_access = access; wr_async = async } ]
 
 (* Push(r_section[0..N-1], w_section[0..N-1]), Figure 3: replaces a barrier
    with point-to-point exchanges of exactly the data written before and read
@@ -96,6 +116,9 @@ let push t ~read_sections ~write_sections =
         Engine.block ~until:(fun () -> not (Hashtbl.mem sys.pushbox (p, i)));
         let bytes = Range.size inter + 32 in
         let arrival = Cluster.send sys.cluster ~src:p ~dst:i ~bytes in
+        if sys.trace <> None then
+          Protocol.emit sys p
+            (Dsm_trace.Event.Push_send { dst = i; bytes; seq = my_seq });
         Hashtbl.replace sys.pushbox (p, i)
           {
             pm_arrival = arrival;
@@ -143,6 +166,15 @@ let push t ~read_sections ~write_sections =
           msg.pm_payload;
         Cluster.charge sys.cluster p
           (cfg.Config.diff_apply_per_byte_us *. float_of_int !total);
+        if sys.trace <> None then
+          Protocol.emit sys p
+            (Dsm_trace.Event.Push_recv
+               {
+                 src = i;
+                 bytes = !total;
+                 seq = msg.pm_seq;
+                 pages = Range.pages ~page_size:sys.page_size !pushed_ranges;
+               });
         (* The pushed interval counts as received in place for every page it
            touched — even partially covered ones: the compiler guarantees
            the program does not read the regions left inconsistent, and the

@@ -1,0 +1,374 @@
+(* LRC invariant checker: replay a trace and assert the protocol's
+   correctness conditions over the reconstructed per-processor state.
+
+   The checker mirrors, per (processor, page), the applied/known
+   watermark arrays the run-time keeps in [page_meta], driven purely by
+   the events, and checks:
+
+   - vector clocks are monotone per processor, the own component changes
+     only at a release, and no processor's view of another ever exceeds
+     the intervals that processor has actually released
+     (merge-consistency: the simulator is sequential, so emission order
+     is consistent with happens-before);
+   - interval sequence numbers are consecutive;
+   - write notices are only applied for foreign, already-released
+     intervals, and a notice that leaves the page with unapplied foreign
+     modifications invalidates the local copy;
+   - diffs of one writer apply in non-decreasing interval/stamp order,
+     and within one fetch batch a page's diffs apply in non-decreasing
+     happens-before stamp order across writers;
+   - [applied.(q) <= known.(q)] at all times (an accumulated diff span
+     extending past the requested watermark implies the corresponding
+     notices, and raises [known] with [applied]);
+   - an access miss that must make its page consistent completes an
+     unrestricted fetch for that page before the processor's next
+     protocol action, and an unrestricted fetch leaves no foreign
+     interval known-but-unapplied (no processor reads a page with an
+     unapplied happens-before-ordered write notice; lock-grant
+     piggy-backed fetches restricted to the grantor's local diffs and
+     Push/WRITE_ALL windows are the explicit relaxations);
+   - partially pushed pages may roll their watermark back, but only to
+     the interval just below the pushed one;
+   - barrier arrivals and departures alternate with consecutive epochs. *)
+
+type violation = { event : Event.t option; rule : string; detail : string }
+
+let pp_violation ppf v =
+  (match v.event with
+  | Some e ->
+      Format.fprintf ppf "event #%d (p%d, %s, t=%.1f): " e.Event.id
+        e.Event.proc
+        (Event.kind_name e.Event.kind)
+        e.Event.time
+  | None -> ());
+  Format.fprintf ppf "[%s] %s" v.rule v.detail
+
+type page_state = {
+  applied : int array;
+  known : int array;
+  last_order : int array;  (* per writer, last applied diff stamp *)
+  last_upto : int array;  (* per writer, last applied diff end interval *)
+  mutable batch_order : int;  (* max stamp applied since the last fetch *)
+}
+
+type proc_state = {
+  mutable last_vc : int array option;
+  mutable own : int;  (* own interval counter = vc.(p) *)
+  mutable last_time : float;
+  mutable pending_fetch : int option;  (* faulting page awaiting Fetch_done *)
+  mutable in_barrier : bool;
+  mutable epoch : int;  (* barriers departed *)
+  pages : (int, page_state) Hashtbl.t;
+}
+
+type state = {
+  nprocs : int;
+  procs : proc_state array;
+  mutable violations : violation list;
+  mutable nchecked : int;
+}
+
+let page_state st p page =
+  let ps = st.procs.(p) in
+  match Hashtbl.find_opt ps.pages page with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          applied = Array.make st.nprocs 0;
+          known = Array.make st.nprocs 0;
+          last_order = Array.make st.nprocs min_int;
+          last_upto = Array.make st.nprocs 0;
+          batch_order = min_int;
+        }
+      in
+      Hashtbl.replace ps.pages page s;
+      s
+
+let create ~nprocs =
+  {
+    nprocs;
+    procs =
+      Array.init nprocs (fun _ ->
+          {
+            last_vc = None;
+            own = 0;
+            last_time = 0.0;
+            pending_fetch = None;
+            in_barrier = false;
+            epoch = 0;
+            pages = Hashtbl.create 256;
+          });
+    violations = [];
+    nchecked = 0;
+  }
+
+let fail st event rule fmt =
+  Printf.ksprintf
+    (fun detail ->
+      st.violations <- { event = Some event; rule; detail } :: st.violations)
+    fmt
+
+(* A protocol action at which an un-serviced access miss would mean the
+   faulting access ran on an inconsistent copy. *)
+let closes_fault_window (k : Event.kind) =
+  match k with
+  | Page_fault _ | Notice_send _ | Barrier_arrive _ | Lock_request _
+  | Push_send _ | Validate _ ->
+      true
+  | _ -> false
+
+let step st (e : Event.t) =
+  st.nchecked <- st.nchecked + 1;
+  let p = e.proc in
+  if p < 0 || p >= st.nprocs then
+    fail st e "proc-range" "processor %d out of range" p
+  else begin
+    let ps = st.procs.(p) in
+    (* {2 Vector-clock rules} *)
+    if Array.length e.vc <> st.nprocs then
+      fail st e "vc-shape" "vector clock has %d components, expected %d"
+        (Array.length e.vc) st.nprocs
+    else begin
+      (match ps.last_vc with
+      | Some prev ->
+          Array.iteri
+            (fun q x ->
+              if e.vc.(q) < x then
+                fail st e "vc-monotone"
+                  "component %d regressed %d -> %d" q x e.vc.(q))
+            prev
+      | None -> ());
+      for q = 0 to st.nprocs - 1 do
+        if q <> p && e.vc.(q) > st.procs.(q).own then
+          fail st e "vc-merge"
+            "view of p%d is %d but p%d has only released interval %d" q
+            e.vc.(q) q st.procs.(q).own
+      done;
+      (match e.kind with
+      | Notice_send _ -> ()
+      | _ ->
+          if e.vc.(p) <> ps.own then
+            fail st e "vc-own"
+              "own component moved %d -> %d outside a release" ps.own e.vc.(p));
+      if e.time < ps.last_time -. 1e-9 then
+        fail st e "time-monotone" "clock regressed %.3f -> %.3f" ps.last_time
+          e.time;
+      ps.last_time <- Float.max ps.last_time e.time;
+      ps.last_vc <- Some (Array.copy e.vc)
+    end;
+    (* {2 Access-miss service window} *)
+    (match ps.pending_fetch with
+    | Some page when closes_fault_window e.kind ->
+        fail st e "fault-serviced"
+          "page %d faulted but no unrestricted fetch completed before this \
+           action"
+          page;
+        ps.pending_fetch <- None
+    | _ -> ());
+    (* {2 Per-kind rules} *)
+    match e.kind with
+    | Notice_send { seq; pages } ->
+        if seq <> ps.own + 1 then
+          fail st e "interval-seq" "released interval %d after %d" seq ps.own;
+        if e.vc.(p) <> seq then
+          fail st e "interval-seq" "own vc component %d /= released seq %d"
+            e.vc.(p) seq;
+        ps.own <- seq;
+        List.iter
+          (fun page ->
+            let s = page_state st p page in
+            s.known.(p) <- max s.known.(p) seq;
+            s.applied.(p) <- max s.applied.(p) seq)
+          pages
+    | Notice_apply { writer; seq; page; invalidated } ->
+        if writer = p then
+          fail st e "notice-writer" "notice from self for page %d" page;
+        if writer >= 0 && writer < st.nprocs && seq > st.procs.(writer).own
+        then
+          fail st e "notice-future"
+            "notice for p%d interval %d but only %d released" writer seq
+            st.procs.(writer).own;
+        let s = page_state st p page in
+        s.known.(writer) <- max s.known.(writer) seq;
+        if s.known.(writer) > s.applied.(writer) && not invalidated then
+          fail st e "notice-invalidate"
+            "page %d has unapplied interval %d of p%d but stayed readable"
+            page s.known.(writer) writer
+    | Diff_create { seq; _ } ->
+        if seq > ps.own then
+          fail st e "diff-future"
+            "materialized through interval %d but only %d released" seq ps.own
+    | Diff_fetch { writer; page; after; upto } ->
+        if writer = p then
+          fail st e "fetch-writer" "fetch from self for page %d" page;
+        if upto < after then
+          fail st e "fetch-window" "empty window after=%d upto=%d" after upto;
+        let s = page_state st p page in
+        if after > s.applied.(writer) then
+          fail st e "fetch-window"
+            "request after=%d beyond mirrored applied=%d for p%d page %d"
+            after s.applied.(writer) writer page;
+        s.applied.(writer) <- max s.applied.(writer) upto;
+        (* an accumulated span past the requested watermark implies the
+           spanned notices *)
+        s.known.(writer) <- max s.known.(writer) s.applied.(writer)
+    | Diff_apply { writer; page; order; upto_seq; bytes = _ } ->
+        let s = page_state st p page in
+        if order < s.last_order.(writer) then
+          fail st e "apply-order-writer"
+            "p%d's diff for page %d applied with stamp %d after %d" writer
+            page order s.last_order.(writer);
+        if upto_seq < s.last_upto.(writer) then
+          fail st e "apply-order-writer"
+            "p%d's diff for page %d covers up to %d after %d" writer page
+            upto_seq s.last_upto.(writer);
+        if order < s.batch_order then
+          fail st e "apply-order-page"
+            "page %d: stamp %d applied after %d within one fetch batch" page
+            order s.batch_order;
+        s.last_order.(writer) <- order;
+        s.last_upto.(writer) <- max s.last_upto.(writer) upto_seq;
+        s.batch_order <- max s.batch_order order;
+        s.applied.(writer) <- max s.applied.(writer) upto_seq;
+        s.known.(writer) <- max s.known.(writer) s.applied.(writer)
+    | Fetch_done { page; full } ->
+        let s = page_state st p page in
+        s.batch_order <- min_int;
+        (match ps.pending_fetch with
+        | Some pg when pg = page -> ps.pending_fetch <- None
+        | _ -> ());
+        if full then
+          for q = 0 to st.nprocs - 1 do
+            if q <> p && s.applied.(q) < s.known.(q) then
+              fail st e "fetch-complete"
+                "page %d left with p%d applied=%d < known=%d after an \
+                 unrestricted fetch"
+                page q s.applied.(q) s.known.(q)
+          done
+    | Page_fault { page; fetch; _ } ->
+        if fetch then ps.pending_fetch <- Some page
+    | Twin _ -> ()
+    | Barrier_arrive { epoch } ->
+        if ps.in_barrier then
+          fail st e "barrier-alternate" "second arrival without departure";
+        if epoch <> ps.epoch then
+          fail st e "barrier-epoch" "arrived at epoch %d, expected %d" epoch
+            ps.epoch;
+        ps.in_barrier <- true
+    | Barrier_depart { epoch } ->
+        if not ps.in_barrier then
+          fail st e "barrier-alternate" "departure without arrival";
+        if epoch <> ps.epoch then
+          fail st e "barrier-epoch" "departed epoch %d, expected %d" epoch
+            ps.epoch;
+        ps.in_barrier <- false;
+        ps.epoch <- ps.epoch + 1
+    | Lock_request _ -> ()
+    | Lock_grant { grantor; _ } ->
+        if grantor < 0 || grantor >= st.nprocs then
+          fail st e "lock-grantor" "grantor %d out of range" grantor
+    | Validate _ -> ()
+    | Push_send { dst; seq; _ } ->
+        if dst = p then fail st e "push-self" "push to self";
+        if seq > ps.own then
+          fail st e "push-future" "pushed interval %d but only %d released"
+            seq ps.own
+    | Push_recv { src; seq; pages; _ } ->
+        if src = p then fail st e "push-self" "push from self";
+        List.iter
+          (fun page ->
+            let s = page_state st p page in
+            s.known.(src) <- max s.known.(src) seq;
+            s.applied.(src) <- max s.applied.(src) seq)
+          pages
+    | Push_rollback { page; writer; seq } ->
+        let s = page_state st p page in
+        if s.applied.(writer) <> seq then
+          fail st e "push-rollback"
+            "rollback of p%d on page %d from %d but applied=%d" writer page
+            seq s.applied.(writer);
+        s.applied.(writer) <- seq - 1
+    | Broadcast _ -> ()
+  end;
+  (* {2 Global watermark invariant} *)
+  (match e.kind with
+  | Notice_send _ | Notice_apply _ | Diff_fetch _ | Diff_apply _
+  | Push_recv _ | Push_rollback _ -> (
+      let page =
+        match e.kind with
+        | Notice_send _ -> None (* several pages; all raised known>=applied *)
+        | Notice_apply { page; _ }
+        | Diff_fetch { page; _ }
+        | Diff_apply { page; _ }
+        | Push_rollback { page; _ } ->
+            Some page
+        | Push_recv _ -> None
+        | _ -> None
+      in
+      match page with
+      | Some page when e.proc >= 0 && e.proc < st.nprocs ->
+          let s = page_state st e.proc page in
+          for q = 0 to st.nprocs - 1 do
+            if s.applied.(q) > s.known.(q) then
+              fail st e "watermark"
+                "page %d: applied=%d > known=%d for p%d" page s.applied.(q)
+                s.known.(q) q
+          done
+      | _ -> ())
+  | _ -> ())
+
+let finish st =
+  Array.iteri
+    (fun p ps ->
+      if ps.in_barrier then
+        st.violations <-
+          {
+            event = None;
+            rule = "barrier-alternate";
+            detail = Printf.sprintf "p%d arrived at epoch %d and never departed"
+                p ps.epoch;
+          }
+          :: st.violations)
+    st.procs;
+  List.rev st.violations
+
+let run ~nprocs events =
+  let st = create ~nprocs in
+  List.iter (step st) events;
+  finish st
+
+let run_sink sink =
+  let violations =
+    if Sink.dropped sink > 0 then
+      [
+        {
+          event = None;
+          rule = "trace-dropped";
+          detail =
+            Printf.sprintf
+              "%d events lost to ring overflow: trace incomplete, replay \
+               unsound (raise the sink capacity)"
+              (Sink.dropped sink);
+        };
+      ]
+    else []
+  in
+  violations @ run ~nprocs:(Sink.nprocs sink) (Sink.events sink)
+
+exception Invariant_violation of violation list
+
+let check_exn sink =
+  match run_sink sink with
+  | [] -> ()
+  | vs -> raise (Invariant_violation vs)
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation vs ->
+        Some
+          (Format.asprintf "@[<v>Invariant_violation (%d):@,%a@]"
+             (List.length vs)
+             (Format.pp_print_list pp_violation)
+             vs)
+    | _ -> None)

@@ -1,0 +1,132 @@
+(* Typed protocol events. One record per protocol-level action, stamped
+   with the acting processor, its virtual clock and a vector-clock
+   snapshot; [id] is the global emission order (the simulator is
+   sequential, so emission order is consistent with happens-before). *)
+
+type kind =
+  | Page_fault of { page : int; write : bool; fetch : bool }
+      (* [fetch]: the handler had to make the page consistent (the page was
+         invalid, or a read miss) *)
+  | Twin of { page : int }
+  | Diff_create of {
+      page : int;
+      seq : int;  (* last interval the materialized diff covers *)
+      bytes : int;
+      write_all : bool;  (* verbatim WRITE_ALL content, no twin comparison *)
+    }
+  | Diff_fetch of { writer : int; page : int; after : int; upto : int }
+      (* applied-watermark advance for [writer]: applied := max applied
+         upto. Covers both a served fetch request and supersede pruning
+         (where the pruned writers' diffs are marked applied, not sent). *)
+  | Diff_apply of {
+      writer : int;
+      page : int;
+      order : int;  (* happens-before stamp (vector-clock sum at release) *)
+      upto_seq : int;  (* last interval of the writer the unit covers *)
+      bytes : int;
+    }
+  | Fetch_done of { page : int; full : bool }
+      (* a fetch-and-apply pass over [page] completed; [full] when it was
+         unrestricted (not limited to the diffs one processor holds) and
+         therefore must have left the copy fully consistent *)
+  | Notice_send of { seq : int; pages : int list }
+      (* release: interval [seq] closed, write notices recorded *)
+  | Notice_apply of {
+      writer : int;
+      seq : int;
+      page : int;
+      invalidated : bool;  (* local copy unreadable after the notice *)
+    }
+  | Barrier_arrive of { epoch : int }
+  | Barrier_depart of { epoch : int }
+  | Lock_request of { lock : int }
+  | Lock_grant of { lock : int; grantor : int; notices : int }
+  | Validate of { access : string; npages : int; async : bool; w_sync : bool }
+  | Push_send of { dst : int; bytes : int; seq : int }
+  | Push_recv of { src : int; bytes : int; seq : int; pages : int list }
+  | Push_rollback of { page : int; writer : int; seq : int }
+      (* barrier rolled the applied watermark back over a partially pushed
+         page, restoring full consistency on the next access *)
+  | Broadcast of { bytes : int; requesters : int list }
+
+type t = {
+  id : int;  (* global emission order *)
+  proc : int;
+  time : float;  (* virtual clock of [proc] at emission *)
+  vc : int array;  (* vector-clock snapshot of [proc] *)
+  kind : kind;
+}
+
+let kind_name = function
+  | Page_fault _ -> "page_fault"
+  | Twin _ -> "twin"
+  | Diff_create _ -> "diff_create"
+  | Diff_fetch _ -> "diff_fetch"
+  | Diff_apply _ -> "diff_apply"
+  | Fetch_done _ -> "fetch_done"
+  | Notice_send _ -> "notice_send"
+  | Notice_apply _ -> "notice_apply"
+  | Barrier_arrive _ -> "barrier_arrive"
+  | Barrier_depart _ -> "barrier_depart"
+  | Lock_request _ -> "lock_request"
+  | Lock_grant _ -> "lock_grant"
+  | Validate _ -> "validate"
+  | Push_send _ -> "push_send"
+  | Push_recv _ -> "push_recv"
+  | Push_rollback _ -> "push_rollback"
+  | Broadcast _ -> "broadcast"
+
+(* {1 JSONL encoding} *)
+
+let json_int_list l =
+  "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+
+let kind_fields = function
+  | Page_fault { page; write; fetch } ->
+      Printf.sprintf "\"page\":%d,\"write\":%b,\"fetch\":%b" page write fetch
+  | Twin { page } -> Printf.sprintf "\"page\":%d" page
+  | Diff_create { page; seq; bytes; write_all } ->
+      Printf.sprintf "\"page\":%d,\"seq\":%d,\"bytes\":%d,\"write_all\":%b"
+        page seq bytes write_all
+  | Diff_fetch { writer; page; after; upto } ->
+      Printf.sprintf "\"writer\":%d,\"page\":%d,\"after\":%d,\"upto\":%d"
+        writer page after upto
+  | Diff_apply { writer; page; order; upto_seq; bytes } ->
+      Printf.sprintf
+        "\"writer\":%d,\"page\":%d,\"order\":%d,\"upto_seq\":%d,\"bytes\":%d"
+        writer page order upto_seq bytes
+  | Fetch_done { page; full } ->
+      Printf.sprintf "\"page\":%d,\"full\":%b" page full
+  | Notice_send { seq; pages } ->
+      Printf.sprintf "\"seq\":%d,\"pages\":%s" seq (json_int_list pages)
+  | Notice_apply { writer; seq; page; invalidated } ->
+      Printf.sprintf "\"writer\":%d,\"seq\":%d,\"page\":%d,\"invalidated\":%b"
+        writer seq page invalidated
+  | Barrier_arrive { epoch } | Barrier_depart { epoch } ->
+      Printf.sprintf "\"epoch\":%d" epoch
+  | Lock_request { lock } -> Printf.sprintf "\"lock\":%d" lock
+  | Lock_grant { lock; grantor; notices } ->
+      Printf.sprintf "\"lock\":%d,\"grantor\":%d,\"notices\":%d" lock grantor
+        notices
+  | Validate { access; npages; async; w_sync } ->
+      Printf.sprintf "\"access\":%S,\"npages\":%d,\"async\":%b,\"w_sync\":%b"
+        access npages async w_sync
+  | Push_send { dst; bytes; seq } ->
+      Printf.sprintf "\"dst\":%d,\"bytes\":%d,\"seq\":%d" dst bytes seq
+  | Push_recv { src; bytes; seq; pages } ->
+      Printf.sprintf "\"src\":%d,\"bytes\":%d,\"seq\":%d,\"pages\":%s" src
+        bytes seq (json_int_list pages)
+  | Push_rollback { page; writer; seq } ->
+      Printf.sprintf "\"page\":%d,\"writer\":%d,\"seq\":%d" page writer seq
+  | Broadcast { bytes; requesters } ->
+      Printf.sprintf "\"bytes\":%d,\"requesters\":%s" bytes
+        (json_int_list requesters)
+
+let to_json e =
+  Printf.sprintf "{\"id\":%d,\"proc\":%d,\"time\":%.3f,\"vc\":%s,\"ev\":%S,%s}"
+    e.id e.proc e.time
+    (json_int_list (Array.to_list e.vc))
+    (kind_name e.kind) (kind_fields e.kind)
+
+let pp ppf e =
+  Format.fprintf ppf "#%d p%d @@%.1f %s" e.id e.proc e.time (to_json e)

@@ -1,0 +1,49 @@
+(** Typed protocol-event records.
+
+    One event per protocol-level action of the run-time: access misses,
+    twin creation, diff creation/fetch/application, write-notice
+    send/apply, barrier and lock operations, the augmented-interface calls
+    (Validate, Validate_w_sync, Push) and broadcasts. Events carry the
+    acting processor, its virtual clock and a vector-clock snapshot, so a
+    trace fully determines the happens-before order the LRC protocol must
+    respect (see {!Check}). *)
+
+type kind =
+  | Page_fault of { page : int; write : bool; fetch : bool }
+  | Twin of { page : int }
+  | Diff_create of { page : int; seq : int; bytes : int; write_all : bool }
+  | Diff_fetch of { writer : int; page : int; after : int; upto : int }
+  | Diff_apply of {
+      writer : int;
+      page : int;
+      order : int;
+      upto_seq : int;
+      bytes : int;
+    }
+  | Fetch_done of { page : int; full : bool }
+  | Notice_send of { seq : int; pages : int list }
+  | Notice_apply of { writer : int; seq : int; page : int; invalidated : bool }
+  | Barrier_arrive of { epoch : int }
+  | Barrier_depart of { epoch : int }
+  | Lock_request of { lock : int }
+  | Lock_grant of { lock : int; grantor : int; notices : int }
+  | Validate of { access : string; npages : int; async : bool; w_sync : bool }
+  | Push_send of { dst : int; bytes : int; seq : int }
+  | Push_recv of { src : int; bytes : int; seq : int; pages : int list }
+  | Push_rollback of { page : int; writer : int; seq : int }
+  | Broadcast of { bytes : int; requesters : int list }
+
+type t = {
+  id : int;  (** global emission order *)
+  proc : int;
+  time : float;  (** virtual clock of [proc] at emission *)
+  vc : int array;  (** vector-clock snapshot of [proc] *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+
+val to_json : t -> string
+(** One-line JSON object (the [--trace out.jsonl] format of [dsm_run]). *)
+
+val pp : Format.formatter -> t -> unit

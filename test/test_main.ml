@@ -16,4 +16,5 @@ let () =
       ("apps", Test_apps.tests);
       ("harness", Test_harness.tests);
       ("protocol-properties", Test_props.tests);
+      ("trace", Test_trace.tests);
     ]

@@ -1,0 +1,500 @@
+(* Protocol event tracing and the LRC invariant checker.
+
+   Covers: the checker over every application at 1/2/4/8 processors (zero
+   violations), trace-on/trace-off determinism (clocks, statistics and
+   results bit-identical), the ring-buffer sink, synthetic violating traces
+   (the checker must catch them), per-phase summaries, the bounded
+   piggy-backed-request table, lock grant ordering under contention, and
+   exception propagation out of the fiber scheduler. *)
+
+module Config = Dsm_sim.Config
+module Engine = Dsm_sim.Engine
+module Event = Dsm_trace.Event
+module Sink = Dsm_trace.Sink
+module Check = Dsm_trace.Check
+module Tmk = Dsm_tmk.Tmk
+module Types = Dsm_tmk.Types
+open Dsm_apps.App_common
+
+let cfg_n nprocs = { Config.default with Config.nprocs = nprocs }
+
+let check_clean name sink =
+  Alcotest.(check int) (name ^ ": no dropped events") 0 (Sink.dropped sink);
+  match Check.run_sink sink with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "%s: %d violations, first: %a" name (List.length vs)
+        Check.pp_violation (List.hd vs)
+
+(* {1 Checker over the applications}
+
+   Reduced data sets (the checker cost is linear in the trace, and every
+   protocol path is exercised at these sizes too): every app, first and
+   last optimization level, 1/2/4/8 processors. *)
+
+let last l = List.fold_left (fun _ x -> x) (List.hd l) l
+
+let check_app_levels (type p)
+    (module A : APP with type params = p) (prm : p) () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun level ->
+          let sink = Sink.create ~nprocs () in
+          let r = A.run_tmk ~trace:sink (cfg_n nprocs) prm ~level ~async:true in
+          let name =
+            Printf.sprintf "%s %s p%d" A.name (opt_level_name level) nprocs
+          in
+          Alcotest.(check (float 1e-6)) (name ^ ": verified") 0.0 r.max_err;
+          Alcotest.(check bool)
+            (name ^ ": traced something")
+            true
+            (Sink.emitted sink > 0);
+          check_clean name sink)
+        [ List.hd A.levels; last A.levels ])
+    [ 1; 2; 4; 8 ]
+
+let jacobi_prm =
+  let open Dsm_apps.Jacobi in
+  { small with m = 128; iters = 3 }
+
+let shallow_prm =
+  let open Dsm_apps.Shallow in
+  { small with m = 64; n = 32; steps = 3 }
+
+let gauss_prm =
+  let open Dsm_apps.Gauss in
+  { small with m = 64 }
+
+let mgs_prm =
+  let open Dsm_apps.Mgs in
+  { small with m = 48; n = 32 }
+
+let fft3d_prm =
+  let open Dsm_apps.Fft3d in
+  { small with n = 8; iters = 2 }
+
+let is_prm =
+  let open Dsm_apps.Is in
+  { small with n_keys = 1 lsl 12; n_buckets = 1 lsl 8; reps = 2 }
+
+(* {1 Determinism: tracing is invisible to the simulation} *)
+
+let test_trace_off_identical () =
+  let run trace =
+    let sink = if trace then Some (Sink.create ~nprocs:4 ()) else None in
+    Dsm_apps.Jacobi.run_tmk ?trace:sink (cfg_n 4) jacobi_prm
+      ~level:Sync_merge ~async:true
+  in
+  let off = run false
+  and on_ = run true in
+  Alcotest.(check (float 0.0)) "elapsed identical" off.time_us on_.time_us;
+  Alcotest.(check bool) "stats identical" true (off.stats = on_.stats);
+  Alcotest.(check (float 0.0)) "results identical" off.max_err on_.max_err
+
+let test_trace_off_identical_locks () =
+  (* lock-heavy program compared field by field, including per-processor
+     clocks and the shared array contents *)
+  let build () = Tmk.make (cfg_n 4) in
+  let program a t =
+    let p = Tmk.pid t in
+    for i = 0 to 19 do
+      Tmk.lock_acquire t 0;
+      let v = Dsm_tmk.Shm.F64_1.get t a 0 in
+      Dsm_tmk.Shm.F64_1.set t a 0 (v +. 1.0);
+      Tmk.charge t (float_of_int (((p + i) mod 3) * 100));
+      Tmk.lock_release t 0;
+      if i mod 5 = 4 then Tmk.barrier t
+    done
+  in
+  let final sys a =
+    let v = ref [] in
+    Tmk.run sys (fun t ->
+        if Tmk.pid t = 0 then
+          v := [ Dsm_tmk.Shm.F64_1.get t a 0 ]);
+    !v
+  in
+  let sys0 = build () in
+  let a0 = Tmk.alloc_f64_1 sys0 "a" 8 in
+  Tmk.run sys0 (program a0);
+  let t0 = Tmk.elapsed sys0
+  and s0 = Array.to_list (Tmk.stats sys0) in
+  let sys1 = build () in
+  let a1 = Tmk.alloc_f64_1 sys1 "a" 8 in
+  let sink = Sink.create ~nprocs:4 () in
+  Tmk.run ~trace:sink sys1 (program a1);
+  let t1 = Tmk.elapsed sys1
+  and s1 = Array.to_list (Tmk.stats sys1) in
+  Alcotest.(check (float 0.0)) "elapsed identical" t0 t1;
+  Alcotest.(check bool) "per-processor stats identical" true (s0 = s1);
+  let m0 = final sys0 a0
+  and m1 = final sys1 a1 in
+  Alcotest.(check bool) "memory identical" true (m0 = m1);
+  Alcotest.(check int) "counter" 80 (int_of_float (List.hd m0));
+  check_clean "lock program" sink
+
+(* {1 Sink mechanics} *)
+
+let dummy_kind = Event.Lock_request { lock = 0 }
+
+let test_sink_ring () =
+  let s = Sink.create ~capacity:4 ~nprocs:1 () in
+  for i = 0 to 9 do
+    Sink.emit s ~proc:0 ~time:(float_of_int i) ~vc:[| 0 |] dummy_kind
+  done;
+  Alcotest.(check int) "emitted" 10 (Sink.emitted s);
+  Alcotest.(check int) "dropped" 6 (Sink.dropped s);
+  let evs = Sink.events s in
+  Alcotest.(check (list int)) "oldest dropped, order kept" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Event.t) -> e.id) evs);
+  (* an overflowed sink must not claim a clean replay *)
+  Alcotest.(check bool) "trace-dropped violation" true
+    (List.exists
+       (fun (v : Check.violation) -> v.rule = "trace-dropped")
+       (Check.run_sink s));
+  Sink.clear s;
+  Alcotest.(check int) "cleared" 0 (Sink.emitted s)
+
+let test_sink_jsonl () =
+  let s = Sink.create ~nprocs:2 () in
+  Sink.emit s ~proc:0 ~time:1.5 ~vc:[| 1; 0 |]
+    (Event.Notice_send { seq = 1; pages = [ 3; 4 ] });
+  Sink.emit s ~proc:1 ~time:2.0 ~vc:[| 0; 0 |]
+    (Event.Page_fault { page = 3; write = false; fetch = true });
+  let file = Filename.temp_file "dsm_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      Sink.write_jsonl oc s;
+      close_out oc;
+      let ic = open_in file in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      Alcotest.(check int) "one line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "looks like a JSON object" true
+            (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        lines;
+      let contains hay needle =
+        let nh = String.length hay
+        and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "event name serialized" true
+        (contains (List.hd lines) "\"ev\":\"notice_send\""))
+
+(* {1 The checker catches bad traces} *)
+
+let ev id proc time vc kind = { Event.id; proc; time; vc; kind }
+
+let rules vs = List.map (fun (v : Check.violation) -> v.rule) vs
+
+let test_checker_catches_vc_regression () =
+  let vs =
+    Check.run ~nprocs:1
+      [
+        ev 0 0 1.0 [| 1 |] (Event.Notice_send { seq = 1; pages = [ 0 ] });
+        ev 1 0 2.0 [| 0 |] dummy_kind;
+      ]
+  in
+  Alcotest.(check bool) "vc-monotone flagged" true
+    (List.mem "vc-monotone" (rules vs))
+
+let test_checker_catches_stale_read () =
+  (* a notice leaves the page with unapplied foreign modifications but the
+     copy stays readable: the core no-stale-read invariant *)
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 1 1.0 [| 0; 1 |] (Event.Notice_send { seq = 1; pages = [ 5 ] });
+        ev 1 0 2.0 [| 0; 0 |]
+          (Event.Notice_apply
+             { writer = 1; seq = 1; page = 5; invalidated = false });
+      ]
+  in
+  Alcotest.(check bool) "notice-invalidate flagged" true
+    (List.mem "notice-invalidate" (rules vs))
+
+let test_checker_catches_unserviced_fault () =
+  let vs =
+    Check.run ~nprocs:1
+      [
+        ev 0 0 1.0 [| 0 |]
+          (Event.Page_fault { page = 3; write = false; fetch = true });
+        ev 1 0 2.0 [| 0 |] (Event.Barrier_arrive { epoch = 0 });
+      ]
+  in
+  Alcotest.(check bool) "fault-serviced flagged" true
+    (List.mem "fault-serviced" (rules vs))
+
+let test_checker_catches_future_notice () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |]
+          (Event.Notice_apply
+             { writer = 1; seq = 3; page = 1; invalidated = true });
+      ]
+  in
+  Alcotest.(check bool) "notice-future flagged" true
+    (List.mem "notice-future" (rules vs))
+
+let test_checker_catches_out_of_order_apply () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 1 1.0 [| 0; 1 |] (Event.Notice_send { seq = 1; pages = [ 2 ] });
+        ev 1 1 2.0 [| 0; 2 |] (Event.Notice_send { seq = 2; pages = [ 2 ] });
+        ev 2 0 3.0 [| 0; 0 |]
+          (Event.Diff_apply
+             { writer = 1; page = 2; order = 9; upto_seq = 2; bytes = 8 });
+        ev 3 0 4.0 [| 0; 0 |]
+          (Event.Diff_apply
+             { writer = 1; page = 2; order = 5; upto_seq = 1; bytes = 8 });
+      ]
+  in
+  Alcotest.(check bool) "apply-order-writer flagged" true
+    (List.mem "apply-order-writer" (rules vs))
+
+let test_checker_accepts_clean_trace () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 1 1.0 [| 0; 1 |] (Event.Notice_send { seq = 1; pages = [ 5 ] });
+        ev 1 1 1.5 [| 0; 1 |] (Event.Barrier_arrive { epoch = 0 });
+        ev 2 0 1.6 [| 0; 0 |] (Event.Barrier_arrive { epoch = 0 });
+        ev 3 0 2.0 [| 0; 0 |] (Event.Barrier_depart { epoch = 0 });
+        ev 4 0 2.1 [| 0; 1 |]
+          (Event.Notice_apply
+             { writer = 1; seq = 1; page = 5; invalidated = true });
+        ev 5 1 2.2 [| 0; 1 |] (Event.Barrier_depart { epoch = 0 });
+        ev 6 0 3.0 [| 0; 1 |]
+          (Event.Page_fault { page = 5; write = false; fetch = true });
+        ev 7 0 3.5 [| 0; 1 |]
+          (Event.Diff_fetch { writer = 1; page = 5; after = 0; upto = 1 });
+        ev 8 0 3.6 [| 0; 1 |]
+          (Event.Diff_apply
+             { writer = 1; page = 5; order = 1; upto_seq = 1; bytes = 16 });
+        ev 9 0 4.0 [| 0; 1 |] (Event.Fetch_done { page = 5; full = true });
+      ]
+  in
+  Alcotest.(check int) "clean" 0 (List.length vs)
+
+(* {1 Per-phase summaries} *)
+
+let test_phases () =
+  let nprocs = 4 in
+  let sink = Sink.create ~nprocs () in
+  let r =
+    Dsm_apps.Jacobi.run_tmk ~trace:sink (cfg_n nprocs) jacobi_prm ~level:Base
+      ~async:false
+  in
+  Alcotest.(check (float 1e-6)) "verified" 0.0 r.max_err;
+  let phases = Dsm_harness.Phases.of_events (Sink.events sink) in
+  Alcotest.(check bool) "several phases" true (List.length phases >= 3);
+  Alcotest.(check int) "every event attributed"
+    (Sink.emitted sink)
+    (List.fold_left
+       (fun acc (p : Dsm_harness.Phases.phase) -> acc + p.events)
+       0 phases);
+  let rec monotone = function
+    | (a : Dsm_harness.Phases.phase) :: (b : Dsm_harness.Phases.phase) :: tl ->
+        a.end_time <= b.end_time && a.epoch < b.epoch && monotone (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "epochs and end times increase" true (monotone phases);
+  ignore (Format.asprintf "%a" Dsm_harness.Phases.pp phases)
+
+(* {1 Bounded piggy-backed-request table} *)
+
+let test_wsync_table_bounded () =
+  let nprocs = 4 in
+  let sys = Tmk.make (cfg_n nprocs) in
+  let a = Tmk.alloc_f64_1 sys "a" 512 in
+  Tmk.run sys (fun t ->
+      let p = Tmk.pid t in
+      for i = 0 to 49 do
+        Tmk.validate_w_sync t
+          [ Dsm_tmk.Shm.F64_1.section a (0, 511, 1) ]
+          Tmk.Read;
+        Tmk.barrier t;
+        Dsm_tmk.Shm.F64_1.set t a ((i + (p * 64)) mod 512) 1.0;
+        Tmk.barrier t
+      done);
+  (* every epoch fully departed: both per-epoch tables must be empty (the
+     seed kept one wsync_tbl entry per requesting epoch forever) *)
+  let b = sys.Types.barrier in
+  Alcotest.(check int) "wsync_tbl pruned" 0 (Hashtbl.length b.Types.wsync_tbl);
+  Alcotest.(check int) "wsync_done pruned" 0
+    (Hashtbl.length b.Types.wsync_done)
+
+(* {1 Lock grant ordering} *)
+
+let test_lock_fifo_staged () =
+  (* proc 0 takes the lock at once and holds it long enough for every other
+     processor's request to arrive, staggered by known charges: grants must
+     follow arrival order *)
+  let sys = Tmk.make (cfg_n 4) in
+  let order = ref [] in
+  Tmk.run sys (fun t ->
+      let p = Tmk.pid t in
+      if p > 0 then Tmk.charge t (float_of_int p *. 5_000.0);
+      Tmk.lock_acquire t 0;
+      order := p :: !order;
+      if p = 0 then Tmk.charge t 100_000.0;
+      Tmk.lock_release t 0);
+  Alcotest.(check (list int)) "grants follow arrival order" [ 0; 1; 2; 3 ]
+    (List.rev !order)
+
+let test_lock_contention () =
+  (* 8 processors x 100 acquires on one lock: mutual exclusion holds, every
+     processor gets every grant it asked for, and the run is deterministic *)
+  let run () =
+    let sys = Tmk.make (cfg_n 8) in
+    let counter = ref 0 in
+    let grants = ref [] in
+    let sink = Sink.create ~nprocs:8 () in
+    Tmk.run ~trace:sink sys (fun t ->
+        let p = Tmk.pid t in
+        for i = 0 to 99 do
+          Tmk.lock_acquire t 0;
+          counter := !counter + 1;
+          grants := p :: !grants;
+          Tmk.charge t (float_of_int (((p * 7) + i) mod 5));
+          Tmk.lock_release t 0
+        done);
+    (!counter, List.rev !grants, Tmk.elapsed sys, sink)
+  in
+  let c0, g0, t0, sink = run () in
+  let c1, g1, t1, _ = run () in
+  Alcotest.(check int) "all 800 sections ran" 800 c0;
+  List.iteri
+    (fun p n ->
+      Alcotest.(check int) (Printf.sprintf "p%d got 100 grants" p) 100 n)
+    (List.init 8 (fun p -> List.length (List.filter (( = ) p) g0)));
+  Alcotest.(check bool) "grant order deterministic" true (g0 = g1);
+  Alcotest.(check int) "counter deterministic" c0 c1;
+  Alcotest.(check (float 0.0)) "elapsed deterministic" t0 t1;
+  let requests, granted =
+    List.fold_left
+      (fun (r, g) (e : Event.t) ->
+        match e.kind with
+        | Event.Lock_request _ -> (r + 1, g)
+        | Event.Lock_grant _ -> (r, g + 1)
+        | _ -> (r, g))
+      (0, 0) (Sink.events sink)
+  in
+  Alcotest.(check int) "every request traced" 800 requests;
+  Alcotest.(check int) "every grant traced" 800 granted;
+  check_clean "contended locks" sink
+
+(* {1 Exception propagation out of the scheduler} *)
+
+let test_engine_proc_failure () =
+  let cleaned = Array.make 3 false in
+  let flag = ref false in
+  let result =
+    try
+      Engine.run ~nprocs:3 (fun p ->
+          Fun.protect
+            ~finally:(fun () -> cleaned.(p) <- true)
+            (fun () ->
+              if p = 1 then begin
+                Engine.yield ();
+                failwith "boom"
+              end
+              else Engine.block ~until:(fun () -> !flag)));
+      `Returned
+    with
+    | Engine.Proc_failure (1, Failure m) when m = "boom" ->
+        `Failed_as_expected
+    | e -> `Wrong_exn (Printexc.to_string e)
+  in
+  (match result with
+  | `Failed_as_expected -> ()
+  | `Returned -> Alcotest.fail "expected Proc_failure, got normal return"
+  | `Wrong_exn s -> Alcotest.failf "expected Proc_failure (1, boom), got %s" s);
+  Alcotest.(check bool) "raising fiber unwound" true cleaned.(1);
+  (* the blocked siblings were discontinued, not leaked: their cleanup
+     handlers ran *)
+  Alcotest.(check bool) "waiting fiber 0 unwound" true cleaned.(0);
+  Alcotest.(check bool) "waiting fiber 2 unwound" true cleaned.(2)
+
+let test_tmk_failure_mid_barrier () =
+  (* processors 0,1,3 are parked inside the barrier when 2 fails: the
+     failure must surface (annotated) instead of leaving the run stuck with
+     leaked continuations, and the engine must stay usable afterwards *)
+  let sys = Tmk.make (cfg_n 4) in
+  let a = Tmk.alloc_f64_1 sys "a" 64 in
+  (match
+     Tmk.run sys (fun t ->
+         let p = Tmk.pid t in
+         Dsm_tmk.Shm.F64_1.set t a p 1.0;
+         if p = 2 then failwith "app bug";
+         Tmk.barrier t)
+   with
+  | () -> Alcotest.fail "expected Proc_failure"
+  | exception Engine.Proc_failure (2, Failure m) when m = "app bug" -> ()
+  | exception e ->
+      Alcotest.failf "expected Proc_failure (2, ...), got %s"
+        (Printexc.to_string e));
+  let sys2 = Tmk.make (cfg_n 4) in
+  let b = Tmk.alloc_f64_1 sys2 "b" 64 in
+  let ok = ref 0 in
+  Tmk.run sys2 (fun t ->
+      Dsm_tmk.Shm.F64_1.set t b (Tmk.pid t) 2.0;
+      Tmk.barrier t;
+      if Tmk.pid t = 0 then
+        for q = 0 to 3 do
+          if Dsm_tmk.Shm.F64_1.get t b q = 2.0 then incr ok
+        done);
+  Alcotest.(check int) "fresh run works after a failure" 4 !ok
+
+let tests =
+  [
+    Alcotest.test_case "checker: jacobi 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Jacobi) jacobi_prm);
+    Alcotest.test_case "checker: shallow 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Shallow) shallow_prm);
+    Alcotest.test_case "checker: gauss 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Gauss) gauss_prm);
+    Alcotest.test_case "checker: mgs 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Mgs) mgs_prm);
+    Alcotest.test_case "checker: fft3d 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Fft3d) fft3d_prm);
+    Alcotest.test_case "checker: is 1/2/4/8 procs" `Quick
+      (check_app_levels (module Dsm_apps.Is) is_prm);
+    Alcotest.test_case "tracing off = tracing on (app)" `Quick
+      test_trace_off_identical;
+    Alcotest.test_case "tracing off = tracing on (locks)" `Quick
+      test_trace_off_identical_locks;
+    Alcotest.test_case "sink: ring overflow" `Quick test_sink_ring;
+    Alcotest.test_case "sink: jsonl serialization" `Quick test_sink_jsonl;
+    Alcotest.test_case "checker catches vc regression" `Quick
+      test_checker_catches_vc_regression;
+    Alcotest.test_case "checker catches stale readable page" `Quick
+      test_checker_catches_stale_read;
+    Alcotest.test_case "checker catches unserviced fault" `Quick
+      test_checker_catches_unserviced_fault;
+    Alcotest.test_case "checker catches future notice" `Quick
+      test_checker_catches_future_notice;
+    Alcotest.test_case "checker catches out-of-order apply" `Quick
+      test_checker_catches_out_of_order_apply;
+    Alcotest.test_case "checker accepts clean trace" `Quick
+      test_checker_accepts_clean_trace;
+    Alcotest.test_case "per-phase summaries" `Quick test_phases;
+    Alcotest.test_case "wsync table bounded" `Quick test_wsync_table_bounded;
+    Alcotest.test_case "lock grants follow arrival order" `Quick
+      test_lock_fifo_staged;
+    Alcotest.test_case "contended lock: 8 procs x 100" `Quick
+      test_lock_contention;
+    Alcotest.test_case "engine: fiber failure discontinues siblings" `Quick
+      test_engine_proc_failure;
+    Alcotest.test_case "tmk: failure mid-barrier" `Quick
+      test_tmk_failure_mid_barrier;
+  ]
