@@ -37,6 +37,7 @@ let run_one = function
   | "micro" -> Experiments.micro ppf Dsm_sim.Config.default
   | "scale" | "scaling" -> Experiments.scaling ppf Dsm_sim.Config.default
   | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
+  | "faults" -> Experiments.faults ppf Dsm_sim.Config.default
   | name -> failwith ("unknown experiment: " ^ name)
 
 let run_all () =
@@ -48,7 +49,8 @@ let run_all () =
       Experiments.figure6 ppf apps;
       Experiments.figure7 ppf apps);
   Experiments.scaling ppf Dsm_sim.Config.default;
-  Experiments.ablation ppf Dsm_sim.Config.default
+  Experiments.ablation ppf Dsm_sim.Config.default;
+  Experiments.faults ppf Dsm_sim.Config.default
 
 (* Bechamel wall-clock benchmarks: one Test.make per table/figure. Each run
    re-executes the experiment's simulations from scratch (no caching), so

@@ -9,7 +9,10 @@
    and the protocol statistics of the run. [--trace FILE] records the
    protocol events of a tmk run as JSON lines and prints a per-phase
    summary; [--check] replays the trace through the LRC invariant
-   checker. *)
+   checker. [--drop R --dup R --jitter US --net-seed N] inject
+   deterministic network faults: messages are dropped/duplicated/delayed
+   and recovered by the reliable-delivery layer, whose costs appear in
+   the statistics and in a per-run fault summary. *)
 
 open Cmdliner
 module A = Core.Apps.Common
@@ -33,7 +36,8 @@ let levels =
     ("push", A.Push_opt);
   ]
 
-let run app version level size procs sync trace_file check list =
+let run app version level size procs sync drop dup jitter net_seed trace_file
+    check list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -49,10 +53,22 @@ let run app version level size procs sync trace_file check list =
   else
     match List.assoc_opt app apps with
     | None -> `Error (false, "unknown application: " ^ app)
-    | Some m ->
+    | Some m -> (
         let module App = (val m : A.APP) in
         let params = if size = "large" then App.large else App.small in
-        let cfg = { Core.Config.default with Core.Config.nprocs = procs } in
+        let cfg =
+          {
+            Core.Config.default with
+            Core.Config.nprocs = procs;
+            net_drop = drop;
+            net_dup = dup;
+            net_jitter_us = jitter;
+            net_seed;
+          }
+        in
+        match Core.Net_plan.validate (Core.Net_plan.of_config cfg) with
+        | Error e -> `Error (false, "invalid fault parameters: " ^ e)
+        | Ok plan ->
         let sink =
           if (trace_file <> None || check) && version <> "tmk" then None
           else if trace_file <> None || check then
@@ -86,6 +102,15 @@ let run app version level size procs sync trace_file check list =
             Format.printf "  verification:      max error %g %s@." r.A.max_err
               (if r.A.max_err <= 1e-6 then "(correct)" else "(WRONG)");
             Format.printf "  %a@." Core.Stats.pp r.A.stats;
+            if not (Core.Net_plan.is_passthrough plan) then begin
+              let s = r.A.stats in
+              Format.printf "  fault plan:        %a@." Core.Net_plan.pp plan;
+              Format.printf "  fault summary:     %10s %10s %10s %10s@."
+                "dropped" "timeouts" "retrans" "duplicates";
+              Format.printf "                     %10d %10d %10d %10d@."
+                s.Core.Stats.dropped s.Core.Stats.timeouts
+                s.Core.Stats.retransmits s.Core.Stats.duplicates
+            end;
             (match sink with
             | None ->
                 if trace_file <> None || check then
@@ -127,7 +152,7 @@ let run app version level size procs sync trace_file check list =
                         vs;
                       `Error (false, "LRC invariant violations found")
                 end
-                else `Ok ()))
+                else `Ok ())))
 
 let cmd =
   (* cmdliner's Term module defines [app]; keep the argument terms suffixed *)
@@ -154,6 +179,38 @@ let cmd =
   let sync =
     Arg.(value & flag & info [ "sync" ] ~doc:"Synchronous data fetching.")
   in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"RATE"
+          ~doc:
+            "Probability in [0,1] that a transmitted message copy is lost \
+             (recovered by timeout and retransmission).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"RATE"
+          ~doc:
+            "Probability in [0,1] that a delivered message is duplicated \
+             (the duplicate is suppressed at the receiver).")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jitter" ] ~docv:"US"
+          ~doc:
+            "Maximum extra delivery delay, drawn uniformly per message, in \
+             microseconds of virtual time.")
+  in
+  let net_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "net-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the deterministic fault-injection PRNG: the same \
+             configuration and seed replay the same faulty run exactly.")
+  in
   let trace_file =
     Arg.(
       value
@@ -177,7 +234,7 @@ let cmd =
     (Cmd.info "dsm_run" ~doc)
     Term.(
       ret
-        (const run $ app_t $ version $ level $ size $ procs $ sync $ trace_file
-       $ check $ list))
+        (const run $ app_t $ version $ level $ size $ procs $ sync $ drop $ dup
+       $ jitter $ net_seed $ trace_file $ check $ list))
 
 let () = exit (Cmd.eval cmd)

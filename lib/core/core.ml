@@ -15,6 +15,8 @@ module Config = Dsm_sim.Config
 module Cluster = Dsm_sim.Cluster
 module Engine = Dsm_sim.Engine
 module Stats = Dsm_sim.Stats
+module Net = Dsm_net.Net
+module Net_plan = Dsm_net.Plan
 module Range = Dsm_rsd.Range
 module Rsd = Dsm_rsd.Rsd
 module Section = Dsm_rsd.Section

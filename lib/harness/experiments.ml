@@ -196,6 +196,54 @@ let ablation ppf cfg =
     "hot-spot queueing (MGS small, base)" (time_of on) (time_of off);
   rule ppf 76
 
+(* Drop-rate sweep over the unreliable transport: correctness must be
+   untouched (losses are recovered by the reliable layer), only time and
+   the fault counters move. *)
+let faults ppf cfg =
+  Format.fprintf ppf
+    "@.Fault injection: drop-rate sweep (8 processors, small sets, best \
+     level; dup 1%%, jitter 50us, seed 1)@.";
+  rule ppf 78;
+  Format.fprintf ppf "%-12s %6s %12s %8s %8s %8s %8s@." "Application" "drop"
+    "time(us)" "dropped" "timeout" "retrans" "dup";
+  rule ppf 78;
+  let apps : (string * (module A.APP)) list =
+    [
+      ("Jacobi", (module Dsm_apps.Jacobi));
+      ("3D-FFT", (module Dsm_apps.Fft3d));
+      ("Gauss", (module Dsm_apps.Gauss));
+      ("IS", (module Dsm_apps.Is));
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let module App = (val m : A.APP) in
+      let params = App.small in
+      let best = List.fold_left (fun _ l -> l) A.Base App.levels in
+      List.iter
+        (fun drop ->
+          let faulty = drop > 0.0 in
+          let c =
+            {
+              cfg with
+              Dsm_sim.Config.nprocs = 8;
+              net_drop = drop;
+              net_dup = (if faulty then 0.01 else 0.0);
+              net_jitter_us = (if faulty then 50.0 else 0.0);
+              net_seed = 1;
+            }
+          in
+          let r = App.run_tmk c params ~level:best ~async:true in
+          if r.A.max_err > 1e-6 then
+            failwith (name ^ ": wrong result under faults");
+          let s = r.A.stats in
+          Format.fprintf ppf "%-12s %6.2f %12.0f %8d %8d %8d %8d@." name drop
+            r.A.time_us s.Stats.dropped s.Stats.timeouts s.Stats.retransmits
+            s.Stats.duplicates)
+        [ 0.0; 0.01; 0.05 ])
+    apps;
+  rule ppf 78
+
 (* {1 Platform microbenchmarks (Section 5)} *)
 
 let micro ppf cfg =

@@ -38,6 +38,13 @@ val ablation : Format.formatter -> Dsm_sim.Config.t -> unit
     WRITE_ALL supersede pruning, and hot-spot request queueing — on the
     workload that exercises it. *)
 
+val faults : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: a drop-rate sweep over the modeled unreliable
+    transport (0/1/5% loss with duplication and delivery jitter) on four
+    applications at 8 processors. Application results must be unchanged —
+    the reliable-delivery layer recovers every loss — so the table reports
+    only the time and the fault counters. *)
+
 val micro : Format.formatter -> Dsm_sim.Config.t -> unit
 (** Section 5's platform microbenchmarks: minimum roundtrip, free-lock
     acquisition, 8-processor barrier, and the memory-management cost curve,

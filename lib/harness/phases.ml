@@ -93,7 +93,8 @@ let of_events events =
         | E.Broadcast _ -> { ph with broadcasts = ph.broadcasts + 1 }
         | E.Diff_fetch _ | E.Fetch_done _ | E.Notice_send _
         | E.Barrier_arrive _ | E.Barrier_depart _ | E.Lock_request _
-        | E.Push_recv _ | E.Push_rollback _ ->
+        | E.Push_recv _ | E.Push_rollback _ | E.Msg_drop _ | E.Msg_dup _
+        | E.Retransmit _ | E.Timeout_fire _ | E.Ack _ ->
             ph
       in
       r := ph;

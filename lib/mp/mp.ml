@@ -1,11 +1,15 @@
 module Cluster = Dsm_sim.Cluster
 module Config = Dsm_sim.Config
 module Engine = Dsm_sim.Engine
+module Net = Dsm_net.Net
 
 type msg = { arrival : float; payload : float array }
 
 type system = {
   cluster : Cluster.t;
+  net : Net.t;
+      (* reliable transport over the (possibly faulty) modeled network;
+         a fault-free plan is a bit-identical pass-through *)
   boxes : (int * int * int, msg Queue.t) Hashtbl.t;  (* (src, dst, tag) *)
   nprocs : int;
 }
@@ -13,8 +17,10 @@ type system = {
 type t = { sys : system; p : int }
 
 let make cfg =
+  let cluster = Cluster.create cfg in
   {
-    cluster = Cluster.create cfg;
+    cluster;
+    net = Net.create cluster;
     boxes = Hashtbl.create 256;
     nprocs = cfg.Config.nprocs;
   }
@@ -34,7 +40,7 @@ let box sys key =
 
 let send_floats t ~dst ~tag payload =
   let bytes = 8 * Array.length payload in
-  let arrival = Cluster.send t.sys.cluster ~src:t.p ~dst ~bytes in
+  let arrival = Net.send t.sys.net ~src:t.p ~dst ~bytes in
   Queue.push { arrival; payload = Array.copy payload } (box t.sys (t.p, dst, tag))
 
 let recv_floats t ~src ~tag =

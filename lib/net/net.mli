@@ -1,0 +1,62 @@
+(** Modeled unreliable transport with a reliable-delivery layer on top.
+
+    Drop-in replacements for the {!Dsm_sim.Cluster} cost functions
+    ([send]/[rpc]/[bcast]) that route every message over a network which
+    may drop, duplicate, delay or reorder copies according to the run's
+    {!Plan}, and recover exactly-once in-order delivery with sequence
+    numbers, acks, timeout + exponential-backoff retransmission,
+    duplicate suppression and per-flow resequencing. Recovery costs
+    (retransmit wire time, timeout stalls, ack overhead) are charged to
+    the virtual clocks and counted in the new {!Dsm_sim.Stats} fields
+    ([retransmits], [timeouts], [dropped], [duplicates]).
+
+    With a passthrough plan (all fault rates zero) every function
+    delegates directly to the corresponding [Cluster] function —
+    bit-identical clocks, statistics and trace. All fault decisions come
+    from a counter-based deterministic PRNG, so a faulty run is exactly
+    reproducible from [(config, seed)]. *)
+
+type t
+
+val create : ?plan:Plan.t -> Dsm_sim.Cluster.t -> t
+(** Build a transport over a cluster. [plan] defaults to
+    {!Plan.of_config} of the cluster's configuration.
+    @raise Invalid_argument if the plan fails {!Plan.validate}. *)
+
+val cluster : t -> Dsm_sim.Cluster.t
+val plan : t -> Plan.t
+
+val passthrough : t -> bool
+(** The plan has no faults: this transport is a bit-identical
+    pass-through to the raw cluster cost functions. *)
+
+val set_trace : t -> Dsm_trace.Sink.t option -> unit
+(** Attach/detach the sink that receives [Msg_drop]/[Msg_dup]/
+    [Retransmit]/[Timeout_fire]/[Ack] events. *)
+
+val set_vc_source : t -> (int -> int array) -> unit
+(** Provide per-processor vector-clock snapshots for emitted events (the
+    DSM run-time points this at its protocol vector clocks so net events
+    satisfy the checker's vc rules). Defaults to all-zero clocks. *)
+
+val send : t -> src:int -> dst:int -> bytes:int -> float
+(** Reliable one-way message; returns the delivery time at [dst]
+    (resequenced, after any retransmissions and jitter). The sender's
+    CPU is charged for retransmissions; an ack is charged to both ends. *)
+
+val rpc :
+  t -> src:int -> dst:int -> req_bytes:int -> resp_bytes:int ->
+  service:float -> unit
+(** Synchronous request/response over two reliable legs. Request-leg
+    faults delay handler occupancy at [dst]; response-leg faults delay
+    the requester's unblock time and charge the responder's CPU. *)
+
+val bcast : t -> src:int -> bytes:int -> float
+(** Broadcast whose tree hops are each a reliable leg; a fault on one
+    hop delays all later hops. Returns the root's completion time. *)
+
+(** {1 Exposed for tests} *)
+
+val u01 : seed:int -> int -> float
+(** The counter-based splitmix64 uniform draw in [0,1) driving all fault
+    decisions. *)

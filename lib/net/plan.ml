@@ -1,0 +1,65 @@
+(* Per-run fault plan of the modeled unreliable transport.
+
+   The plan is carried by {!Dsm_sim.Config} (so it reaches every subsystem
+   that builds a cluster without threading new parameters through the
+   application interfaces) and interpreted here. All fault decisions are
+   drawn from a counter-based splitmix64 stream seeded with [seed]: the
+   simulator's scheduler is deterministic, so a faulty run is exactly
+   reproducible from [(config, seed)]. *)
+
+module Config = Dsm_sim.Config
+
+type t = {
+  drop : float;  (* per-attempt loss probability *)
+  dup : float;  (* per-delivery duplication probability *)
+  jitter_us : float;  (* max uniform extra delivery delay *)
+  seed : int;
+  rto_us : float;  (* base retransmission timeout *)
+  max_attempts : int;  (* the last attempt is forced through, so even a
+                          drop rate of 1.0 terminates *)
+}
+
+let default_max_attempts = 16
+
+let default =
+  {
+    drop = 0.0;
+    dup = 0.0;
+    jitter_us = 0.0;
+    seed = 0;
+    rto_us = 1000.0;
+    max_attempts = default_max_attempts;
+  }
+
+let of_config (c : Config.t) =
+  {
+    drop = c.Config.net_drop;
+    dup = c.Config.net_dup;
+    jitter_us = c.Config.net_jitter_us;
+    seed = c.Config.net_seed;
+    rto_us = c.Config.net_rto_us;
+    max_attempts = default_max_attempts;
+  }
+
+let is_passthrough t = t.drop = 0.0 && t.dup = 0.0 && t.jitter_us = 0.0
+
+(* The [not (x >= lo && x <= hi)] form also rejects NaN. *)
+let validate t =
+  if not (t.drop >= 0.0 && t.drop <= 1.0) then
+    Error (Printf.sprintf "drop rate %g outside [0,1]" t.drop)
+  else if not (t.dup >= 0.0 && t.dup <= 1.0) then
+    Error (Printf.sprintf "duplication rate %g outside [0,1]" t.dup)
+  else if not (t.jitter_us >= 0.0) then
+    Error (Printf.sprintf "jitter %g us is negative" t.jitter_us)
+  else if t.seed < 0 then
+    Error (Printf.sprintf "net seed %d is negative" t.seed)
+  else if not (t.rto_us > 0.0) then
+    Error (Printf.sprintf "retransmission timeout %g us must be positive"
+             t.rto_us)
+  else if t.max_attempts < 1 then
+    Error (Printf.sprintf "max attempts %d must be at least 1" t.max_attempts)
+  else Ok t
+
+let pp ppf t =
+  Format.fprintf ppf "drop=%g dup=%g jitter=%gus seed=%d rto=%gus" t.drop
+    t.dup t.jitter_us t.seed t.rto_us

@@ -1,0 +1,31 @@
+(** Per-run fault plan of the modeled unreliable transport: loss,
+    duplication and delay-jitter probabilities plus the seed of the
+    deterministic PRNG that drives them, and the reliable layer's
+    retransmission-timeout parameters. *)
+
+type t = {
+  drop : float;  (** per-attempt loss probability, in [0,1] *)
+  dup : float;  (** per-delivery duplication probability, in [0,1] *)
+  jitter_us : float;  (** max uniform extra delivery delay, us *)
+  seed : int;  (** PRNG seed; a faulty run replays exactly from (config, seed) *)
+  rto_us : float;  (** base retransmission timeout (doubles per loss) *)
+  max_attempts : int;
+      (** delivery-attempt cap; the final attempt is forced through so every
+          run terminates even under a drop rate of 1.0 *)
+}
+
+val default : t
+(** All fault rates zero: the exactly-once substrate of the paper. *)
+
+val of_config : Dsm_sim.Config.t -> t
+(** Read the plan from the [net_*] fields of a cluster configuration. *)
+
+val is_passthrough : t -> bool
+(** No drop, duplication or jitter: the transport must behave bit-identically
+    to the raw {!Dsm_sim.Cluster} cost functions. *)
+
+val validate : t -> (t, string) result
+(** Reject rates outside [0,1], negative jitter or seed, and non-positive
+    timeouts (NaN included). *)
+
+val pp : Format.formatter -> t -> unit

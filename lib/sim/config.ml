@@ -19,6 +19,11 @@ type t = {
   enable_bcast : bool;
   enable_supersede : bool;
   enable_hotspot_queueing : bool;
+  net_drop : float;
+  net_dup : float;
+  net_jitter_us : float;
+  net_seed : int;
+  net_rto_us : float;
 }
 
 (* Calibration (see config.mli): solving the roundtrip, lock and barrier
@@ -46,6 +51,11 @@ let default =
     enable_bcast = true;
     enable_supersede = true;
     enable_hotspot_queueing = true;
+    net_drop = 0.0;
+    net_dup = 0.0;
+    net_jitter_us = 0.0;
+    net_seed = 0;
+    net_rto_us = 1000.0;
   }
 
 let with_procs cfg n = { cfg with nprocs = n }

@@ -47,6 +47,20 @@ type t = {
   enable_hotspot_queueing : bool;
       (** ablation: overlapping requests to one processor serialize behind
           its handler occupancy *)
+  net_drop : float;
+      (** probability that a transmitted message copy is lost in the network
+          (per delivery attempt); 0 = the SP/2's exactly-once MPL substrate *)
+  net_dup : float;
+      (** probability that a delivered message is duplicated by the network
+          (the duplicate is suppressed by the reliable layer at the receiver) *)
+  net_jitter_us : float;
+      (** maximum extra delivery delay drawn uniformly per message, us *)
+  net_seed : int;
+      (** PRNG seed of the fault plan: any faulty run is exactly reproducible
+          from [(config, seed)] *)
+  net_rto_us : float;
+      (** base retransmission timeout of the reliable-delivery layer; doubles
+          on every consecutive loss (exponential backoff) *)
 }
 
 val default : t

@@ -12,6 +12,10 @@ type t = {
   mutable validates : int;
   mutable pushes : int;
   mutable broadcasts : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable dropped : int;
+  mutable duplicates : int;
 }
 
 let create () =
@@ -29,6 +33,10 @@ let create () =
     validates = 0;
     pushes = 0;
     broadcasts = 0;
+    retransmits = 0;
+    timeouts = 0;
+    dropped = 0;
+    duplicates = 0;
   }
 
 let reset t =
@@ -44,7 +52,11 @@ let reset t =
   t.barriers <- 0;
   t.validates <- 0;
   t.pushes <- 0;
-  t.broadcasts <- 0
+  t.broadcasts <- 0;
+  t.retransmits <- 0;
+  t.timeouts <- 0;
+  t.dropped <- 0;
+  t.duplicates <- 0
 
 let add acc x =
   acc.messages <- acc.messages + x.messages;
@@ -59,7 +71,11 @@ let add acc x =
   acc.barriers <- acc.barriers + x.barriers;
   acc.validates <- acc.validates + x.validates;
   acc.pushes <- acc.pushes + x.pushes;
-  acc.broadcasts <- acc.broadcasts + x.broadcasts
+  acc.broadcasts <- acc.broadcasts + x.broadcasts;
+  acc.retransmits <- acc.retransmits + x.retransmits;
+  acc.timeouts <- acc.timeouts + x.timeouts;
+  acc.dropped <- acc.dropped + x.dropped;
+  acc.duplicates <- acc.duplicates + x.duplicates
 
 let total arr =
   let acc = create () in
@@ -69,7 +85,8 @@ let total arr =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>msgs=%d bytes=%d segv=%d mprotect=%d twins=%d diffs+%d/-%d \
-     diff_bytes=%d locks=%d barriers=%d validates=%d pushes=%d bcasts=%d@]"
+     diff_bytes=%d locks=%d barriers=%d validates=%d pushes=%d bcasts=%d \
+     retx=%d tmo=%d drop=%d dup=%d@]"
     t.messages t.bytes t.segv t.mprotects t.twins t.diffs_created
     t.diffs_applied t.diff_bytes_applied t.lock_acquires t.barriers t.validates
-    t.pushes t.broadcasts
+    t.pushes t.broadcasts t.retransmits t.timeouts t.dropped t.duplicates

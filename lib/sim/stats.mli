@@ -18,6 +18,12 @@ type t = {
   mutable validates : int;  (** calls to the augmented [Validate] interface *)
   mutable pushes : int;  (** calls to the augmented [Push] interface *)
   mutable broadcasts : int;  (** barrier-time data broadcasts *)
+  mutable retransmits : int;
+      (** reliable-layer retransmissions sent after a delivery-attempt loss *)
+  mutable timeouts : int;  (** retransmission timeouts fired *)
+  mutable dropped : int;  (** delivery attempts lost by the modeled network *)
+  mutable duplicates : int;
+      (** network-duplicated deliveries suppressed by the reliable layer *)
 }
 
 val create : unit -> t

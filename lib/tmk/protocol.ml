@@ -7,6 +7,7 @@ open Types
 module Cluster = Dsm_sim.Cluster
 module Config = Dsm_sim.Config
 module Stats = Dsm_sim.Stats
+module Net = Dsm_net.Net
 module Page_table = Dsm_mem.Page_table
 module Diff = Dsm_mem.Diff
 module Range = Dsm_rsd.Range
@@ -442,7 +443,7 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
       let resp_bytes = !total_bytes + (8 * !total_ndiffs) in
       match mode with
       | Rpc ->
-          Cluster.rpc sys.cluster ~src:p ~dst:q
+          Net.rpc sys.net ~src:p ~dst:q
             ~req_bytes:(16 * List.length reqs)
             ~resp_bytes
             ~service:
@@ -604,7 +605,7 @@ let async_fetch sys p pages =
     (fun q reqs ->
       (* request message *)
       let arrival_at_q =
-        Cluster.send sys.cluster ~src:p ~dst:q ~bytes:(16 * List.length reqs)
+        Net.send sys.net ~src:p ~dst:q ~bytes:(16 * List.length reqs)
       in
       let mat_cost =
         match Hashtbl.find_opt mat_costs q with Some r -> r | None -> ref 0.0

@@ -13,6 +13,7 @@ module Cluster = Dsm_sim.Cluster
 module Config = Dsm_sim.Config
 module Stats = Dsm_sim.Stats
 module Engine = Dsm_sim.Engine
+module Net = Dsm_net.Net
 module Range = Dsm_rsd.Range
 
 let wsync_req_bytes sys reqs =
@@ -307,7 +308,7 @@ let barrier t =
     + wsync_req_bytes sys my_reqs
   in
   st.notices_sent_seq <- Vc.get st.vc p;
-  if p <> 0 then ignore (Cluster.send sys.cluster ~src:p ~dst:0 ~bytes:nbytes);
+  if p <> 0 then ignore (Net.send sys.net ~src:p ~dst:0 ~bytes:nbytes);
   b.arrival_clock.(p) <- Cluster.time sys.cluster p;
   if sys.trace <> None then
     Protocol.emit sys p (Dsm_trace.Event.Barrier_arrive { epoch = my_epoch });
@@ -423,7 +424,7 @@ let lock_acquire t lid =
   st.pending_wsync <- [];
   let req_bytes = 16 + wsync_req_bytes sys my_reqs in
   let manager = lid mod sys.nprocs in
-  let arrival = Cluster.send sys.cluster ~src:p ~dst:manager ~bytes:req_bytes in
+  let arrival = Net.send sys.net ~src:p ~dst:manager ~bytes:req_bytes in
   let arrival =
     if manager <> lk.last_releaser && manager <> p then begin
       (* the manager forwards the request to the current owner *)

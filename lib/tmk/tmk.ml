@@ -15,8 +15,11 @@ module Engine = Dsm_sim.Engine
 let make cfg =
   let nprocs = cfg.Config.nprocs in
   let cluster = Cluster.create cfg in
+  let net = Dsm_net.Net.create cluster in
+  let sys =
   {
     Types.cluster;
+    net;
     space = Dsm_mem.Addr_space.create ~page_size:cfg.Config.page_size;
     store = Diff_store.create ~nprocs ~page_size:cfg.Config.page_size;
     states =
@@ -52,13 +55,22 @@ let make cfg =
     nprocs;
     trace = None;
   }
+  in
+  (* net events carry the emitting processor's protocol vector clock, so
+     they satisfy the checker's vc rules like any other protocol event *)
+  Dsm_net.Net.set_vc_source net (fun p ->
+      Vc.copy sys.Types.states.(p).Types.vc);
+  sys
 
 let run ?trace sys main =
   sys.Types.trace <- trace;
+  Dsm_net.Net.set_trace sys.Types.net trace;
   (* every program ends with an exit barrier, as in TreadMarks: it restores
      full consistency after any trailing Push phases *)
   Fun.protect
-    ~finally:(fun () -> sys.Types.trace <- None)
+    ~finally:(fun () ->
+      sys.Types.trace <- None;
+      Dsm_net.Net.set_trace sys.Types.net None)
     (fun () ->
       Engine.run ~nprocs:sys.Types.nprocs (fun p ->
           let t = { Types.sys; p } in

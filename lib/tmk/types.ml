@@ -113,6 +113,10 @@ type push_msg = {
 
 type system = {
   cluster : Dsm_sim.Cluster.t;
+  net : Dsm_net.Net.t;
+      (* reliable transport over the (possibly faulty) modeled network; all
+         protocol messages go through it. With a fault-free plan it is a
+         bit-identical pass-through to the [cluster] cost functions. *)
   space : Dsm_mem.Addr_space.t;
   store : Diff_store.t;
   states : pstate array;

@@ -6,6 +6,7 @@ module Cluster = Dsm_sim.Cluster
 module Config = Dsm_sim.Config
 module Stats = Dsm_sim.Stats
 module Engine = Dsm_sim.Engine
+module Net = Dsm_net.Net
 module Range = Dsm_rsd.Range
 module Section = Dsm_rsd.Section
 module Page_table = Dsm_mem.Page_table
@@ -115,7 +116,7 @@ let push t ~read_sections ~write_sections =
         (* back-pressure: at most one in-flight push per (src, dst) pair *)
         Engine.block ~until:(fun () -> not (Hashtbl.mem sys.pushbox (p, i)));
         let bytes = Range.size inter + 32 in
-        let arrival = Cluster.send sys.cluster ~src:p ~dst:i ~bytes in
+        let arrival = Net.send sys.net ~src:p ~dst:i ~bytes in
         if sys.trace <> None then
           Protocol.emit sys p
             (Dsm_trace.Event.Push_send { dst = i; bytes; seq = my_seq });

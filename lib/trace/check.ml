@@ -29,7 +29,14 @@
      Push/WRITE_ALL windows are the explicit relaxations);
    - partially pushed pages may roll their watermark back, but only to
      the interval just below the pushed one;
-   - barrier arrivals and departures alternate with consecutive epochs. *)
+   - barrier arrivals and departures alternate with consecutive epochs;
+   - reliable-transport discipline over the unreliable-network events:
+     retransmission attempts are consecutive and only follow a drop of
+     the outstanding attempt, every dropped attempt is eventually
+     retransmitted, each message is acknowledged exactly once (a second
+     ack would mean a duplicate was applied twice), the ack's attempt
+     count matches the transmissions the trace records, and no message
+     is left undelivered at end of trace. *)
 
 type violation = { event : Event.t option; rule : string; detail : string }
 
@@ -61,9 +68,21 @@ type proc_state = {
   pages : (int, page_state) Hashtbl.t;
 }
 
+(* Reliable-delivery state of one transport-level message. The first
+   transmission is implicit (attempt 1, no event); retransmissions,
+   drops and the final ack are explicit events. *)
+type msg_state = {
+  m_src : int;
+  m_dst : int;
+  mutable max_attempt : int;  (* highest transmission attempt recorded *)
+  mutable dropped_hi : int;  (* highest attempt reported dropped *)
+  mutable acked : bool;
+}
+
 type state = {
   nprocs : int;
   procs : proc_state array;
+  msgs : (int, msg_state) Hashtbl.t;  (* reliable-layer msg id -> state *)
   mutable violations : violation list;
   mutable nchecked : int;
 }
@@ -99,6 +118,7 @@ let create ~nprocs =
             epoch = 0;
             pages = Hashtbl.create 256;
           });
+    msgs = Hashtbl.create 256;
     violations = [];
     nchecked = 0;
   }
@@ -108,6 +128,24 @@ let fail st event rule fmt =
     (fun detail ->
       st.violations <- { event = Some event; rule; detail } :: st.violations)
     fmt
+
+(* Look up (or open) the reliable-delivery state of message [msg],
+   checking that every event of the message names the same flow. *)
+let msg_state st e ~msg ~src ~dst =
+  match Hashtbl.find_opt st.msgs msg with
+  | Some ms ->
+      if ms.m_src <> src || ms.m_dst <> dst then
+        fail st e "net-endpoints"
+          "message %d seen as p%d->p%d but first recorded as p%d->p%d" msg src
+          dst ms.m_src ms.m_dst;
+      ms
+  | None ->
+      let ms =
+        { m_src = src; m_dst = dst; max_attempt = 1; dropped_hi = 0;
+          acked = false }
+      in
+      Hashtbl.replace st.msgs msg ms;
+      ms
 
 (* A protocol action at which an un-serviced access miss would mean the
    faulting access ran on an inconsistent copy. *)
@@ -290,6 +328,62 @@ let step st (e : Event.t) =
             seq s.applied.(writer);
         s.applied.(writer) <- seq - 1
     | Broadcast _ -> ()
+    (* {2 Reliable-transport rules} *)
+    | Msg_drop { msg; src; dst; attempt } ->
+        let ms = msg_state st e ~msg ~src ~dst in
+        if ms.acked then
+          fail st e "net-after-ack"
+            "message %d dropped after it was acknowledged" msg;
+        if attempt <> ms.max_attempt then
+          fail st e "net-drop-attempt"
+            "message %d: drop of attempt %d but outstanding attempt is %d" msg
+            attempt ms.max_attempt;
+        ms.dropped_hi <- max ms.dropped_hi attempt
+    | Timeout_fire { msg; src; dst; attempt; backoff_us = _ } ->
+        let ms = msg_state st e ~msg ~src ~dst in
+        if ms.acked then
+          fail st e "net-after-ack"
+            "message %d timed out after it was acknowledged" msg;
+        if attempt <> ms.dropped_hi then
+          fail st e "net-timeout-order"
+            "message %d: timeout for attempt %d but last dropped attempt is %d"
+            msg attempt ms.dropped_hi
+    | Retransmit { msg; src; dst; attempt } ->
+        let ms = msg_state st e ~msg ~src ~dst in
+        if ms.acked then
+          fail st e "net-after-ack"
+            "message %d retransmitted after it was acknowledged" msg;
+        if attempt <> ms.max_attempt + 1 then
+          fail st e "net-retransmit-order"
+            "message %d: retransmission is attempt %d but %d attempts were \
+             recorded"
+            msg attempt ms.max_attempt;
+        if ms.dropped_hi < ms.max_attempt then
+          fail st e "net-retransmit-spurious"
+            "message %d retransmitted but attempt %d was never dropped" msg
+            ms.max_attempt;
+        ms.max_attempt <- max ms.max_attempt attempt
+    | Msg_dup { msg; src; dst } ->
+        let ms = msg_state st e ~msg ~src ~dst in
+        if ms.acked then
+          fail st e "net-after-ack"
+            "message %d duplicated after it was acknowledged" msg
+    | Ack { msg; src; dst; attempts } ->
+        let ms = msg_state st e ~msg ~src ~dst in
+        if ms.acked then
+          fail st e "net-ack-once"
+            "message %d acknowledged twice (a duplicate was applied)" msg;
+        if attempts <> ms.max_attempt then
+          fail st e "net-ack-attempts"
+            "message %d acknowledged after %d attempts but the trace records \
+             %d transmissions"
+            msg attempts ms.max_attempt;
+        if ms.dropped_hi >= ms.max_attempt then
+          fail st e "net-ack-dropped"
+            "message %d acknowledged but its last attempt %d was dropped and \
+             never retransmitted"
+            msg ms.max_attempt;
+        ms.acked <- true
   end;
   (* {2 Global watermark invariant} *)
   (match e.kind with
@@ -331,6 +425,28 @@ let finish st =
           }
           :: st.violations)
     st.procs;
+  (* Every transport-level message must reach its receiver: a dropped
+     final attempt with no retransmission is a lost message; a message
+     that was transmitted but never acknowledged is undelivered. Sort by
+     msg id for deterministic reporting. *)
+  Hashtbl.fold (fun msg ms acc -> (msg, ms) :: acc) st.msgs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (msg, ms) ->
+         if not ms.acked then
+           let rule, detail =
+             if ms.dropped_hi >= ms.max_attempt then
+               ( "net-drop-lost",
+                 Printf.sprintf
+                   "message %d (p%d->p%d): attempt %d was dropped and never \
+                    retransmitted"
+                   msg ms.m_src ms.m_dst ms.max_attempt )
+             else
+               ( "net-undelivered",
+                 Printf.sprintf
+                   "message %d (p%d->p%d) was never acknowledged" msg ms.m_src
+                   ms.m_dst )
+           in
+           st.violations <- { event = None; rule; detail } :: st.violations);
   List.rev st.violations
 
 let run ~nprocs events =

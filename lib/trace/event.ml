@@ -48,6 +48,25 @@ type kind =
       (* barrier rolled the applied watermark back over a partially pushed
          page, restoring full consistency on the next access *)
   | Broadcast of { bytes : int; requesters : int list }
+  (* Transport-level events of the unreliable-network model (lib/net).
+     [msg] is the global message id of the reliable-delivery layer; each
+     event names the flow endpoints so the checker can reason per message
+     without flow state. *)
+  | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
+      (* delivery attempt [attempt] of message [msg] was lost *)
+  | Msg_dup of { msg : int; src : int; dst : int }
+      (* the network duplicated a delivery; the copy was suppressed *)
+  | Retransmit of { msg : int; src : int; dst : int; attempt : int }
+      (* the reliable layer resent [msg]; this is attempt [attempt] *)
+  | Timeout_fire of {
+      msg : int;
+      src : int;
+      dst : int;
+      attempt : int;  (* the attempt whose loss the timeout detected *)
+      backoff_us : float;  (* rto * 2^(attempt-1): exponential backoff *)
+    }
+  | Ack of { msg : int; src : int; dst : int; attempts : int }
+      (* [dst] acknowledged [msg] after [attempts] delivery attempts *)
 
 type t = {
   id : int;  (* global emission order *)
@@ -75,6 +94,11 @@ let kind_name = function
   | Push_recv _ -> "push_recv"
   | Push_rollback _ -> "push_rollback"
   | Broadcast _ -> "broadcast"
+  | Msg_drop _ -> "msg_drop"
+  | Msg_dup _ -> "msg_dup"
+  | Retransmit _ -> "retransmit"
+  | Timeout_fire _ -> "timeout_fire"
+  | Ack _ -> "ack"
 
 (* {1 JSONL encoding} *)
 
@@ -121,6 +145,21 @@ let kind_fields = function
   | Broadcast { bytes; requesters } ->
       Printf.sprintf "\"bytes\":%d,\"requesters\":%s" bytes
         (json_int_list requesters)
+  | Msg_drop { msg; src; dst; attempt } ->
+      Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d" msg src
+        dst attempt
+  | Msg_dup { msg; src; dst } ->
+      Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d" msg src dst
+  | Retransmit { msg; src; dst; attempt } ->
+      Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d" msg src
+        dst attempt
+  | Timeout_fire { msg; src; dst; attempt; backoff_us } ->
+      Printf.sprintf
+        "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d,\"backoff_us\":%.3f"
+        msg src dst attempt backoff_us
+  | Ack { msg; src; dst; attempts } ->
+      Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempts\":%d" msg src
+        dst attempts
 
 let to_json e =
   Printf.sprintf "{\"id\":%d,\"proc\":%d,\"time\":%.3f,\"vc\":%s,\"ev\":%S,%s}"
@@ -130,3 +169,276 @@ let to_json e =
 
 let pp ppf e =
   Format.fprintf ppf "#%d p%d @@%.1f %s" e.id e.proc e.time (to_json e)
+
+(* {1 JSONL decoding}
+
+   Minimal parser for the flat one-line objects [to_json] produces:
+   values are numbers, booleans, quoted strings or arrays of integers.
+   Used to re-check trace files offline ([dsm_run --trace] output fed
+   back to the checker) and to round-trip-test the encoding. *)
+
+exception Parse_error of string
+
+type jv = Num of float | Bool of bool | Str of string | Ints of int list
+
+let of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then line.[!pos] else fail "unexpected end of input"
+  in
+  let expect c =
+    if peek () = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match line.[!pos] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | c -> Buffer.add_char b c);
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else fail "expected 'true'"
+    | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else fail "expected 'false'"
+    | '[' ->
+        incr pos;
+        let items = ref [] in
+        if peek () = ']' then incr pos
+        else begin
+          let rec go () =
+            items := int_of_float (parse_number ()) :: !items;
+            match peek () with
+            | ',' ->
+                incr pos;
+                go ()
+            | ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ()
+        end;
+        Ints (List.rev !items)
+    | _ -> Num (parse_number ())
+  in
+  let fields = ref [] in
+  expect '{';
+  if peek () = '}' then incr pos
+  else begin
+    let rec go () =
+      let k = parse_string () in
+      expect ':';
+      fields := (k, parse_value ()) :: !fields;
+      match peek () with
+      | ',' ->
+          incr pos;
+          go ()
+      | '}' -> incr pos
+      | _ -> fail "expected ',' or '}'"
+    in
+    go ()
+  end;
+  let fields = !fields in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing field %S" k))
+  in
+  let num k =
+    match get k with
+    | Num f -> f
+    | _ -> raise (Parse_error (Printf.sprintf "field %S: expected a number" k))
+  in
+  let int k = int_of_float (num k) in
+  let bool k =
+    match get k with
+    | Bool b -> b
+    | _ -> raise (Parse_error (Printf.sprintf "field %S: expected a bool" k))
+  in
+  let str k =
+    match get k with
+    | Str s -> s
+    | _ -> raise (Parse_error (Printf.sprintf "field %S: expected a string" k))
+  in
+  let ints k =
+    match get k with
+    | Ints l -> l
+    | _ ->
+        raise (Parse_error (Printf.sprintf "field %S: expected an int array" k))
+  in
+  let kind =
+    match str "ev" with
+    | "page_fault" ->
+        Page_fault
+          { page = int "page"; write = bool "write"; fetch = bool "fetch" }
+    | "twin" -> Twin { page = int "page" }
+    | "diff_create" ->
+        Diff_create
+          {
+            page = int "page";
+            seq = int "seq";
+            bytes = int "bytes";
+            write_all = bool "write_all";
+          }
+    | "diff_fetch" ->
+        Diff_fetch
+          {
+            writer = int "writer";
+            page = int "page";
+            after = int "after";
+            upto = int "upto";
+          }
+    | "diff_apply" ->
+        Diff_apply
+          {
+            writer = int "writer";
+            page = int "page";
+            order = int "order";
+            upto_seq = int "upto_seq";
+            bytes = int "bytes";
+          }
+    | "fetch_done" -> Fetch_done { page = int "page"; full = bool "full" }
+    | "notice_send" -> Notice_send { seq = int "seq"; pages = ints "pages" }
+    | "notice_apply" ->
+        Notice_apply
+          {
+            writer = int "writer";
+            seq = int "seq";
+            page = int "page";
+            invalidated = bool "invalidated";
+          }
+    | "barrier_arrive" -> Barrier_arrive { epoch = int "epoch" }
+    | "barrier_depart" -> Barrier_depart { epoch = int "epoch" }
+    | "lock_request" -> Lock_request { lock = int "lock" }
+    | "lock_grant" ->
+        Lock_grant
+          {
+            lock = int "lock";
+            grantor = int "grantor";
+            notices = int "notices";
+          }
+    | "validate" ->
+        Validate
+          {
+            access = str "access";
+            npages = int "npages";
+            async = bool "async";
+            w_sync = bool "w_sync";
+          }
+    | "push_send" ->
+        Push_send { dst = int "dst"; bytes = int "bytes"; seq = int "seq" }
+    | "push_recv" ->
+        Push_recv
+          {
+            src = int "src";
+            bytes = int "bytes";
+            seq = int "seq";
+            pages = ints "pages";
+          }
+    | "push_rollback" ->
+        Push_rollback
+          { page = int "page"; writer = int "writer"; seq = int "seq" }
+    | "broadcast" ->
+        Broadcast { bytes = int "bytes"; requesters = ints "requesters" }
+    | "msg_drop" ->
+        Msg_drop
+          {
+            msg = int "msg";
+            src = int "src";
+            dst = int "dst";
+            attempt = int "attempt";
+          }
+    | "msg_dup" ->
+        Msg_dup { msg = int "msg"; src = int "src"; dst = int "dst" }
+    | "retransmit" ->
+        Retransmit
+          {
+            msg = int "msg";
+            src = int "src";
+            dst = int "dst";
+            attempt = int "attempt";
+          }
+    | "timeout_fire" ->
+        Timeout_fire
+          {
+            msg = int "msg";
+            src = int "src";
+            dst = int "dst";
+            attempt = int "attempt";
+            backoff_us = num "backoff_us";
+          }
+    | "ack" ->
+        Ack
+          {
+            msg = int "msg";
+            src = int "src";
+            dst = int "dst";
+            attempts = int "attempts";
+          }
+    | ev -> raise (Parse_error (Printf.sprintf "unknown event kind %S" ev))
+  in
+  {
+    id = int "id";
+    proc = int "proc";
+    time = num "time";
+    vc = Array.of_list (ints "vc");
+    kind;
+  }

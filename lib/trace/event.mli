@@ -32,6 +32,21 @@ type kind =
   | Push_recv of { src : int; bytes : int; seq : int; pages : int list }
   | Push_rollback of { page : int; writer : int; seq : int }
   | Broadcast of { bytes : int; requesters : int list }
+  | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
+      (** a delivery attempt of reliable-layer message [msg] was lost *)
+  | Msg_dup of { msg : int; src : int; dst : int }
+      (** the network duplicated a delivery; the receiver suppressed it *)
+  | Retransmit of { msg : int; src : int; dst : int; attempt : int }
+      (** the reliable layer resent [msg] as delivery attempt [attempt] *)
+  | Timeout_fire of {
+      msg : int;
+      src : int;
+      dst : int;
+      attempt : int;
+      backoff_us : float;
+    }  (** the retransmission timer for attempt [attempt] expired *)
+  | Ack of { msg : int; src : int; dst : int; attempts : int }
+      (** [dst] acknowledged [msg] after [attempts] delivery attempts *)
 
 type t = {
   id : int;  (** global emission order *)
@@ -45,5 +60,11 @@ val kind_name : kind -> string
 
 val to_json : t -> string
 (** One-line JSON object (the [--trace out.jsonl] format of [dsm_run]). *)
+
+exception Parse_error of string
+
+val of_json : string -> t
+(** Parse one line of {!to_json} output back into an event.
+    @raise Parse_error on malformed input or unknown event kinds. *)
 
 val pp : Format.formatter -> t -> unit

@@ -17,4 +17,5 @@ let () =
       ("harness", Test_harness.tests);
       ("protocol-properties", Test_props.tests);
       ("trace", Test_trace.tests);
+      ("net", Test_net.tests);
     ]

@@ -109,6 +109,81 @@ let test_mp_timing () =
       end);
   Alcotest.(check bool) "one-way under 200us" true (!t1 < 200.0)
 
+(* {1 Collective properties, fault-free and under network faults}
+
+   One program exercising every collective: returns the per-processor
+   payload outputs, the elapsed virtual time and the summed statistics. *)
+
+let collective_program n payload cfg =
+  let sys = Mp.make cfg in
+  let out = Array.make n [||] in
+  Mp.run sys (fun t ->
+      let p = Mp.pid t in
+      let mine = Array.map (fun x -> x +. float_of_int p) payload in
+      let b =
+        Mp.bcast_floats t ~root:0 ~tag:1 (if p = 0 then payload else [||])
+      in
+      let s = Mp.allreduce_sum t ~tag:2 mine in
+      let r =
+        Mp.sendrecv_floats t
+          ~dst:((p + 1) mod n)
+          ~src:((p + n - 1) mod n)
+          ~tag:3 mine
+      in
+      Mp.barrier t;
+      out.(p) <- Array.concat [ b; s; r ]);
+  (out, Mp.elapsed sys, Mp.total_stats sys)
+
+let faulty_mp_cfg n =
+  {
+    (cfg n) with
+    Config.net_drop = 0.05;
+    net_dup = 0.03;
+    net_jitter_us = 25.0;
+    net_seed = 3;
+  }
+
+let qcheck_collectives =
+  (* for any processor count and payload: collectives over the faulty
+     network return exactly the payloads of the exactly-once network, and
+     repeated faulty runs are bit-identical (payloads, clocks, statistics) *)
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 2 8)
+        (array_size (int_range 1 32)
+           (map float_of_int (int_range (-1000) 1000))))
+  in
+  QCheck.Test.make ~count:20 ~name:"mp collectives: deterministic under faults"
+    (QCheck.make gen)
+    (fun (n, payload) ->
+      let c_out, c_t, _ = collective_program n payload (cfg n) in
+      let f_out, f_t, f_s = collective_program n payload (faulty_mp_cfg n) in
+      let f_out', f_t', f_s' =
+        collective_program n payload (faulty_mp_cfg n)
+      in
+      c_out = f_out && f_out = f_out' && f_t = f_t' && f_s = f_s'
+      && f_t >= c_t)
+
+let test_collectives_under_faults () =
+  (* a fixed large run: the faulty network actually loses messages, every
+     loss is recovered (payloads identical to the exactly-once run), and
+     recovery costs time *)
+  let n = 8 in
+  let payload = Array.init 64 (fun i -> float_of_int i *. 0.5) in
+  let c_out, c_t, c_s = collective_program n payload (cfg n) in
+  let f_out, f_t, f_s = collective_program n payload (faulty_mp_cfg n) in
+  Alcotest.(check bool) "payloads identical" true (c_out = f_out);
+  Alcotest.(check bool) "faults injected" true
+    (f_s.Dsm_sim.Stats.dropped > 0 || f_s.Dsm_sim.Stats.duplicates > 0);
+  Alcotest.(check int) "every drop timed out" f_s.Dsm_sim.Stats.dropped
+    f_s.Dsm_sim.Stats.timeouts;
+  Alcotest.(check int) "every timeout retransmitted" f_s.Dsm_sim.Stats.timeouts
+    f_s.Dsm_sim.Stats.retransmits;
+  Alcotest.(check bool) "recovery costs time" true (f_t > c_t);
+  Alcotest.(check int) "fault-free run is clean" 0
+    (c_s.Dsm_sim.Stats.dropped + c_s.Dsm_sim.Stats.duplicates
+    + c_s.Dsm_sim.Stats.retransmits + c_s.Dsm_sim.Stats.timeouts)
+
 let test_hpf_dist () =
   Alcotest.(check int) "block owner" 1 (Hpf.Dist.owner Hpf.Dist.Block ~nprocs:4 ~n:16 5);
   Alcotest.(check int) "cyclic owner" 1 (Hpf.Dist.owner Hpf.Dist.Cyclic ~nprocs:4 ~n:16 5);
@@ -171,4 +246,7 @@ let tests =
     Alcotest.test_case "hpf distributions" `Quick test_hpf_dist;
     Alcotest.test_case "hpf shift exchange" `Quick test_hpf_shift;
     Alcotest.test_case "hpf packing overhead" `Quick test_hpf_costs_more;
+    Alcotest.test_case "collectives under faults" `Quick
+      test_collectives_under_faults;
   ]
+  @ [ QCheck_alcotest.to_alcotest qcheck_collectives ]

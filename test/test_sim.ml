@@ -97,6 +97,70 @@ let test_occupy () =
   Alcotest.(check (float 0.001)) "later period fresh" 500.0 s3;
   Alcotest.(check (float 0.001)) "past served at arrival" 10.0 s4
 
+let test_occupy_hotspot_serialization () =
+  (* regression for the hot-spot contention model: a burst of overlapping
+     requests to one processor must serialize back to back behind its busy
+     interval, in arrival order, with no two service intervals overlapping *)
+  let c = Cluster.create cfg in
+  let ht = 50.0 in
+  let starts =
+    List.map
+      (fun arrival -> Cluster.occupy c 5 ~arrival ~handler_time:ht)
+      [ 100.0; 110.0; 120.0; 130.0; 149.9 ]
+  in
+  Alcotest.(check (list (float 0.001)))
+    "burst serializes consecutively"
+    [ 100.0; 150.0; 200.0; 250.0; 300.0 ]
+    starts;
+  (* a request arriving exactly when the queue drains starts a fresh busy
+     period at its own arrival time *)
+  Alcotest.(check (float 0.001))
+    "boundary arrival not queued" 350.0
+    (Cluster.occupy c 5 ~arrival:350.0 ~handler_time:ht);
+  (* a request from before the current busy period (a processor whose
+     clock lags) is served at its own arrival: occupancy then is unknown *)
+  Alcotest.(check (float 0.001))
+    "past request served at arrival" 10.0
+    (Cluster.occupy c 5 ~arrival:10.0 ~handler_time:ht);
+  (* other processors' handlers are independent *)
+  Alcotest.(check (float 0.001))
+    "no cross-processor queueing" 360.0
+    (Cluster.occupy c 6 ~arrival:360.0 ~handler_time:ht);
+  (* ablation: with queueing disabled every request starts at arrival *)
+  let c2 =
+    Cluster.create { cfg with Config.enable_hotspot_queueing = false }
+  in
+  List.iter
+    (fun arrival ->
+      Alcotest.(check (float 0.001))
+        "ablated: start = arrival" arrival
+        (Cluster.occupy c2 5 ~arrival ~handler_time:ht))
+    [ 100.0; 110.0; 120.0 ]
+
+let test_occupy_rpc_hotspot () =
+  (* the same property observed through rpc: four processors firing at one
+     target complete 365 + service us apart, in arrival order *)
+  let c = Cluster.create cfg in
+  let service = 200.0 in
+  List.iter
+    (fun src -> Cluster.rpc c ~src ~dst:7 ~req_bytes:0 ~resp_bytes:0 ~service)
+    [ 0; 1; 2; 3 ];
+  let done_at = List.map (Cluster.time c) [ 0; 1; 2; 3 ] in
+  let rec gaps = function
+    | a :: b :: tl ->
+        Alcotest.(check bool) "later requester finishes later" true (b > a);
+        gaps (b :: tl)
+    | _ -> ()
+  in
+  gaps done_at;
+  (* each handler occupation is interrupt + 2*overhead + service long; the
+     four completions must span at least three full handler times *)
+  let handler =
+    cfg.Config.interrupt_us +. (2.0 *. cfg.Config.msg_overhead_us) +. service
+  in
+  Alcotest.(check bool) "completions spaced by the busy interval" true
+    (List.nth done_at 3 -. List.nth done_at 0 >= 3.0 *. handler -. 0.001)
+
 let test_mm_cost () =
   let c = Cluster.create cfg in
   c.Cluster.pages_in_use <- 2000;
@@ -143,6 +207,10 @@ let tests =
     Alcotest.test_case "rpc roundtrip = 365us" `Quick test_rpc_roundtrip;
     Alcotest.test_case "rpc queueing" `Quick test_rpc_queueing;
     Alcotest.test_case "occupy" `Quick test_occupy;
+    Alcotest.test_case "occupy: hot-spot serialization" `Quick
+      test_occupy_hotspot_serialization;
+    Alcotest.test_case "occupy: rpc hot-spot ordering" `Quick
+      test_occupy_rpc_hotspot;
     Alcotest.test_case "mm cost range" `Quick test_mm_cost;
     Alcotest.test_case "bcast" `Quick test_bcast;
     Alcotest.test_case "vector clocks" `Quick test_vc;
