@@ -37,7 +37,7 @@ let levels =
   ]
 
 let run app version level size procs sync drop dup jitter net_seed trace_file
-    check list =
+    check prof list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -75,6 +75,7 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
             Some (Core.Trace.Sink.create ~nprocs:procs ())
           else None
         in
+        if prof then Core.Prof.enable ();
         let result =
           match version with
           | "tmk" -> (
@@ -90,6 +91,7 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
               | None -> Error "XHPF cannot parallelize this application")
           | v -> Error ("unknown version: " ^ v)
         in
+        if prof then Core.Prof.disable ();
         (match result with
         | Error e -> `Error (false, e)
         | Ok r ->
@@ -102,6 +104,9 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
             Format.printf "  verification:      max error %g %s@." r.A.max_err
               (if r.A.max_err <= 1e-6 then "(correct)" else "(WRONG)");
             Format.printf "  %a@." Core.Stats.pp r.A.stats;
+            if prof then
+              Format.printf "@[<v>  host-cost profile:@,%a@]@." Core.Prof.pp_table
+                ();
             if not (Core.Net_plan.is_passthrough plan) then begin
               let s = r.A.stats in
               Format.printf "  fault plan:        %a@." Core.Net_plan.pp plan;
@@ -228,6 +233,15 @@ let cmd =
             "Replay the recorded trace through the LRC invariant checker; \
              exit non-zero on violations.")
   in
+  let prof =
+    Arg.(
+      value & flag
+      & info [ "prof" ]
+          ~doc:
+            "Profile the simulator's own host cost: print a per-subsystem \
+             self-time and allocation table after the run. Simulated results \
+             are unchanged.")
+  in
   let list = Arg.(value & flag & info [ "list" ] ~doc:"List applications.") in
   let doc = "run a benchmark application on the simulated DSM" in
   Cmd.v
@@ -235,6 +249,6 @@ let cmd =
     Term.(
       ret
         (const run $ app_t $ version $ level $ size $ procs $ sync $ drop $ dup
-       $ jitter $ net_seed $ trace_file $ check $ list))
+       $ jitter $ net_seed $ trace_file $ check $ prof $ list))
 
 let () = exit (Cmd.eval cmd)

@@ -26,6 +26,7 @@ module Page_table = Dsm_mem.Page_table
 module Tmk = Dsm_tmk.Tmk
 module Shm = Dsm_tmk.Shm
 module Vc = Dsm_tmk.Vc
+module Prof = Dsm_prof.Prof
 
 module Trace = struct
   module Event = Dsm_trace.Event

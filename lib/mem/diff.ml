@@ -1,21 +1,36 @@
 type t = (int * Bytes.t) list
 
+module Prof = Dsm_prof.Prof
+
 let empty = []
 let is_empty t = t = []
 
 (* TreadMarks compares twin and copy at 32-bit word granularity; diffs are
    runs of changed words. *)
+(* Unchecked native-order reads for the word-compare scan: offsets are
+   bounded by the loop condition, and equality of same-offset words is
+   independent of byte order, so these are safe on any host. *)
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
 let create ~twin ~current =
+  Prof.enter Prof.Diff_create;
   let n = Bytes.length current in
   assert (Bytes.length twin = n && n mod 4 = 0);
   let words = n / 4 in
   let differs w =
-    Bytes.get_int32_le twin (4 * w) <> Bytes.get_int32_le current (4 * w)
+    unsafe_get_32 twin (4 * w) <> unsafe_get_32 current (4 * w)
   in
   let segs = ref [] in
   let w = ref 0 in
   while !w < words do
-    if differs !w then begin
+    (* fast path: one 64-bit compare skips two equal words — the bulk of a
+       page is usually unchanged *)
+    if
+      !w + 1 < words
+      && unsafe_get_64 twin (4 * !w) = unsafe_get_64 current (4 * !w)
+    then w := !w + 2
+    else if differs !w then begin
       let start = !w in
       while !w < words && differs !w do
         incr w
@@ -25,6 +40,7 @@ let create ~twin ~current =
     end
     else incr w
   done;
+  Prof.exit Prof.Diff_create;
   List.rev !segs
 
 let full page = [ (0, Bytes.copy page) ]
@@ -33,17 +49,31 @@ let of_range page ~off ~len =
   if len <= 0 then [] else [ (off, Bytes.sub page off len) ]
 
 let apply t dst =
+  Prof.enter Prof.Diff_apply;
   List.iter
     (fun (off, payload) ->
       Bytes.blit payload 0 dst off (Bytes.length payload))
-    t
+    t;
+  Prof.exit Prof.Diff_apply
+
+(* Reusable scratch for [merge], grown to the largest page size seen:
+   merging is frequent enough that two page-sized allocations per call
+   showed up in allocation profiles. *)
+let merge_scratch = ref Bytes.empty
+let merge_mask = ref Bytes.empty
 
 let merge older newer ~page_size =
   match (older, newer) with
   | [], d | d, [] -> d
   | _ ->
-      let scratch = Bytes.create page_size in
-      let mask = Bytes.make page_size '\000' in
+      Prof.enter Prof.Diff_create;
+      if Bytes.length !merge_scratch < page_size then begin
+        merge_scratch := Bytes.create page_size;
+        merge_mask := Bytes.create page_size
+      end;
+      let scratch = !merge_scratch
+      and mask = !merge_mask in
+      Bytes.fill mask 0 page_size '\000';
       let overlay d =
         List.iter
           (fun (off, payload) ->
@@ -66,6 +96,7 @@ let merge older newer ~page_size =
         end
         else incr i
       done;
+      Prof.exit Prof.Diff_create;
       List.rev !segs
 
 let size_bytes t =

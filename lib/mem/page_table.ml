@@ -21,7 +21,7 @@ let ensure_capacity t n =
     t.pages <- pages
   end
 
-let get t n =
+let get_slow t n =
   ensure_capacity t n;
   match t.pages.(n) with
   | Some p -> p
@@ -31,6 +31,14 @@ let get t n =
       in
       t.pages.(n) <- Some p;
       p
+
+(* Every simulated load/store goes through here; the fast path is one
+   bounds check and one array read. *)
+let[@inline] get t n =
+  let pages = t.pages in
+  if n >= 0 && n < Array.length pages then
+    match Array.unsafe_get pages n with Some p -> p | None -> get_slow t n
+  else get_slow t n
 
 let find t n = if n < Array.length t.pages then t.pages.(n) else None
 

@@ -40,6 +40,7 @@ module Cluster = Dsm_sim.Cluster
 module Stats = Dsm_sim.Stats
 module Event = Dsm_trace.Event
 module Sink = Dsm_trace.Sink
+module Prof = Dsm_prof.Prof
 
 (* {1 Deterministic counter-based PRNG (splitmix64)} *)
 
@@ -209,6 +210,8 @@ let retransmit_cpu c ~bytes =
 (* {1 The transport cost functions} *)
 
 let send t ~src ~dst ~bytes =
+  Prof.enter Prof.Net;
+  let r =
   if t.passthrough then Cluster.send t.cluster ~src ~dst ~bytes
   else begin
     let c = t.cluster.Cluster.cfg in
@@ -225,9 +228,13 @@ let send t ~src ~dst ~bytes =
     ack t ~src ~dst ~msg:l.msg ~attempts:l.attempts;
     l.deliver
   end
+  in
+  Prof.exit Prof.Net;
+  r
 
 let rpc t ~src ~dst ~req_bytes ~resp_bytes ~service =
-  if t.passthrough then
+  Prof.enter Prof.Net;
+  (if t.passthrough then
     Cluster.rpc t.cluster ~src ~dst ~req_bytes ~resp_bytes ~service
   else begin
     let c = t.cluster.Cluster.cfg in
@@ -267,9 +274,12 @@ let rpc t ~src ~dst ~req_bytes ~resp_bytes ~service =
     Cluster.sync_clock t.cluster src (sl.deliver +. c.Config.msg_overhead_us);
     if sl.dup then Cluster.charge t.cluster src c.Config.msg_overhead_us;
     ack t ~src:dst ~dst:src ~msg:sl.msg ~attempts:sl.attempts
-  end
+  end);
+  Prof.exit Prof.Net
 
 let bcast t ~src ~bytes =
+  Prof.enter Prof.Net;
+  let r =
   if t.passthrough then Cluster.bcast t.cluster ~src ~bytes
   else begin
     let c = t.cluster.Cluster.cfg in
@@ -316,3 +326,6 @@ let bcast t ~src ~bytes =
     Cluster.charge t.cluster src ((float_of_int hops *. per_hop) +. !penalty);
     Cluster.time t.cluster src
   end
+  in
+  Prof.exit Prof.Net;
+  r

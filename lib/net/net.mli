@@ -40,23 +40,35 @@ val set_vc_source : t -> (int -> int array) -> unit
     satisfy the checker's vc rules). Defaults to all-zero clocks. *)
 
 val send : t -> src:int -> dst:int -> bytes:int -> float
-(** Reliable one-way message; returns the delivery time at [dst]
-    (resequenced, after any retransmissions and jitter). The sender's
-    CPU is charged for retransmissions; an ack is charged to both ends. *)
+(** Reliable one-way message of [bytes] payload bytes; returns the
+    delivery time at [dst] as a virtual clock value in µs (resequenced:
+    never earlier than the previous [src]→[dst] delivery, after any
+    retransmissions and jitter). The sender's CPU is charged for the
+    initial attempt and every retransmission; the ack leg is charged to
+    both ends. None of this touches the host clock — like every cost
+    function here it is deterministic given [(plan, call sequence)]. *)
 
 val rpc :
   t -> src:int -> dst:int -> req_bytes:int -> resp_bytes:int ->
   service:float -> unit
-(** Synchronous request/response over two reliable legs. Request-leg
-    faults delay handler occupancy at [dst]; response-leg faults delay
-    the requester's unblock time and charge the responder's CPU. *)
+(** Synchronous request/response over two reliable legs, with [service]
+    µs of handler time at [dst] between them. Request-leg faults delay
+    handler occupancy at [dst] (and so every later request serialized
+    behind it — the hot-spot effect); response-leg faults delay the
+    requester's unblock time and charge the responder's CPU. Advances
+    [src]'s virtual clock past the full roundtrip; does not suspend the
+    calling fiber. *)
 
 val bcast : t -> src:int -> bytes:int -> float
-(** Broadcast whose tree hops are each a reliable leg; a fault on one
-    hop delays all later hops. Returns the root's completion time. *)
+(** Binary-tree broadcast of [bytes] to all other processors; each tree
+    hop is its own reliable leg, so a fault on one hop delays that whole
+    subtree. Returns the root's completion time (virtual µs). *)
 
 (** {1 Exposed for tests} *)
 
 val u01 : seed:int -> int -> float
-(** The counter-based splitmix64 uniform draw in [0,1) driving all fault
-    decisions. *)
+(** [u01 ~seed n] is the [n]-th uniform draw in [0,1) of the
+    counter-based splitmix64 generator driving all fault decisions: a
+    pure function of [(seed, n)], so tests can predict — and replay
+    tools re-derive — every drop/duplicate/jitter choice of a run
+    without sharing generator state. *)

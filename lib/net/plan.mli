@@ -1,21 +1,36 @@
 (** Per-run fault plan of the modeled unreliable transport: loss,
     duplication and delay-jitter probabilities plus the seed of the
     deterministic PRNG that drives them, and the reliable layer's
-    retransmission-timeout parameters. *)
+    retransmission-timeout parameters.
+
+    A plan is pure configuration — it owns no state. All randomness is
+    re-derived from [(seed, draw counter)] by {!Net.u01}, which is what
+    makes a faulty run bit-for-bit replayable and lets [dsm_run]'s
+    [--drop]/[--dup]/[--jitter]/[--net-seed] flags define the run
+    completely. *)
 
 type t = {
-  drop : float;  (** per-attempt loss probability, in [0,1] *)
-  dup : float;  (** per-delivery duplication probability, in [0,1] *)
-  jitter_us : float;  (** max uniform extra delivery delay, us *)
-  seed : int;  (** PRNG seed; a faulty run replays exactly from (config, seed) *)
-  rto_us : float;  (** base retransmission timeout (doubles per loss) *)
+  drop : float;  (** per-attempt loss probability, in [0,1]; applies
+                     independently to every delivery attempt, including
+                     retransmissions and ack legs *)
+  dup : float;  (** per-delivery duplication probability, in [0,1]; the
+                    duplicate is suppressed at the receiver but charges
+                    wire and interrupt costs like any delivery *)
+  jitter_us : float;  (** maximum extra delivery delay, drawn uniformly
+                          per message copy, in virtual µs (>= 0) *)
+  seed : int;  (** PRNG seed; a faulty run replays exactly from
+                   [(config, seed)] *)
+  rto_us : float;  (** base retransmission timeout in virtual µs; doubles
+                       on every expiry (exponential backoff) *)
   max_attempts : int;
       (** delivery-attempt cap; the final attempt is forced through so every
           run terminates even under a drop rate of 1.0 *)
 }
 
 val default : t
-(** All fault rates zero: the exactly-once substrate of the paper. *)
+(** All fault rates zero: the exactly-once substrate of the paper.
+    [rto_us] and [max_attempts] keep sane values so a plan built by
+    updating only the rates still validates. *)
 
 val of_config : Dsm_sim.Config.t -> t
 (** Read the plan from the [net_*] fields of a cluster configuration. *)

@@ -52,14 +52,21 @@ let covers t ~lo ~hi = hi <= lo || List.exists (fun (l, h) -> l <= lo && hi <= h
 let iter t f = List.iter (fun (lo, hi) -> f ~lo ~hi) t
 
 let pages ~page_size t =
-  let tbl = Hashtbl.create 64 in
+  (* the intervals are sorted and disjoint, so pages come out ascending;
+     only the boundary between consecutive intervals can repeat a page *)
+  let acc = ref [] in
+  let last = ref min_int in
   List.iter
     (fun (lo, hi) ->
-      for p = lo / page_size to (hi - 1) / page_size do
-        Hashtbl.replace tbl p ()
-      done)
+      let p0 = lo / page_size
+      and p1 = (hi - 1) / page_size in
+      let p0 = if p0 <= !last then !last + 1 else p0 in
+      for p = p0 to p1 do
+        acc := p :: !acc
+      done;
+      if p1 > !last then last := p1)
     t;
-  Hashtbl.fold (fun p () acc -> p :: acc) tbl [] |> List.sort compare
+  List.rev !acc
 
 let clip_to_page ~page_size ~page t =
   inter t (of_interval (page * page_size) ((page + 1) * page_size))

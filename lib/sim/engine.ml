@@ -96,7 +96,11 @@ let run ~nprocs main =
         raise (Deadlock (Printf.sprintf "fibers blocked: [%s]" blocked))
       end
   in
-  try loop ()
-  with e ->
-    discontinue_waiting ();
-    raise e
+  Dsm_prof.Prof.enter Dsm_prof.Prof.Engine;
+  Fun.protect
+    ~finally:(fun () -> Dsm_prof.Prof.exit Dsm_prof.Prof.Engine)
+    (fun () ->
+      try loop ()
+      with e ->
+        discontinue_waiting ();
+        raise e)

@@ -13,6 +13,10 @@ type cell = {
   mutable base_seq : int;
   mutable base_vcsum : int;
   mutable entries : entry list;  (* ascending seq; sizes kept even if merged *)
+  mutable hi_seq : int;  (* highest entry seq ever added — O(1) [lo] *)
+  mutable newest : entry option;
+      (* the newest entry, kept even after GC drops it from [entries]:
+         {!latest_vcsum} and {!latest_full_page} depend only on it *)
   mutable applied_by : int array;  (* per-proc applied watermark, for GC *)
 }
 
@@ -20,7 +24,9 @@ type t = {
   nprocs : int;
   page_size : int;
   cells : (int * int, cell) Hashtbl.t;  (* (writer, page) *)
-  page_writers : (int, int list) Hashtbl.t;
+  page_writers : (int, int) Hashtbl.t;
+      (* page -> bitmask of writers with a cell: O(1) membership and
+         single-writer tests however many writers a page accumulates *)
 }
 
 type unit_to_apply = {
@@ -37,7 +43,14 @@ type fetch_result = {
 }
 
 let create ~nprocs ~page_size =
-  { nprocs; page_size; cells = Hashtbl.create 1024; page_writers = Hashtbl.create 256 }
+  if nprocs > Sys.int_size - 1 then
+    invalid_arg "Diff_store.create: too many processors for a writer bitmask";
+  {
+    nprocs;
+    page_size;
+    cells = Hashtbl.create 1024;
+    page_writers = Hashtbl.create 256;
+  }
 
 let find_cell t ~writer ~page = Hashtbl.find_opt t.cells (writer, page)
 
@@ -52,24 +65,36 @@ let get_cell t ~writer ~page =
           base_seq = 0;
           base_vcsum = 0;
           entries = [];
+          hi_seq = 0;
+          newest = None;
           applied_by = Array.make t.nprocs 0;
         }
       in
       Hashtbl.replace t.cells (writer, page) c;
-      let ws = Option.value ~default:[] (Hashtbl.find_opt t.page_writers page) in
-      if not (List.mem writer ws) then
-        Hashtbl.replace t.page_writers page (writer :: ws);
+      let mask =
+        Option.value ~default:0 (Hashtbl.find_opt t.page_writers page)
+      in
+      Hashtbl.replace t.page_writers page (mask lor (1 lsl writer));
       c
 
 let writers_of_page t ~page =
-  Option.value ~default:[] (Hashtbl.find_opt t.page_writers page)
+  let mask = Option.value ~default:0 (Hashtbl.find_opt t.page_writers page) in
+  let acc = ref [] in
+  for w = t.nprocs - 1 downto 0 do
+    if mask land (1 lsl w) <> 0 then acc := w :: !acc
+  done;
+  !acc
 
 let single_writer t ~page ~writer =
-  match writers_of_page t ~page with [ w ] -> w = writer | _ -> false
+  Hashtbl.find_opt t.page_writers page = Some (1 lsl writer)
 
 (* Merge into [base] every entry payload that can no longer differ from
    applying the individual diffs in order: entries applied by everyone, or
-   any entry when this page has a single writer. *)
+   any entry when this page has a single writer. Then drop merged entries
+   no future fetch can cover: a requester's [after] is at least its
+   applied watermark minus one (a push rollback moves the page watermark
+   back a single interval), so [seq <= min_applied - 1] entries are dead
+   even for byte accounting. *)
 let coalesce t ~page c =
   let min_applied = Array.fold_left min max_int c.applied_by in
   let solo = single_writer t ~page ~writer:c.writer in
@@ -82,32 +107,35 @@ let coalesce t ~page c =
           c.base_vcsum <- max c.base_vcsum e.vcsum;
           e.payload <- None
       | Some _ | None -> ())
-    c.entries
+    c.entries;
+  c.entries <-
+    List.filter
+      (fun (e : entry) -> not (e.payload = None && e.seq <= min_applied - 1))
+      c.entries
 
 let add t ~writer ~page ~seq ~vcsum ~diff ~supersedes =
   let c = get_cell t ~writer ~page in
-  let lo =
-    (* the accumulated diff covers every interval since the last one *)
-    List.fold_left (fun acc (e : entry) -> max acc (e.seq + 1))
-      (c.base_seq + 1) c.entries
-  in
+  (* the accumulated diff covers every interval since the last one *)
+  let lo = max (c.base_seq + 1) (c.hi_seq + 1) in
   if supersedes then begin
     (* WRITE_ALL: the new content replaces all of this writer's history for
        the page — older payloads and sizes are dropped. *)
     c.base <- Dsm_mem.Diff.empty;
     c.base_seq <- 0;
     c.base_vcsum <- 0;
-    c.entries <-
-      [
-        {
-          lo;
-          seq;
-          vcsum;
-          size = Dsm_mem.Diff.size_bytes diff;
-          supersede = true;
-          payload = Some diff;
-        };
-      ]
+    let e =
+      {
+        lo;
+        seq;
+        vcsum;
+        size = Dsm_mem.Diff.size_bytes diff;
+        supersede = true;
+        payload = Some diff;
+      }
+    in
+    c.entries <- [ e ];
+    c.hi_seq <- seq;
+    c.newest <- Some e
   end
   else begin
     let e =
@@ -121,6 +149,8 @@ let add t ~writer ~page ~seq ~vcsum ~diff ~supersedes =
       }
     in
     c.entries <- c.entries @ [ e ];
+    c.hi_seq <- seq;
+    c.newest <- Some e;
     if List.length c.entries > 8 then coalesce t ~page c
   end
 
@@ -158,15 +188,15 @@ let fetch t ~writer ~page ~after ~upto =
 let has_any t ~writer ~page ~after =
   match find_cell t ~writer ~page with
   | None -> false
-  | Some c -> c.base_seq > after || List.exists (fun (e : entry) -> e.seq > after) c.entries
+  | Some c -> c.base_seq > after || c.hi_seq > after
 
 let latest_vcsum t ~writer ~page =
   match find_cell t ~writer ~page with
   | None -> None
   | Some c -> (
-      match List.rev c.entries with
-      | (last : entry) :: _ -> Some last.vcsum
-      | [] -> if c.base_seq > 0 then Some c.base_vcsum else None)
+      match c.newest with
+      | Some (last : entry) -> Some last.vcsum
+      | None -> if c.base_seq > 0 then Some c.base_vcsum else None)
 
 (* Only a WRITE_ALL materialization may supersede other writers' diffs: a
    twin-accumulated diff can cover a whole page while carrying stale bytes
@@ -176,15 +206,15 @@ let latest_full_page t ~writer ~page =
   match find_cell t ~writer ~page with
   | None -> None
   | Some c -> (
-      match List.rev c.entries with
-      | last :: _ -> (
+      match c.newest with
+      | Some last -> (
           match last.payload with
           | Some d
             when last.supersede
                  && Dsm_mem.Diff.covers_page d ~page_size:t.page_size ->
               Some (last.vcsum, last.seq)
           | Some _ | None -> None)
-      | [] -> None)
+      | None -> None)
 
 let note_applied t ~writer ~page ~by ~seq =
   match find_cell t ~writer ~page with

@@ -11,6 +11,7 @@ module Net = Dsm_net.Net
 module Page_table = Dsm_mem.Page_table
 module Diff = Dsm_mem.Diff
 module Range = Dsm_rsd.Range
+module Prof = Dsm_prof.Prof
 
 let debug = Sys.getenv_opt "DSM_DEBUG" <> None
 
@@ -80,7 +81,7 @@ let protect_runs sys p pages =
    {!materialize} when a remote processor first requests the page's
    modifications, and the one diff covers every interval accumulated since
    the twin was made. *)
-let release sys p =
+let release_pages sys p =
   let st = sys.states.(p) in
   match dirty_pages st with
   | [] -> None
@@ -109,10 +110,16 @@ let release sys p =
         pages;
       protect_runs sys p pages;
       Hashtbl.reset st.dirty;
-      sys.logs.(p) <- (seq, pages) :: sys.logs.(p);
+      Ilog.add sys.logs.(p) ~seq pages;
       if sys.trace <> None then
         emit sys p (Dsm_trace.Event.Notice_send { seq; pages });
       Some (seq, pages)
+
+let release sys p =
+  Prof.enter Prof.Protocol;
+  let r = release_pages sys p in
+  Prof.exit Prof.Protocol;
+  r
 
 (* Create the pending diff of [writer] for [page], covering every interval
    released since the last materialization (TreadMarks creates one diff for
@@ -250,22 +257,20 @@ let apply_notice sys p ~writer ~seq ~pages =
    with [vc_me.(q) < seq <= upto.(q)]; advance the vector clock. Returns the
    number of notices applied (for message-size accounting). *)
 let pull_notices sys p ~upto =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let count = ref 0 in
   for q = 0 to sys.nprocs - 1 do
     if q <> p && Vc.get upto q > Vc.get st.vc q then begin
       let lo = Vc.get st.vc q
       and hi = Vc.get upto q in
-      List.iter
-        (fun (seq, pages) ->
-          if seq > lo && seq <= hi then begin
-            count := !count + List.length pages;
-            apply_notice sys p ~writer:q ~seq ~pages
-          end)
-        sys.logs.(q);
+      Ilog.iter_desc sys.logs.(q) ~lo ~hi (fun seq pages ->
+          count := !count + List.length pages;
+          apply_notice sys p ~writer:q ~seq ~pages);
       Vc.set st.vc q hi
     end
   done;
+  Prof.exit Prof.Protocol;
   !count
 
 (* {1 Diff fetching} *)
@@ -394,6 +399,7 @@ let gather_needs sys p pages ?only_via () =
    communication-aggregation optimization uses a many-page [pages] list; the
    base run-time calls this with a single page). *)
 let fetch_and_apply sys p pages ~mode ?only_via () =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let pstats = sys.cluster.Cluster.stats.(p) in
   let cfg = sys.cluster.Cluster.cfg in
@@ -505,7 +511,8 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
       (fun page ->
         emit sys p
           (Dsm_trace.Event.Fetch_done { page; full = only_via = None }))
-      (List.sort_uniq compare pages)
+      (List.sort_uniq compare pages);
+  Prof.exit Prof.Protocol
 
 (* Make a page's copy consistent, consuming a pending asynchronous response
    if one covers the page, and paying on-demand requests otherwise. *)
@@ -521,6 +528,7 @@ let make_consistent sys p page =
 (* {1 Access misses} *)
 
 let read_fault sys p page =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let pstats = sys.cluster.Cluster.stats.(p) in
   pstats.Stats.segv <- pstats.Stats.segv + 1;
@@ -530,7 +538,8 @@ let read_fault sys p page =
   make_consistent sys p page;
   let pg = Page_table.get st.pt page in
   pg.Page_table.prot <-
-    (if in_dirty st page then Page_table.Read_write else Page_table.Read_only)
+    (if in_dirty st page then Page_table.Read_write else Page_table.Read_only);
+  Prof.exit Prof.Protocol
 
 (* {1 Consistency-state actions of the augmented interface}
 
@@ -549,6 +558,7 @@ let record_write_all sys p ranges =
     (Range.pages ~page_size:sys.page_size ranges)
 
 let apply_access_state sys p ~ranges ~access =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let pstats = sys.cluster.Cluster.stats.(p) in
   let cfg = sys.cluster.Cluster.cfg in
@@ -573,7 +583,7 @@ let apply_access_state sys p ~ranges ~access =
       pages;
     if !transitions <> [] then protect_runs sys p !transitions
   in
-  match access with
+  (match access with
   | Read ->
       let transitions = ref [] in
       List.iter
@@ -588,11 +598,13 @@ let apply_access_state sys p ~ranges ~access =
   | Write | Read_write -> enable ~twin:true
   | Write_all | Read_write_all ->
       record_write_all sys p ranges;
-      enable ~twin:false
+      enable ~twin:false);
+  Prof.exit Prof.Protocol
 
 (* Asynchronous Fetch_diffs: send the requests now, continue computing; the
    responses are consumed in the page-fault handler (Section 3.2.3). *)
 let async_fetch sys p pages =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let cfg = sys.cluster.Cluster.cfg in
   (* skip pages with an outstanding asynchronous request: its response is
@@ -641,9 +653,11 @@ let async_fetch sys p pages =
           in
           Hashtbl.replace st.pending_async page (Float.max prev arrival))
         reqs)
-    by_writer
+    by_writer;
+  Prof.exit Prof.Protocol
 
 let write_fault sys p page =
+  Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let pstats = sys.cluster.Cluster.stats.(p) in
   let cfg = sys.cluster.Cluster.cfg in
@@ -663,4 +677,5 @@ let write_fault sys p page =
       (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
   end;
   mark_dirty st page;
-  pg.Page_table.prot <- Page_table.Read_write
+  pg.Page_table.prot <- Page_table.Read_write;
+  Prof.exit Prof.Protocol

@@ -10,58 +10,75 @@ open Types
 module Page_table = Dsm_mem.Page_table
 module Section = Dsm_rsd.Section
 
+(* The common page sizes are powers of two; {!Types.system} caches the
+   shift and mask so each access costs two bit ops instead of an integer
+   division and a modulo (the dominant host cost of a run is exactly this
+   per-element path). *)
+let[@inline] page_of t addr =
+  let s = t.sys.page_shift in
+  if s >= 0 then addr lsr s else addr / t.sys.page_size
+
+let[@inline] offset_of t addr =
+  let s = t.sys.page_shift in
+  if s >= 0 then addr land t.sys.page_mask else addr mod t.sys.page_size
+
 let[@inline] page_for_read t addr =
-  let st = state t in
-  let page = addr / t.sys.page_size in
-  let pg = Page_table.get st.pt page in
+  let page = page_of t addr in
+  let pg = Page_table.get t.st.pt page in
   match pg.Page_table.prot with
   | Page_table.No_access ->
       Protocol.read_fault t.sys t.p page;
-      Page_table.get st.pt page
+      Page_table.get t.st.pt page
   | Page_table.Read_only | Page_table.Read_write -> pg
 
 let[@inline] page_for_write t addr =
-  let st = state t in
-  let page = addr / t.sys.page_size in
-  let pg = Page_table.get st.pt page in
+  let page = page_of t addr in
+  let pg = Page_table.get t.st.pt page in
   match pg.Page_table.prot with
   | Page_table.Read_write -> pg
   | Page_table.No_access | Page_table.Read_only ->
       Protocol.write_fault t.sys t.p page;
-      Page_table.get st.pt page
+      Page_table.get t.st.pt page
+
+(* Unchecked native-order 64-bit access. Eight-byte elements are 8-aligned
+   ({!Dsm_mem.Addr_space} aligns every base to 8) and the page size is a
+   multiple of 8, so the in-page offset is always within [0, page_size-8]:
+   the bound check on every load/store would never fire. Native order
+   equals the little-endian wire format everywhere this simulator runs; on
+   a big-endian host we fall back to the checked LE accessors so results
+   stay identical ([Sys.big_endian] is a compile-time constant). *)
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] get_64_le b off =
+  if Sys.big_endian then Bytes.get_int64_le b off else unsafe_get_64 b off
+
+let[@inline] set_64_le b off v =
+  if Sys.big_endian then Bytes.set_int64_le b off v else unsafe_set_64 b off v
 
 let get_f64 t addr =
   let pg = page_for_read t addr in
-  Int64.float_of_bits
-    (Bytes.get_int64_le pg.Page_table.data (addr mod t.sys.page_size))
+  Int64.float_of_bits (get_64_le pg.Page_table.data (offset_of t addr))
 
 let set_f64 t addr v =
   let pg = page_for_write t addr in
-  Bytes.set_int64_le pg.Page_table.data
-    (addr mod t.sys.page_size)
-    (Int64.bits_of_float v)
+  set_64_le pg.Page_table.data (offset_of t addr) (Int64.bits_of_float v)
 
 let get_i64 t addr =
   let pg = page_for_read t addr in
-  Bytes.get_int64_le pg.Page_table.data (addr mod t.sys.page_size)
-  |> Int64.to_int
+  get_64_le pg.Page_table.data (offset_of t addr) |> Int64.to_int
 
 let set_i64 t addr v =
   let pg = page_for_write t addr in
-  Bytes.set_int64_le pg.Page_table.data
-    (addr mod t.sys.page_size)
-    (Int64.of_int v)
+  set_64_le pg.Page_table.data (offset_of t addr) (Int64.of_int v)
 
 let get_i32 t addr =
   let pg = page_for_read t addr in
-  Bytes.get_int32_le pg.Page_table.data (addr mod t.sys.page_size)
-  |> Int32.to_int
+  Bytes.get_int32_le pg.Page_table.data (offset_of t addr) |> Int32.to_int
 
 let set_i32 t addr v =
   let pg = page_for_write t addr in
-  Bytes.set_int32_le pg.Page_table.data
-    (addr mod t.sys.page_size)
-    (Int32.of_int v)
+  Bytes.set_int32_le pg.Page_table.data (offset_of t addr) (Int32.of_int v)
 
 (* {1 Array views}
 
@@ -83,8 +100,9 @@ end
 module F64_2 = struct
   type t = Section.array_info
 
+  (* a 2-D view always carries two extents, so the bound check is dead *)
   let[@inline] addr (a : t) i j =
-    a.Section.base + (8 * (i + (a.Section.extents.(0) * j)))
+    a.Section.base + (8 * (i + (Array.unsafe_get a.Section.extents 0 * j)))
 
   let get tmk a i j = get_f64 tmk (addr a i j)
   let set tmk a i j v = set_f64 tmk (addr a i j) v
@@ -93,9 +111,9 @@ module F64_2 = struct
   let rmw tmk a i j f =
     let ad = addr a i j in
     let pg = page_for_write tmk ad in
-    let off = ad mod tmk.sys.page_size in
-    let x = Int64.float_of_bits (Bytes.get_int64_le pg.Page_table.data off) in
-    Bytes.set_int64_le pg.Page_table.data off (Int64.bits_of_float (f x))
+    let off = offset_of tmk ad in
+    let x = Int64.float_of_bits (get_64_le pg.Page_table.data off) in
+    set_64_le pg.Page_table.data off (Int64.bits_of_float (f x))
   let dim0 (a : t) = a.Section.extents.(0)
   let dim1 (a : t) = a.Section.extents.(1)
 
@@ -108,7 +126,8 @@ module F64_3 = struct
 
   let[@inline] addr (a : t) i j k =
     let e = a.Section.extents in
-    a.Section.base + (8 * (i + (e.(0) * (j + (e.(1) * k)))))
+    a.Section.base
+    + 8 * (i + (Array.unsafe_get e 0 * (j + (Array.unsafe_get e 1 * k))))
 
   let get tmk a i j k = get_f64 tmk (addr a i j k)
   let set tmk a i j k v = set_f64 tmk (addr a i j k) v

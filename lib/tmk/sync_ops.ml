@@ -15,6 +15,7 @@ module Stats = Dsm_sim.Stats
 module Engine = Dsm_sim.Engine
 module Net = Dsm_net.Net
 module Range = Dsm_rsd.Range
+module Prof = Dsm_prof.Prof
 
 let wsync_req_bytes sys reqs =
   List.fold_left
@@ -33,10 +34,7 @@ let wsync_req_pages sys reqs =
 (* Number of write notices in my log newer than what I last shipped. *)
 let new_notice_count sys p =
   let st = sys.states.(p) in
-  List.fold_left
-    (fun acc (seq, pages) ->
-      if seq > st.notices_sent_seq then acc + List.length pages else acc)
-    0 sys.logs.(p)
+  Ilog.count_since sys.logs.(p) st.notices_sent_seq
 
 (* {1 Barrier} *)
 
@@ -74,13 +72,7 @@ let detect_bcast sys ~epoch ~departure_clock entries =
                  the requester [r] is about to learn of *)
               let upto = Vc.get sys.barrier.departure_vc q in
               let lo = Vc.get sys.states.(r).vc q in
-              let best = ref 0 in
-              List.iter
-                (fun (seq, pgs) ->
-                  if seq > lo && seq <= upto && !best = 0 && List.mem page pgs
-                  then best := seq)
-                sys.logs.(q);
-              !best
+              Ilog.newest_containing sys.logs.(q) ~lo ~upto page
             in
             let writers = ref [] in
             List.iter
@@ -287,6 +279,7 @@ let handle_wsync_at_barrier sys p ~epoch ~departure_clock ~my_reqs =
     my_reqs
 
 let barrier t =
+  Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let st = state t in
@@ -350,7 +343,11 @@ let barrier t =
     b.epoch <- b.epoch + 1;
     b.arrived <- 0
   end;
+  (* close the span across the suspension: scheduling and sibling fibers'
+     work must not be charged to Sync *)
+  Prof.exit Prof.Sync;
   Engine.block ~until:(fun () -> b.epoch > my_epoch);
+  Prof.enter Prof.Sync;
   if p = 0 then Cluster.sync_clock sys.cluster 0 b.master_resume_clock
   else Cluster.sync_clock sys.cluster p b.departure_clock;
   if sys.trace <> None then
@@ -389,7 +386,8 @@ let barrier t =
     Hashtbl.remove b.wsync_done my_epoch;
     Hashtbl.remove b.wsync_tbl my_epoch
   end
-  else Hashtbl.replace b.wsync_done my_epoch ndone
+  else Hashtbl.replace b.wsync_done my_epoch ndone;
+  Prof.exit Prof.Sync
 
 (* {1 Locks} *)
 
@@ -413,6 +411,7 @@ let get_lock sys lid =
       lk
 
 let lock_acquire t lid =
+  Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let st = state t in
@@ -450,7 +449,9 @@ let lock_acquire t lid =
     (* newest first: O(1) instead of a quadratic append; {!lock_release}
        still grants by earliest arrival, oldest enqueued on ties *)
     lk.pending <- (p, arrival) :: lk.pending;
+  Prof.exit Prof.Sync;
   Engine.block ~until:(fun () -> lk.granted = Some p);
+  Prof.enter Prof.Sync;
   lk.granted <- None;
   lk.held_by <- Some p;
   let grantor = lk.last_releaser in
@@ -499,9 +500,11 @@ let lock_acquire t lid =
       end;
       Protocol.apply_access_state sys p ~ranges:req.wr_ranges
         ~access:req.wr_access)
-    my_reqs
+    my_reqs;
+  Prof.exit Prof.Sync
 
 let lock_release t lid =
+  Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let lk = get_lock sys lid in
@@ -511,7 +514,7 @@ let lock_release t lid =
   lk.release_vc <- Some (Vc.copy (state t).vc);
   lk.last_releaser <- p;
   lk.held_by <- None;
-  match lk.pending with
+  (match lk.pending with
   | [] -> ()
   | pending ->
       (* [pending] is newest first; grant the earliest arrival, breaking
@@ -528,4 +531,5 @@ let lock_release t lid =
       in
       lk.pending <- List.rev rest;
       lk.granted <- Some next;
-      lk.grant_clock <- Float.max arr lk.release_clock
+      lk.grant_clock <- Float.max arr lk.release_clock);
+  Prof.exit Prof.Sync

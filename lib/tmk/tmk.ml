@@ -36,7 +36,7 @@ let make cfg =
             notices_sent_seq = 0;
             partial_push = [];
           });
-    logs = Array.make nprocs [];
+    logs = Array.init nprocs (fun _ -> Ilog.create ());
     locks = Hashtbl.create 16;
     barrier =
       {
@@ -52,6 +52,15 @@ let make cfg =
       };
     pushbox = Hashtbl.create 64;
     page_size = cfg.Config.page_size;
+    page_shift =
+      (let ps = cfg.Config.page_size in
+       if ps > 0 && ps land (ps - 1) = 0 then
+         let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+         log2 ps 0
+       else -1);
+    page_mask =
+      (let ps = cfg.Config.page_size in
+       if ps > 0 && ps land (ps - 1) = 0 then ps - 1 else 0);
     nprocs;
     trace = None;
   }
@@ -73,7 +82,7 @@ let run ?trace sys main =
       Dsm_net.Net.set_trace sys.Types.net None)
     (fun () ->
       Engine.run ~nprocs:sys.Types.nprocs (fun p ->
-          let t = { Types.sys; p } in
+          let t = { Types.sys; p; st = sys.Types.states.(p) } in
           main t;
           Sync_ops.barrier t))
 

@@ -120,11 +120,15 @@ type system = {
   space : Dsm_mem.Addr_space.t;
   store : Diff_store.t;
   states : pstate array;
-  logs : (int * int list) list array;  (* per proc: (seq, pages), newest first *)
+  logs : Ilog.t array;  (* per proc: write-notice log indexed by seq *)
   locks : (int, lock) Hashtbl.t;
   barrier : barrier;
   pushbox : (int * int, push_msg) Hashtbl.t;  (* (src, dst) *)
   page_size : int;
+  page_shift : int;
+      (* log2 page_size when the page size is a power of two, -1 otherwise;
+         the Shm fast path replaces the per-access div/mod with shift/mask *)
+  page_mask : int;  (* page_size - 1 when a power of two, 0 otherwise *)
   nprocs : int;
   mutable trace : Dsm_trace.Sink.t option;
       (* protocol event sink; [None] (the default) makes every
@@ -132,9 +136,11 @@ type system = {
          emission never touches clocks or statistics *)
 }
 
-(* Per-processor handle passed to application code. *)
-type t = { sys : system; p : int }
+(* Per-processor handle passed to application code. [st] caches
+   [sys.states.(p)]: every Shm access starts from the handle, and the
+   cached field saves an array bound check plus two loads on that path. *)
+type t = { sys : system; p : int; st : pstate }
 
-let state t = t.sys.states.(t.p)
+let state t = t.st
 let cfg t = t.sys.cluster.Dsm_sim.Cluster.cfg
 let stats t = t.sys.cluster.Dsm_sim.Cluster.stats.(t.p)

@@ -10,6 +10,7 @@ module Net = Dsm_net.Net
 module Range = Dsm_rsd.Range
 module Section = Dsm_rsd.Section
 module Page_table = Dsm_mem.Page_table
+module Prof = Dsm_prof.Prof
 
 let ranges_of_sections sections =
   List.fold_left
@@ -21,6 +22,7 @@ let ranges_of_sections sections =
    the fetch requests — the page-fault handler completes the work at the
    first access (Section 3.2.3). *)
 let validate t ?(async = false) sections access =
+  Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let pstats = stats t in
@@ -36,7 +38,7 @@ let validate t ?(async = false) sections access =
            async;
            w_sync = false;
          });
-  match access with
+  (match access with
   | Read | Write | Read_write ->
       if async then Protocol.async_fetch sys p pages
       else begin
@@ -55,7 +57,8 @@ let validate t ?(async = false) sections access =
       else begin
         Protocol.fetch_and_apply sys p pages ~mode:Protocol.Rpc ();
         Protocol.apply_access_state sys p ~ranges ~access
-      end
+      end);
+  Prof.exit Prof.Sync
 
 (* Validate_w_sync: identical to Validate, but the request for diffs is
    piggy-backed on the next synchronization operation (lock acquire or
@@ -85,6 +88,7 @@ let validate_w_sync t ?(async = false) sections access =
    after. Data is received in place, not as diffs. Only the pushed sections
    are made consistent; full consistency is restored at the next barrier. *)
 let push t ~read_sections ~write_sections =
+  Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let st = state t in
@@ -114,7 +118,9 @@ let push t ~read_sections ~write_sections =
             done;
             payload := (lo, buf) :: !payload);
         (* back-pressure: at most one in-flight push per (src, dst) pair *)
+        Prof.exit Prof.Sync;
         Engine.block ~until:(fun () -> not (Hashtbl.mem sys.pushbox (p, i)));
+        Prof.enter Prof.Sync;
         let bytes = Range.size inter + 32 in
         let arrival = Net.send sys.net ~src:p ~dst:i ~bytes in
         if sys.trace <> None then
@@ -139,7 +145,9 @@ let push t ~read_sections ~write_sections =
         Range.inter (ranges_of_sections write_sections.(i)) my_reads
       in
       if not (Range.is_empty expect) then begin
+        Prof.exit Prof.Sync;
         Engine.block ~until:(fun () -> Hashtbl.mem sys.pushbox (i, p));
+        Prof.enter Prof.Sync;
         let msg = Hashtbl.find sys.pushbox (i, p) in
         Hashtbl.remove sys.pushbox (i, p);
         Cluster.recv_charge sys.cluster ~dst:p ~arrival:msg.pm_arrival
@@ -215,4 +223,5 @@ let push t ~read_sections ~write_sections =
         if !revalidated <> [] then Protocol.protect_runs sys p !revalidated
       end
     end
-  done
+  done;
+  Prof.exit Prof.Sync

@@ -1,20 +1,31 @@
 type t = int array
 
+module Prof = Dsm_prof.Prof
+
 let create n = Array.make n 0
-let copy = Array.copy
+
+let copy v =
+  Prof.tick Prof.Vc;
+  Array.copy v
+
 let get v q = v.(q)
 let set v q x = v.(q) <- x
 
 let merge dst src =
+  Prof.tick Prof.Vc;
   Array.iteri (fun i x -> if x > dst.(i) then dst.(i) <- x) src
 
 let leq a b =
+  Prof.tick Prof.Vc;
   let n = Array.length a in
   let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
   go 0
 
 let dominates a b = leq b a
-let sum = Array.fold_left ( + ) 0
+
+let sum v =
+  Prof.tick Prof.Vc;
+  Array.fold_left ( + ) 0 v
 
 let pp ppf v =
   Format.fprintf ppf "<%a>"

@@ -10,9 +10,22 @@
 
 type kind =
   | Page_fault of { page : int; write : bool; fetch : bool }
+      (** an access to an invalid (or, for [write], read-only) page;
+          [fetch] is true when servicing it pulled remote diffs, false
+          when the page was satisfiable locally *)
   | Twin of { page : int }
+      (** a pristine copy of [page] was made before its first write in
+          the current interval (the source of later diffs) *)
   | Diff_create of { page : int; seq : int; bytes : int; write_all : bool }
+      (** the twin/current comparison for [page] in interval [seq]
+          produced a [bytes]-byte diff; [write_all] marks a
+          compiler-certified whole-page write (no twin was needed and
+          the diff supersedes all earlier ones for the page) *)
   | Diff_fetch of { writer : int; page : int; after : int; upto : int }
+      (** request to [writer] for its diffs of [page] with interval
+          seqs in the entitlement window [(after, upto]] — [after] is
+          the newest seq already applied locally for the page, [upto]
+          the newest known through received write notices *)
   | Diff_apply of {
       writer : int;
       page : int;
@@ -20,18 +33,44 @@ type kind =
       upto_seq : int;
       bytes : int;
     }
+      (** [bytes] of fetched diffs from [writer] were applied to
+          [page]; [order] is the writer's vector-clock sum at creation
+          (the checker verifies ascending application order) and
+          [upto_seq] the newest interval seq the batch covers *)
   | Fetch_done of { page : int; full : bool }
+      (** all outstanding fetches for [page] completed; [full] means a
+          whole-page copy was transferred instead of diffs *)
   | Notice_send of { seq : int; pages : int list }
+      (** at a release, the processor closed interval [seq] and made
+          write notices for [pages] available to others *)
   | Notice_apply of { writer : int; seq : int; page : int; invalidated : bool }
+      (** a write notice from [writer]'s interval [seq] reached this
+          processor; [invalidated] is true when [page] is inaccessible
+          after the notice is recorded (it was, or became, invalid) and
+          false when a redundant notice left it accessible *)
   | Barrier_arrive of { epoch : int }
   | Barrier_depart of { epoch : int }
   | Lock_request of { lock : int }
   | Lock_grant of { lock : int; grantor : int; notices : int }
+      (** [grantor] handed over [lock] along with [notices] write
+          notices covering the intervals the requester had not seen *)
   | Validate of { access : string; npages : int; async : bool; w_sync : bool }
+      (** an augmented-interface call declared an [access] ("READ",
+          "WRITE", "READ&WRITE", "WRITE_ALL", "READ&WRITE_ALL") over
+          [npages] pages; [async] marks an overlapped prefetch,
+          [w_sync] the combined validate-with-synchronization form *)
   | Push_send of { dst : int; bytes : int; seq : int }
+      (** compiler-directed push of this processor's interval-[seq]
+          diffs ([bytes] bytes) to [dst] *)
   | Push_recv of { src : int; bytes : int; seq : int; pages : int list }
+      (** receipt of a push from [src]; [pages] may later be rolled
+          back if a concurrent writer invalidates the speculation *)
   | Push_rollback of { page : int; writer : int; seq : int }
+      (** a pushed copy of [page] was discarded because [writer]'s
+          interval [seq] proved the push stale *)
   | Broadcast of { bytes : int; requesters : int list }
+      (** hybrid update: one writer broadcast [bytes] of diffs to
+          [requesters] instead of serving individual fetches *)
   | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
       (** a delivery attempt of reliable-layer message [msg] was lost *)
   | Msg_dup of { msg : int; src : int; dst : int }

@@ -10,6 +10,7 @@
 type t = {
   nprocs : int;
   capacity : int;  (* per processor *)
+  mask : int;  (* capacity - 1 when a power of two, -1 otherwise *)
   rings : Event.t option array array;
   count : int array;  (* total emitted per processor *)
   mutable next_id : int;
@@ -22,6 +23,7 @@ let create ?(capacity = default_capacity) ~nprocs () =
   {
     nprocs;
     capacity;
+    mask = (if capacity land (capacity - 1) = 0 then capacity - 1 else -1);
     rings = Array.init nprocs (fun _ -> Array.make capacity None);
     count = Array.make nprocs 0;
     next_id = 0;
@@ -31,12 +33,14 @@ let nprocs t = t.nprocs
 let capacity t = t.capacity
 
 let emit t ~proc ~time ~vc kind =
+  Dsm_prof.Prof.tick Dsm_prof.Prof.Trace;
   let id = t.next_id in
   t.next_id <- id + 1;
   let ring = t.rings.(proc) in
-  ring.(t.count.(proc) mod t.capacity) <-
-    Some { Event.id; proc; time; vc; kind };
-  t.count.(proc) <- t.count.(proc) + 1
+  let c = t.count.(proc) in
+  let slot = if t.mask >= 0 then c land t.mask else c mod t.capacity in
+  ring.(slot) <- Some { Event.id; proc; time; vc; kind };
+  t.count.(proc) <- c + 1
 
 let emitted t = Array.fold_left ( + ) 0 t.count
 

@@ -18,4 +18,6 @@ let () =
       ("protocol-properties", Test_props.tests);
       ("trace", Test_trace.tests);
       ("net", Test_net.tests);
+      ("perf-goldens", Test_perf_goldens.tests);
+      ("perf-infra", Test_perf_infra.tests);
     ]

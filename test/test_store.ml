@@ -107,9 +107,78 @@ let test_apply_order () =
   List.iter (fun u -> Diff.apply u.Store.payload dst) sorted;
   Alcotest.(check char) "happens-after wins" 'n' (Bytes.get dst 0)
 
+let test_many_writers_one_page () =
+  (* regression for the writer-bitmask rewrite: with every processor
+     writing the same page, membership stays exact, enumeration ascending
+     and duplicate-free, and per-writer histories stay independent *)
+  let t = Store.create ~nprocs:8 ~page_size in
+  for w = 0 to 7 do
+    Store.add t ~writer:w ~page:3 ~seq:1 ~vcsum:(w + 1)
+      ~diff:(mk_diff (4 * w) 4 (Char.chr (Char.code 'a' + w)))
+      ~supersedes:false
+  done;
+  Alcotest.(check (list int)) "ascending writers"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Store.writers_of_page t ~page:3);
+  Store.add t ~writer:5 ~page:3 ~seq:2 ~vcsum:20 ~diff:(mk_diff 20 4 'z')
+    ~supersedes:false;
+  Alcotest.(check (list int)) "no duplicates on re-add"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Store.writers_of_page t ~page:3);
+  let r = Store.fetch t ~writer:5 ~page:3 ~after:0 ~upto:10 in
+  Alcotest.(check int) "writer 5 history intact" 2 r.Store.ndiffs;
+  (* applying every writer's units in stamp order reconstructs all bytes *)
+  let units =
+    List.concat_map
+      (fun w -> (Store.fetch t ~writer:w ~page:3 ~after:0 ~upto:10).Store.units)
+      (List.init 8 Fun.id)
+  in
+  let sorted = List.sort (fun a b -> compare a.Store.order b.Store.order) units in
+  let dst = Bytes.make page_size '\000' in
+  List.iter (fun u -> Diff.apply u.Store.payload dst) sorted;
+  for w = 0 to 7 do
+    Alcotest.(check char)
+      (Printf.sprintf "writer %d bytes" w)
+      (if w = 5 then 'z' else Char.chr (Char.code 'a' + w))
+      (Bytes.get dst (4 * w))
+  done
+
+let test_gc_of_applied_entries () =
+  (* entries below everyone's applied watermark are dropped after a merge;
+     a requester (whose [after] is always >= watermark - 1) still gets the
+     merged base plus full per-interval accounting for live seqs, and the
+     newest-entry queries survive the GC *)
+  let t = Store.create ~nprocs:2 ~page_size in
+  for seq = 1 to 12 do
+    Store.add t ~writer:0 ~page:0 ~seq ~vcsum:seq ~diff:(mk_diff 0 4 'k')
+      ~supersedes:false
+  done;
+  Store.note_applied t ~writer:0 ~page:0 ~by:0 ~seq:11;
+  Store.note_applied t ~writer:0 ~page:0 ~by:1 ~seq:11;
+  for seq = 13 to 21 do
+    (* drive another coalesce past the GC threshold *)
+    Store.add t ~writer:0 ~page:0 ~seq ~vcsum:seq ~diff:(mk_diff 4 4 'm')
+      ~supersedes:false
+  done;
+  let r = Store.fetch t ~writer:0 ~page:0 ~after:11 ~upto:30 in
+  Alcotest.(check int) "live seqs all accounted" 10 r.Store.ndiffs;
+  Alcotest.(check int) "live bytes accounted" 40 r.Store.charge_bytes;
+  let dst = Bytes.make page_size '\000' in
+  List.iter (fun u -> Diff.apply u.Store.payload dst) r.Store.units;
+  Alcotest.(check char) "merged base content present" 'k' (Bytes.get dst 0);
+  Alcotest.(check char) "live entry content present" 'm' (Bytes.get dst 4);
+  Alcotest.(check (option int)) "latest vcsum survives GC" (Some 21)
+    (Store.latest_vcsum t ~writer:0 ~page:0);
+  Alcotest.(check bool) "has_any survives GC" true
+    (Store.has_any t ~writer:0 ~page:0 ~after:20)
+
 let tests =
   [
     Alcotest.test_case "fetch after watermark" `Quick test_fetch_after;
+    Alcotest.test_case "many writers, one page" `Quick
+      test_many_writers_one_page;
+    Alcotest.test_case "GC of fully-applied entries" `Quick
+      test_gc_of_applied_entries;
     Alcotest.test_case "entitlement filtering" `Quick test_entitlement;
     Alcotest.test_case "WRITE_ALL supersede" `Quick test_supersede;
     Alcotest.test_case "latest vcsum" `Quick test_latest_vcsum;
