@@ -1,0 +1,185 @@
+(* dsm_lint: static data-race detector and Validate/Push soundness
+   verifier for the IR pipeline.
+
+     dsm_lint --program all --procs 1,2,4,8 --mode race
+     dsm_lint --program jacobi --procs 2 --mode verify --level push
+     dsm_lint --program jacobi --procs 2 --mode diff
+     dsm_lint --program all --procs 1,2,4,8            # all modes
+
+   Modes:
+     race    cross-processor data-race detection on the source program
+             and on each requested transformation level's output
+     verify  Validate/Push soundness of each transformation level
+     diff    run the transformed program on the simulated run-time and
+             check every dynamic page access against the static summary
+
+   Exit code 0 when nothing above a warning was found (or nothing at
+   all under --strict), 1 for warnings under --strict, 2 for errors. *)
+
+open Cmdliner
+module Ir = Core.Compiler.Ir
+module Programs = Core.Compiler.Programs
+module Transform = Core.Compiler.Transform
+module Diag = Core.Lint.Diag
+
+let programs : (string * Ir.program) list =
+  [
+    ("jacobi", Programs.jacobi ~m:48 ~iters:3);
+    ("transpose", Programs.transpose ~m:32 ~iters:2);
+    ("redblack", Programs.redblack ~n:128 ~iters:3);
+    ("masked", Programs.masked ~m:64 ~iters:3);
+    ("lock_accum", Programs.lock_accum ~n:64 ~iters:3);
+  ]
+
+let levels : (string * Transform.opts) list =
+  [
+    ("base", Transform.base);
+    ("aggr", Transform.level_aggregate);
+    ("cons", Transform.level_cons_elim);
+    ("merge", Transform.level_sync_merge);
+    ("push", Transform.level_push);
+  ]
+
+let parse_list ~known what s =
+  if s = "all" then Ok (List.map fst known)
+  else
+    let names = String.split_on_char ',' (String.trim s) in
+    let bad = List.filter (fun n -> not (List.mem_assoc n known)) names in
+    if bad <> [] then
+      Error
+        (Printf.sprintf "unknown %s: %s (known: %s)" what
+           (String.concat ", " bad)
+           (String.concat ", " (List.map fst known)))
+    else Ok names
+
+let parse_procs s =
+  try
+    let ps =
+      List.map
+        (fun x -> int_of_string (String.trim x))
+        (String.split_on_char ',' s)
+    in
+    if ps = [] || List.exists (fun p -> p < 1) ps then
+      Error "processor counts must be positive"
+    else Ok ps
+  with Failure _ -> Error ("cannot parse processor list: " ^ s)
+
+let run_race prog ~nprocs =
+  let source = Core.Lint.Race.check prog ~nprocs in
+  (* A race in the source shows up at every level; only scan the
+     transformed outputs when the source is clean. *)
+  if source <> [] then source
+  else
+    List.concat_map
+      (fun (_, opts) ->
+        let transformed, _ = Transform.transform prog ~nprocs ~opts in
+        Core.Lint.Race.check transformed ~nprocs)
+      levels
+
+let run_verify prog ~nprocs level_names =
+  List.concat_map
+    (fun name ->
+      let opts = List.assoc name levels in
+      let transformed, _ = Transform.transform prog ~nprocs ~opts in
+      Core.Lint.Verify.run ~orig:prog ~transformed ~nprocs)
+    level_names
+
+let run_diff prog ~nprocs level_names =
+  if nprocs = 1 then []
+    (* single-processor runs have no consistency traffic to check *)
+  else
+    List.concat_map
+      (fun lname ->
+        let opts = List.assoc lname levels in
+        let r = Core.Lint.Differential.run ~opts prog ~nprocs in
+        Array.iteri
+          (fun p (s : Core.Lint.Differential.proc_stat) ->
+            Format.printf
+              "  %-10s %-5s p%d: %d static pages, %d dynamic, %d covered@."
+              prog.Ir.pname lname p s.Core.Lint.Differential.static_pages
+              s.Core.Lint.Differential.dynamic_pages
+              s.Core.Lint.Differential.covered_pages)
+          r.Core.Lint.Differential.per_proc;
+        if r.Core.Lint.Differential.dropped > 0 then
+          Diag.make Diag.Warning ~program:prog.Ir.pname
+            (Diag.Structure
+               {
+                 reason =
+                   Printf.sprintf
+                     "trace dropped %d events; check incomplete"
+                     r.Core.Lint.Differential.dropped;
+               })
+          :: r.Core.Lint.Differential.diags
+        else r.Core.Lint.Differential.diags)
+      level_names
+
+let main prog_arg procs_arg mode level_arg strict =
+  let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+  let* prog_names = parse_list ~known:programs "program" prog_arg in
+  let* level_names = parse_list ~known:levels "level" level_arg in
+  let* procs = parse_procs procs_arg in
+  let* modes =
+    match mode with
+    | "all" -> Ok [ "race"; "verify"; "diff" ]
+    | ("race" | "verify" | "diff") as m -> Ok [ m ]
+    | m -> Error ("unknown mode: " ^ m ^ " (race, verify, diff or all)")
+  in
+  let diags =
+    List.concat_map
+      (fun pname ->
+        let prog = List.assoc pname programs in
+        List.concat_map
+          (fun nprocs ->
+            List.concat_map
+              (function
+                | "race" -> run_race prog ~nprocs
+                | "verify" -> run_verify prog ~nprocs level_names
+                | "diff" -> run_diff prog ~nprocs level_names
+                | _ -> assert false)
+              modes)
+          procs)
+      prog_names
+  in
+  Format.printf "@[<v>%a@]@." Diag.pp_report diags;
+  let code = Diag.exit_code ~strict diags in
+  if code = 0 then `Ok () else exit code
+
+let cmd =
+  let prog =
+    Arg.(
+      value & opt string "all"
+      & info [ "program"; "P" ] ~docv:"NAME"
+          ~doc:
+            "Comma-separated IR programs to lint, or $(b,all): jacobi, \
+             transpose, redblack, masked, lock_accum.")
+  in
+  let procs =
+    Arg.(
+      value & opt string "1,2,4,8"
+      & info [ "procs"; "p" ] ~docv:"LIST"
+          ~doc:"Comma-separated processor counts.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "all"
+      & info [ "mode"; "m" ] ~doc:"Analysis: race, verify, diff or all.")
+  in
+  let level =
+    Arg.(
+      value & opt string "all"
+      & info [ "level"; "l" ]
+          ~doc:
+            "Transformation levels for verify mode: base, aggr, cons, \
+             merge, push, or all.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit non-zero on warnings as well.")
+  in
+  let doc = "static data-race detection and transformation verification" in
+  Cmd.v
+    (Cmd.info "dsm_lint" ~doc)
+    Term.(ret (const main $ prog $ procs $ mode $ level $ strict))
+
+let () = exit (Cmd.eval cmd)

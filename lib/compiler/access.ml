@@ -308,6 +308,20 @@ let analyze (prog : Ir.program) ~nprocs =
       in
       { regions; sync_count; cyclic = true }
 
+let find_region_after res idx =
+  List.find_opt (fun r -> r.after_sync = idx) res.regions
+
+let find_region_before res idx =
+  List.find_opt (fun r -> r.before_sync = idx) res.regions
+
+let entry region arr =
+  List.find_opt (fun e -> e.arr = arr) region.summary
+
+let body_summary (prog : Ir.program) ~nprocs =
+  let probe v = Ir.probe_env prog ~nprocs v in
+  let shared name = List.mem_assoc name prog.Ir.arrays in
+  summarize ~probe (collect_accesses ~shared prog.Ir.body)
+
 let pp_tag ppf t =
   let parts =
     (if t.read then [ "read" ] else [])

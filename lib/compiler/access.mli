@@ -40,5 +40,23 @@ val index_syncs : Ir.program -> (int * Ir.stmt) list
 
 val analyze : Ir.program -> nprocs:int -> result
 
+(** {2 Accessors used by the static lint} *)
+
+val find_region_after : result -> int -> region option
+(** The region opened by the sync statement with the given traversal
+    index. *)
+
+val find_region_before : result -> int -> region option
+(** The region closed by the sync statement with the given traversal
+    index (its preceding region). *)
+
+val entry : region -> string -> summary_entry option
+(** The region's summary entry for one shared array. *)
+
+val body_summary : Ir.program -> nprocs:int -> summary_entry list
+(** Per-array summary of {e every} shared access in the program body,
+    ignoring region boundaries: the fallback access envelope for programs
+    without a steady-state loop. *)
+
 val pp_tag : Format.formatter -> tag -> unit
 val pp_region : Format.formatter -> region -> unit

@@ -1,0 +1,46 @@
+let array_info (prog : Ir.program) name =
+  let extents =
+    Ir.array_extents prog name
+    |> List.map (Lin.eval (fun v -> List.assoc v prog.Ir.params))
+    |> Array.of_list
+  in
+  { Dsm_rsd.Section.name; base = 0; elem_size = 8; extents }
+
+let binding (prog : Ir.program) ~nprocs ~p =
+  let bindings = prog.Ir.proc_bindings ~nprocs ~p in
+  fun v ->
+    match List.assoc_opt v prog.Ir.params with
+    | Some x -> x
+    | None -> List.assoc v bindings
+
+let section ?info prog ~nprocs ~p name (srsd : Sym_rsd.t) =
+  let info = match info with Some i -> i | None -> array_info prog name in
+  Dsm_rsd.Section.make info (Sym_rsd.eval (binding prog ~nprocs ~p) srsd)
+
+let ranges prog ~nprocs ~p name srsd =
+  Dsm_rsd.Section.ranges (section prog ~nprocs ~p name srsd)
+
+let contiguous prog ~nprocs name srsd =
+  let rec all_procs p =
+    p >= nprocs
+    || (Dsm_rsd.Range.is_contiguous (ranges prog ~nprocs ~p name srsd)
+       && all_procs (p + 1))
+  in
+  all_procs 0
+
+let cross_overlap_witness prog ~nprocs name a b =
+  let ra = Array.init nprocs (fun p -> ranges prog ~nprocs ~p name a)
+  and rb = Array.init nprocs (fun p -> ranges prog ~nprocs ~p name b) in
+  let found = ref None in
+  for q = 0 to nprocs - 1 do
+    for r = 0 to nprocs - 1 do
+      if q <> r && !found = None then begin
+        let ov = Dsm_rsd.Range.inter ra.(q) rb.(r) in
+        if not (Dsm_rsd.Range.is_empty ov) then found := Some (q, r, ov)
+      end
+    done
+  done;
+  !found
+
+let cross_overlap prog ~nprocs name a b =
+  cross_overlap_witness prog ~nprocs name a b <> None

@@ -1,0 +1,46 @@
+(** Concrete instantiation of symbolic sections under per-processor
+    bindings.
+
+    The analysis and the transformation reason symbolically; every
+    decision that depends on the actual partition (contiguity of a
+    section, cross-processor overlap of two sections, the pages a
+    processor can touch) instantiates the symbolic RSDs with each
+    processor's [proc_bindings] and compares the resulting byte ranges.
+    These helpers are shared by {!Transform} and by the [dsm_lint]
+    static analyses. *)
+
+val array_info : Ir.program -> string -> Dsm_rsd.Section.array_info
+(** Synthetic per-array layout with base address 0: only intra-array
+    comparisons are meaningful on the resulting ranges.
+    @raise Not_found for an unknown array. *)
+
+val binding : Ir.program -> nprocs:int -> p:int -> string -> int
+(** Lookup of a loop-invariant variable: problem parameters first, then
+    processor [p]'s bindings. *)
+
+val section :
+  ?info:Dsm_rsd.Section.array_info ->
+  Ir.program -> nprocs:int -> p:int -> string -> Sym_rsd.t ->
+  Dsm_rsd.Section.t
+(** The symbolic descriptor instantiated for processor [p], applied to
+    [info] (default: the synthetic base-0 layout of the named array). *)
+
+val ranges :
+  Ir.program -> nprocs:int -> p:int -> string -> Sym_rsd.t -> Dsm_rsd.Range.t
+(** Byte ranges of {!section} under the synthetic base-0 layout. *)
+
+val contiguous : Ir.program -> nprocs:int -> string -> Sym_rsd.t -> bool
+(** Whether every processor's instantiation translates to a single
+    contiguous range (the paper's condition for the [_ALL] access types). *)
+
+val cross_overlap :
+  Ir.program -> nprocs:int -> string -> Sym_rsd.t -> Sym_rsd.t -> bool
+(** Whether the first section of any processor overlaps the second
+    section of any {e different} processor. *)
+
+val cross_overlap_witness :
+  Ir.program -> nprocs:int -> string -> Sym_rsd.t -> Sym_rsd.t ->
+  (int * int * Dsm_rsd.Range.t) option
+(** Like {!cross_overlap}, reporting the first offending processor pair
+    [(p, q)] (first section of [p], second section of [q]) and the
+    overlapping byte ranges, for diagnostics. *)

@@ -41,7 +41,7 @@ let sections_of_vcall infos env (vc : Ir.vcall) =
       Section.make (List.assoc name infos) (Sym_rsd.eval (lookup env) srsd))
     vc.Ir.vsections
 
-let execute ?(flop_us = default_flop_us) cfg (prog : Ir.program) =
+let execute ?(flop_us = default_flop_us) ?trace cfg (prog : Ir.program) =
   let sys = Tmk.make cfg in
   let nprocs = cfg.Dsm_sim.Config.nprocs in
   let params = prog.Ir.params in
@@ -61,7 +61,7 @@ let execute ?(flop_us = default_flop_us) cfg (prog : Ir.program) =
         (name, info))
       prog.Ir.arrays
   in
-  Tmk.run sys (fun t ->
+  Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
       let env =
         {

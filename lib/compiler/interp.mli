@@ -14,9 +14,16 @@ type outcome = {
 }
 
 val execute :
-  ?flop_us:float -> Dsm_sim.Config.t -> Ir.program -> Dsm_tmk.Tmk.system * outcome
+  ?flop_us:float ->
+  ?trace:Dsm_trace.Sink.t ->
+  Dsm_sim.Config.t ->
+  Ir.program ->
+  Dsm_tmk.Tmk.system * outcome
 (** Allocate the program's arrays in a fresh DSM system, run it on every
-    processor, and report the parallel time and aggregate statistics. *)
+    processor, and report the parallel time and aggregate statistics.
+    [trace] collects the protocol events of the run (used by the
+    [dsm_lint] static-vs-dynamic differential check); later calls such as
+    {!fetch_array} are not traced. *)
 
 val fetch_array :
   Dsm_tmk.Tmk.system -> Dsm_rsd.Section.array_info -> float array

@@ -34,7 +34,21 @@ let union ~probe a b =
         let hi, p2 = max_bound ~probe da.hi db.hi in
         if not (p1 && p2) then exact := false;
         let stride =
-          if da.stride = db.stride then da.stride
+          if da.stride = db.stride then begin
+            (* equal strides guarantee an exact comb union only when the two
+               sections are aligned: a lower-bound difference that is not a
+               multiple of the stride (red-black's odd reads u even writes)
+               leaves elements of one argument outside the result comb *)
+            (if da.stride > 1 then
+               match Lin.diff_const da.lo db.lo with
+               | Some d when d mod da.stride <> 0 -> exact := false
+               | Some _ -> ()
+               | None ->
+                   (* alignment not provable; the probed bound comparison
+                      already cleared [exact] *)
+                   ());
+            da.stride
+          end
           else begin
             exact := false;
             1

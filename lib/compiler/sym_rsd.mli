@@ -16,7 +16,11 @@ val union : probe:(string -> int) -> t -> t -> t
 (** Per-dimension bounding union. Bound comparisons are decided
     symbolically when the difference is a known constant, and under the
     [probe] sample binding otherwise (in which case the result is flagged
-    inexact, since the comparison is only tested, not proved). *)
+    inexact, since the comparison is only tested, not proved). Equal-stride
+    arguments whose lower bounds provably differ by a non-multiple of the
+    stride (misaligned combs, e.g. red-black's odd reads joined with its
+    even writes) also yield an inexact result: the union comb misses
+    elements of one argument. *)
 
 val contains : probe:(string -> int) -> t -> t -> bool
 (** Conservative containment test, same comparison discipline. *)

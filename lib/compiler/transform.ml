@@ -21,49 +21,10 @@ type decision =
   | Validated of Ir.vcall list
   | Merged_with_sync of Ir.vcall list
 
-(* {1 Concrete section evaluation, for contiguity and dependence tests} *)
-
-(* A synthetic per-array layout: only intra-array overlap matters here, so
-   every array gets base 0. *)
-let concrete_info prog name =
-  let extents =
-    Ir.array_extents prog name
-    |> List.map (Lin.eval (fun v -> List.assoc v prog.Ir.params))
-    |> Array.of_list
-  in
-  { Dsm_rsd.Section.name; base = 0; elem_size = 8; extents }
-
-let eval_ranges prog ~nprocs ~p name (srsd : Sym_rsd.t) =
-  let bindings = prog.Ir.proc_bindings ~nprocs ~p in
-  let lookup v =
-    match List.assoc_opt v prog.Ir.params with
-    | Some x -> x
-    | None -> List.assoc v bindings
-  in
-  let rsd = Sym_rsd.eval lookup srsd in
-  Dsm_rsd.Section.ranges (Dsm_rsd.Section.make (concrete_info prog name) rsd)
-
-let contiguous prog ~nprocs name srsd =
-  (* contiguity must hold for every processor's instantiation *)
-  let rec all_procs p =
-    p >= nprocs
-    || (Dsm_rsd.Range.is_contiguous (eval_ranges prog ~nprocs ~p name srsd)
-       && all_procs (p + 1))
-  in
-  all_procs 0
-
-(* Cross-processor overlap of two symbolic sections of the same array. *)
-let cross_overlap prog ~nprocs name a b =
-  let ra = Array.init nprocs (fun p -> eval_ranges prog ~nprocs ~p name a)
-  and rb = Array.init nprocs (fun p -> eval_ranges prog ~nprocs ~p name b) in
-  let overlap = ref false in
-  for q = 0 to nprocs - 1 do
-    for r = 0 to nprocs - 1 do
-      if q <> r && not (Dsm_rsd.Range.is_empty (Dsm_rsd.Range.inter ra.(q) rb.(r)))
-      then overlap := true
-    done
-  done;
-  !overlap
+(* Concrete section evaluation (contiguity, cross-processor dependence
+   tests) lives in {!Conc}, shared with the static lint. *)
+let contiguous = Conc.contiguous
+let cross_overlap = Conc.cross_overlap
 
 (* {1 The decision procedure (Section 4.2)} *)
 

@@ -32,6 +32,14 @@ module Trace = struct
   module Event = Dsm_trace.Event
   module Sink = Dsm_trace.Sink
   module Check = Dsm_trace.Check
+  module Replay = Dsm_trace.Replay
+end
+
+module Lint = struct
+  module Diag = Dsm_lint.Diag
+  module Race = Dsm_lint.Race
+  module Verify = Dsm_lint.Verify
+  module Differential = Dsm_lint.Differential
 end
 module Mp = Dsm_mp.Mp
 module Hpf = Dsm_hpf.Hpf

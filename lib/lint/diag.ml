@@ -1,0 +1,166 @@
+type severity = Info | Warning | Error
+
+type race_kind = Write_write | Read_write
+
+type kind =
+  | Race of {
+      array : string;
+      region : int * int;
+      race : race_kind;
+      p : int;
+      q : int;
+      p_section : string;
+      q_section : string;
+      overlap : Dsm_rsd.Range.t;
+      inexact : bool;
+    }
+  | Missing_validate of {
+      array : string;
+      region : int * int;
+      p : int;
+      uncovered : Dsm_rsd.Range.t;
+    }
+  | Bad_all_validate of { sync : int; array : string; reason : string }
+  | Illegal_push of {
+      sync : int;
+      array : string;
+      dep : [ `Anti | `Output ];
+      p : int;
+      q : int;
+      overlap : Dsm_rsd.Range.t;
+    }
+  | Push_overreach of {
+      sync : int;
+      array : string;
+      src : int;
+      dst : int;
+      excess : Dsm_rsd.Range.t;
+    }
+  | Push_unwritten of {
+      sync : int;
+      array : string;
+      p : int;
+      excess : Dsm_rsd.Range.t;
+    }
+  | Dead_validate of { sync : int; array : string }
+  | Duplicate_validate of {
+      sync : int;
+      array : string;
+      overlap : Dsm_rsd.Range.t;
+    }
+  | Uncovered_access of {
+      p : int;
+      page : int;
+      epoch : int;
+      write : bool;
+      array : string option;
+    }
+  | Structure of { reason : string }
+
+type t = { severity : severity; program : string; kind : kind }
+
+let make severity ~program kind = { severity; program; kind }
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let is_error d = d.severity = Error
+
+let rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let max_severity = function
+  | [] -> None
+  | l ->
+      Some
+        (List.fold_left
+           (fun acc d -> if rank d.severity > rank acc then d.severity else acc)
+           Info l)
+
+let exit_code ?(strict = false) diags =
+  match max_severity diags with
+  | Some Error -> 2
+  | Some Warning when strict -> 1
+  | _ -> 0
+
+let sort diags =
+  List.stable_sort (fun a b -> compare (rank b.severity) (rank a.severity)) diags
+
+(* Byte ranges under the synthetic base-0 layout, rendered as linear
+   element indices (8-byte elements, column-major). *)
+let pp_elems ppf (r : Dsm_rsd.Range.t) =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (lo, hi) ->
+         Format.fprintf ppf "[%d..%d]" (lo / 8) ((hi / 8) - 1)))
+    r
+
+let pp_kind ppf = function
+  | Race r ->
+      Format.fprintf ppf
+        "race/%s: array %s, region #%d->#%d, procs %d/%d, elements %a (%s vs \
+         %s)%s"
+        (match r.race with
+        | Write_write -> "write-write"
+        | Read_write -> "read-write")
+        r.array (fst r.region) (snd r.region) r.p r.q pp_elems r.overlap
+        r.p_section r.q_section
+        (if r.inexact then " [inexact sections: possible, not proved]" else "")
+  | Missing_validate m ->
+      Format.fprintf ppf
+        "missing-validate: array %s, region #%d->#%d, proc %d fetches \
+         elements %a outside every Validate/Push"
+        m.array (fst m.region) (snd m.region) m.p pp_elems m.uncovered
+  | Bad_all_validate b ->
+      Format.fprintf ppf "bad-all-validate: sync #%d, array %s: %s" b.sync
+        b.array b.reason
+  | Illegal_push i ->
+      Format.fprintf ppf
+        "illegal-push: sync #%d, array %s, cross-processor %s dependence \
+         procs %d/%d over elements %a"
+        i.sync i.array
+        (match i.dep with `Anti -> "anti" | `Output -> "output")
+        i.p i.q pp_elems i.overlap
+  | Push_overreach o ->
+      Format.fprintf ppf
+        "push-overreach: sync #%d, array %s, %d->%d pushes elements %a the \
+         receiver's next region never reads"
+        o.sync o.array o.src o.dst pp_elems o.excess
+  | Push_unwritten u ->
+      Format.fprintf ppf
+        "push-unwritten: sync #%d, array %s, proc %d declares elements %a it \
+         does not write in the preceding region"
+        u.sync u.array u.p pp_elems u.excess
+  | Dead_validate d ->
+      Format.fprintf ppf
+        "dead-validate: sync #%d, array %s: validated data the following \
+         region never accesses"
+        d.sync d.array
+  | Duplicate_validate d ->
+      Format.fprintf ppf
+        "duplicate-validate: sync #%d, array %s: overlapping sections \
+         (elements %a) validated twice"
+        d.sync d.array pp_elems d.overlap
+  | Uncovered_access u ->
+      Format.fprintf ppf
+        "uncovered-access: proc %d %s page %d (epoch %d%s) outside the \
+         static access summary"
+        u.p
+        (if u.write then "wrote" else "read")
+        u.page u.epoch
+        (match u.array with None -> "" | Some a -> ", array " ^ a)
+  | Structure s -> Format.fprintf ppf "structure: %s" s.reason
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %a"
+    (severity_name d.severity)
+    d.program pp_kind d.kind
+
+let pp_report ppf diags =
+  let diags = sort diags in
+  let count s = List.length (List.filter (fun d -> d.severity = s) diags) in
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp d) diags;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info" (count Error)
+    (count Warning) (count Info)

@@ -1,0 +1,138 @@
+module Range = Dsm_rsd.Range
+module Section = Dsm_rsd.Section
+open Dsm_compiler
+
+type proc_stat = {
+  static_pages : int;
+  dynamic_pages : int;
+  covered_pages : int;
+}
+
+type report = {
+  nprocs : int;
+  per_proc : proc_stat array;
+  dropped : int;
+  diags : Diag.t list;
+}
+
+let check ~program ~page_size ~nprocs ~static ?page_owner accesses =
+  let page_owner = Option.value ~default:(fun _ -> None) page_owner in
+  let dynamic = Array.make nprocs [] in
+  let diags = ref [] in
+  let reported = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Dsm_trace.Replay.access) ->
+      if a.Dsm_trace.Replay.proc >= 0 && a.Dsm_trace.Replay.proc < nprocs
+      then begin
+        let p = a.Dsm_trace.Replay.proc
+        and page = a.Dsm_trace.Replay.page in
+        dynamic.(p) <- page :: dynamic.(p);
+        let interval =
+          Range.of_interval (page * page_size) ((page + 1) * page_size)
+        in
+        if
+          Range.is_empty (Range.inter static.(p) interval)
+          && not (Hashtbl.mem reported (p, page))
+        then begin
+          Hashtbl.add reported (p, page) ();
+          diags :=
+            Diag.make Diag.Error ~program
+              (Diag.Uncovered_access
+                 {
+                   p;
+                   page;
+                   epoch = a.Dsm_trace.Replay.epoch;
+                   write = a.Dsm_trace.Replay.write;
+                   array = page_owner page;
+                 })
+            :: !diags
+        end
+      end)
+    accesses;
+  let per_proc =
+    Array.init nprocs (fun p ->
+        let dyn = List.sort_uniq compare dynamic.(p) in
+        {
+          static_pages = List.length (Range.pages ~page_size static.(p));
+          dynamic_pages = List.length dyn;
+          covered_pages =
+            List.length
+              (List.filter
+                 (fun page ->
+                   not
+                     (Range.is_empty
+                        (Range.inter static.(p)
+                           (Range.of_interval (page * page_size)
+                              ((page + 1) * page_size)))))
+                 dyn);
+        })
+  in
+  { nprocs; per_proc; dropped = 0; diags = List.rev !diags }
+
+let static_ranges (prog : Ir.program) ~nprocs ~arrays =
+  let summaries =
+    let res = Access.analyze prog ~nprocs in
+    match res.Access.regions with
+    | [] -> [ Access.body_summary prog ~nprocs ]
+    | regions ->
+        (* Regions cover only the code between syncs; the body summary
+           adds the leading/trailing statements of linear programs. *)
+        let all =
+          List.map (fun (r : Access.region) -> r.Access.summary) regions
+        in
+        if res.Access.cyclic then all
+        else Access.body_summary prog ~nprocs :: all
+  in
+  Array.init nprocs (fun p ->
+      let binding = Conc.binding prog ~nprocs ~p in
+      List.fold_left
+        (fun acc summary ->
+          List.fold_left
+            (fun acc (e : Access.summary_entry) ->
+              match List.assoc_opt e.Access.arr arrays with
+              | None -> acc
+              | Some info ->
+                  let add acc = function
+                    | None -> acc
+                    | Some srsd ->
+                        Range.union acc
+                          (Section.ranges
+                             (Section.make info
+                                (Sym_rsd.eval binding srsd)))
+                  in
+                  add (add acc e.Access.reads) e.Access.writes)
+            acc summary)
+        Range.empty summaries)
+
+let run ?(opts = Transform.all) ?cfg (prog : Ir.program) ~nprocs =
+  let cfg =
+    match cfg with
+    | Some c -> Dsm_sim.Config.with_procs c nprocs
+    | None -> Dsm_sim.Config.with_procs Dsm_sim.Config.default nprocs
+  in
+  let transformed, _ = Transform.transform prog ~nprocs ~opts in
+  let sink = Dsm_trace.Sink.create ~nprocs () in
+  let _sys, outcome = Interp.execute ~trace:sink cfg transformed in
+  let static = static_ranges prog ~nprocs ~arrays:outcome.Interp.arrays in
+  let page_owner page =
+    let lo = page * cfg.Dsm_sim.Config.page_size in
+    let hi = lo + cfg.Dsm_sim.Config.page_size in
+    List.find_map
+      (fun (name, info) ->
+        if
+          not
+            (Range.is_empty
+               (Range.inter
+                  (Section.ranges (Section.whole info))
+                  (Range.of_interval lo hi)))
+        then Some name
+        else None)
+      outcome.Interp.arrays
+  in
+  let accesses = Dsm_trace.Replay.accesses (Dsm_trace.Sink.events sink) in
+  let report =
+    check ~program:prog.Ir.pname
+      ~page_size:cfg.Dsm_sim.Config.page_size ~nprocs ~static ~page_owner
+      accesses
+  in
+  { report with dropped = Dsm_trace.Sink.dropped sink }

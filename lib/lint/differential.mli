@@ -1,0 +1,62 @@
+(** Static-vs-dynamic differential check.
+
+    Runs a program on the simulated run-time with protocol tracing
+    enabled, replays the recorded page accesses
+    ({!Dsm_trace.Replay.accesses}), and verifies that every page a
+    processor faulted on (or twinned) falls inside that processor's
+    static access summary. A page outside the summary means the
+    compiler under-approximated the access set — exactly the situation
+    in which an inserted [Validate] could miss data and the transformed
+    program could read stale values — and is reported as an
+    {!Diag.kind.Uncovered_access} error.
+
+    The static side is the per-processor union of every region's read
+    and write sections, instantiated against the {e real} array layout
+    of the run ({!Dsm_compiler.Interp.outcome.arrays}); a faulted page
+    is covered when its byte interval intersects that set. *)
+
+type proc_stat = {
+  static_pages : int;  (** pages in the processor's static summary *)
+  dynamic_pages : int;  (** distinct pages it touched at run time *)
+  covered_pages : int;  (** dynamic pages inside the static summary *)
+}
+
+type report = {
+  nprocs : int;
+  per_proc : proc_stat array;
+  dropped : int;
+      (** trace events lost to ring overflow — nonzero means the check
+          is incomplete *)
+  diags : Diag.t list;
+}
+
+val check :
+  program:string ->
+  page_size:int ->
+  nprocs:int ->
+  static:Dsm_rsd.Range.t array ->
+  ?page_owner:(int -> string option) ->
+  Dsm_trace.Replay.access list ->
+  report
+(** Pure core: compare replayed accesses against per-processor static
+    byte ranges (real addresses). Exposed so tests can seed a truncated
+    summary and watch the check fail. [dropped] is reported as 0. *)
+
+val static_ranges :
+  Dsm_compiler.Ir.program ->
+  nprocs:int ->
+  arrays:(string * Dsm_rsd.Section.array_info) list ->
+  Dsm_rsd.Range.t array
+(** Per-processor static access envelope: union over all regions (or
+    the whole body, for programs without a steady-state loop) of the
+    concrete read and write sections, under the given array layout. *)
+
+val run :
+  ?opts:Dsm_compiler.Transform.opts ->
+  ?cfg:Dsm_sim.Config.t ->
+  Dsm_compiler.Ir.program ->
+  nprocs:int ->
+  report
+(** Transform the program (default {!Dsm_compiler.Transform.all}),
+    execute it with tracing, and {!check} the trace against
+    {!static_ranges} of the {e original} program. *)

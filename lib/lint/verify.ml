@@ -1,0 +1,593 @@
+module Range = Dsm_rsd.Range
+open Dsm_compiler
+
+type att = {
+  mutable after : Ir.vcall list;  (* Validate following sync k *)
+  mutable before : Ir.vcall list;  (* Validate_w_sync merged into sync k *)
+  mutable push : Ir.push_call option;
+}
+
+type walk = {
+  atts : att array;
+  mutable last : int;  (* index of the last sync seen, -1 before any *)
+  mutable next : int;  (* next sync index to assign *)
+  mutable head : Ir.vcall list;  (* Validates before the first sync *)
+  mutable pending : Ir.vcall list;  (* Validate_w_sync awaiting a sync *)
+  mutable kinds : (int * Ir.stmt) list;  (* sync index -> statement *)
+}
+
+let rec walk_stmts w stmts = List.iter (walk_stmt w) stmts
+
+and walk_stmt w = function
+  | Ir.For l -> walk_stmts w l.Ir.body
+  | Ir.If_lt (_, _, t, e) ->
+      walk_stmts w t;
+      walk_stmts w e
+  | Ir.Validate vc ->
+      if w.last < 0 then w.head <- vc :: w.head
+      else if w.last < Array.length w.atts then
+        w.atts.(w.last).after <- vc :: w.atts.(w.last).after
+  | Ir.Validate_w_sync vc -> w.pending <- vc :: w.pending
+  | (Ir.Barrier _ | Ir.Lock_acquire _ | Ir.Lock_release _ | Ir.Push _) as s
+    ->
+      let k = w.next in
+      w.next <- k + 1;
+      w.last <- k;
+      w.kinds <- (k, s) :: w.kinds;
+      if k < Array.length w.atts then begin
+        w.atts.(k).before <- List.rev_append w.pending w.atts.(k).before;
+        w.pending <- [];
+        match s with Ir.Push pc -> w.atts.(k).push <- Some pc | _ -> ()
+      end
+  | Ir.Assign _ | Ir.Set_scalar _ -> ()
+
+let rec active stmts =
+  List.exists
+    (function
+      | Ir.Validate _ | Ir.Validate_w_sync _ | Ir.Push _ -> true
+      | Ir.For l -> active l.Ir.body
+      | Ir.If_lt (_, _, t, e) -> active t || active e
+      | _ -> false)
+    stmts
+
+let ranges_of prog ~nprocs ~p arr = function
+  | None -> Range.empty
+  | Some s -> Conc.ranges prog ~nprocs ~p arr s
+
+let inexact_of = function None -> false | Some s -> not s.Sym_rsd.exact
+
+(* Sections named for [arr] across a list of validate calls, instantiated
+   for processor [p]. *)
+let vcall_ranges prog ~nprocs ~p arr vcalls =
+  List.fold_left
+    (fun acc (vc : Ir.vcall) ->
+      List.fold_left
+        (fun acc (a, srsd) ->
+          if a = arr then Range.union acc (Conc.ranges prog ~nprocs ~p a srsd)
+          else acc)
+        acc vc.Ir.vsections)
+    Range.empty vcalls
+
+(* Data pushed to processor [p] for [arr]: what any other processor
+   declares written, intersected with what [p] declares read. *)
+let pushed_to prog ~nprocs ~p arr (pc : Ir.push_call) =
+  let read_p =
+    List.fold_left
+      (fun acc (a, srsd) ->
+        if a = arr then Range.union acc (Conc.ranges prog ~nprocs ~p a srsd)
+        else acc)
+      Range.empty pc.Ir.pread
+  in
+  if Range.is_empty read_p then Range.empty
+  else
+    List.fold_left
+      (fun acc (a, srsd) ->
+        if a <> arr then acc
+        else
+          List.fold_left
+            (fun acc q ->
+              if q = p then acc
+              else
+                Range.union acc
+                  (Range.inter read_p (Conc.ranges prog ~nprocs ~p:q a srsd)))
+            acc
+            (List.init nprocs (fun q -> q)))
+      Range.empty pc.Ir.pwrite
+
+let diag sev ~program kind = Diag.make sev ~program kind
+
+let run ~orig ~transformed ~nprocs =
+  let program = orig.Ir.pname in
+  let err = diag Diag.Error ~program in
+  let warn = diag Diag.Warning ~program in
+  let orig_syncs = Access.index_syncs orig in
+  let nsync = List.length orig_syncs in
+  if not (active transformed.Ir.body) then []
+  else if nsync = 0 then
+    [
+      warn
+        (Diag.Structure
+           {
+             reason =
+               "consistency annotations in a program without \
+                synchronization";
+           });
+    ]
+  else begin
+    let w =
+      {
+        atts =
+          Array.init nsync (fun _ ->
+              { after = []; before = []; push = None });
+        last = -1;
+        next = 0;
+        head = [];
+        pending = [];
+        kinds = [];
+      }
+    in
+    walk_stmts w transformed.Ir.body;
+    if w.next <> nsync then
+      [
+        err
+          (Diag.Structure
+             {
+               reason =
+                 Printf.sprintf
+                   "transformed program has %d synchronization \
+                    statements, original has %d"
+                   w.next nsync;
+             });
+      ]
+    else begin
+      let mismatch =
+        List.filter_map
+          (fun (k, s) ->
+            match (List.assoc_opt k w.kinds, s) with
+            | Some t, o when t = o -> None
+            | Some (Ir.Push _), Ir.Barrier _ -> None
+            | _ ->
+                Some
+                  (err
+                     (Diag.Structure
+                        {
+                          reason =
+                            Printf.sprintf
+                              "sync #%d changed kind (only Barrier -> \
+                               Push is legal)"
+                              k;
+                        })))
+          orig_syncs
+      in
+      if mismatch <> [] then mismatch
+      else begin
+        (* Every annotation must name a shared array of the original
+           program; Conc instantiation is undefined otherwise. *)
+        let unknown = ref [] in
+        let check_names l =
+          List.iter
+            (fun (a, _) ->
+              if
+                (not (List.mem_assoc a orig.Ir.arrays))
+                && not (List.mem a !unknown)
+              then unknown := a :: !unknown)
+            l
+        in
+        Array.iter
+          (fun a ->
+            List.iter
+              (fun (vc : Ir.vcall) -> check_names vc.Ir.vsections)
+              (a.after @ a.before);
+            match a.push with
+            | None -> ()
+            | Some pc ->
+                check_names pc.Ir.pread;
+                check_names pc.Ir.pwrite)
+          w.atts;
+        if !unknown <> [] then
+          List.map
+            (fun a ->
+              err
+                (Diag.Structure
+                   {
+                     reason =
+                       Printf.sprintf
+                         "annotation names unknown shared array %s" a;
+                   }))
+            !unknown
+        else begin
+        let res = Access.analyze orig ~nprocs in
+        let diags = ref [] in
+        let emit d = diags := d :: !diags in
+        (* Head validates in a steady-state program belong to the
+           wrap-around region after the last sync; a pending
+           Validate_w_sync wraps to the first sync. In a linear program
+           both are structural mistakes. *)
+        if w.head <> [] then begin
+          if res.Access.cyclic then
+            w.atts.(nsync - 1).after <-
+              List.rev_append w.head w.atts.(nsync - 1).after
+          else
+            emit
+              (warn
+                 (Diag.Structure
+                    {
+                      reason =
+                        "Validate before the first synchronization \
+                         statement";
+                    }))
+        end;
+        if w.pending <> [] then begin
+          if res.Access.cyclic then
+            w.atts.(0).before <-
+              List.rev_append w.pending w.atts.(0).before
+          else
+            emit
+              (warn
+                 (Diag.Structure
+                    {
+                      reason =
+                        "Validate_w_sync not followed by a \
+                         synchronization statement";
+                    }))
+        end;
+        let procs = List.init nprocs (fun p -> p) in
+        let rng = ranges_of orig ~nprocs in
+        (* V1: completeness. For each region, everything a processor
+           can fetch (its accesses that another processor wrote in the
+           preceding or current region) must be covered at the opening
+           sync. *)
+        List.iter
+          (fun (r : Access.region) ->
+            let k = r.Access.after_sync in
+            let prev = Access.find_region_before res k in
+            let a = w.atts.(k) in
+            List.iter
+              (fun (e : Access.summary_entry) ->
+                let arr = e.Access.arr in
+                let prev_entry =
+                  match prev with
+                  | None -> None
+                  | Some pr -> Access.entry pr arr
+                in
+                List.iter
+                  (fun p ->
+                    let access_p =
+                      Range.union
+                        (rng ~p arr e.Access.reads)
+                        (rng ~p arr e.Access.writes)
+                    in
+                    let others =
+                      List.fold_left
+                        (fun acc q ->
+                          if q = p then acc
+                          else
+                            let acc =
+                              Range.union acc (rng ~p:q arr e.Access.writes)
+                            in
+                            match prev_entry with
+                            | None -> acc
+                            | Some pe ->
+                                Range.union acc
+                                  (rng ~p:q arr pe.Access.writes))
+                        Range.empty procs
+                    in
+                    let fetchable = Range.inter access_p others in
+                    if not (Range.is_empty fetchable) then begin
+                      let covered =
+                        Range.union
+                          (vcall_ranges orig ~nprocs ~p arr
+                             (a.after @ a.before))
+                          (match a.push with
+                          | None -> Range.empty
+                          | Some pc -> pushed_to orig ~nprocs ~p arr pc)
+                      in
+                      let uncovered = Range.diff fetchable covered in
+                      if not (Range.is_empty uncovered) then begin
+                        let inexact =
+                          inexact_of e.Access.reads
+                          || inexact_of e.Access.writes
+                          ||
+                          match prev_entry with
+                          | None -> false
+                          | Some pe -> inexact_of pe.Access.writes
+                        in
+                        emit
+                          (diag
+                             (if inexact then Diag.Warning else Diag.Error)
+                             ~program
+                             (Diag.Missing_validate
+                                {
+                                  array = arr;
+                                  region = (k, r.Access.before_sync);
+                                  p;
+                                  uncovered;
+                                }))
+                      end
+                    end)
+                  procs)
+              r.Access.summary)
+          res.Access.regions;
+        (* V2: the _ALL access types disable consistency on the pages
+           they cover; each use must meet the paper's conditions. *)
+        Array.iteri
+          (fun k a ->
+            List.iter
+              (fun (vc : Ir.vcall) ->
+                match vc.Ir.vaccess with
+                | Dsm_tmk.Tmk.Write_all | Dsm_tmk.Tmk.Read_write_all ->
+                    let bad arr reason =
+                      emit
+                        (err
+                           (Diag.Bad_all_validate { sync = k; array = arr; reason }))
+                    in
+                    List.iter
+                      (fun (arr, (srsd : Sym_rsd.t)) ->
+                        if not srsd.Sym_rsd.exact then
+                          bad arr "section is inexact"
+                        else if not (Conc.contiguous orig ~nprocs arr srsd)
+                        then
+                          bad arr
+                            "section is not contiguous for every processor"
+                        else
+                          match Access.find_region_after res k with
+                          | None ->
+                              bad arr "no region follows the sync"
+                          | Some r -> (
+                              match Access.entry r arr with
+                              | None ->
+                                  bad arr
+                                    "the following region never accesses \
+                                     the array"
+                              | Some e ->
+                                  if e.Access.writes = None then
+                                    bad arr
+                                      "the following region never writes \
+                                       the array"
+                                  else if inexact_of e.Access.writes then
+                                    bad arr
+                                      "the written section is inexact"
+                                  else if
+                                    List.exists
+                                      (fun p ->
+                                        not
+                                          (Range.subset
+                                             (Conc.ranges orig ~nprocs ~p
+                                                arr srsd)
+                                             (rng ~p arr e.Access.writes)))
+                                      procs
+                                  then
+                                    bad arr
+                                      "section is not entirely written in \
+                                       the following region"
+                                  else if
+                                    vc.Ir.vaccess = Dsm_tmk.Tmk.Write_all
+                                    && e.Access.tag.Access.read
+                                    && not e.Access.tag.Access.write_first
+                                  then
+                                    bad arr
+                                      "the following region has exposed \
+                                       reads; WRITE_ALL would skip \
+                                       fetching them"))
+                      vc.Ir.vsections
+                | _ -> ())
+              (a.after @ a.before))
+          w.atts;
+        (* V3: push legality — no cross-processor anti or output
+           dependence may cross the eliminated barrier. *)
+        Array.iteri
+          (fun k a ->
+            match a.push with
+            | None -> ()
+            | Some pc -> (
+                match
+                  ( Access.find_region_before res k,
+                    Access.find_region_after res k )
+                with
+                | None, _ | _, None ->
+                    emit
+                      (err
+                         (Diag.Structure
+                            {
+                              reason =
+                                Printf.sprintf
+                                  "Push at sync #%d without a region on \
+                                   both sides"
+                                  k;
+                            }))
+                | Some before, Some after ->
+                    let arrays =
+                      List.sort_uniq compare
+                        (List.map
+                           (fun (e : Access.summary_entry) -> e.Access.arr)
+                           (before.Access.summary @ after.Access.summary)
+                        @ List.map fst pc.Ir.pwrite
+                        @ List.map fst pc.Ir.pread)
+                    in
+                    List.iter
+                      (fun arr ->
+                        let eb = Access.entry before arr
+                        and ea = Access.entry after arr in
+                        let dep d sb sa =
+                          match (sb, sa) with
+                          | Some sb, Some sa -> (
+                              match
+                                Conc.cross_overlap_witness orig ~nprocs arr
+                                  sb sa
+                              with
+                              | None -> ()
+                              | Some (p, q, overlap) ->
+                                  emit
+                                    (err
+                                       (Diag.Illegal_push
+                                          {
+                                            sync = k;
+                                            array = arr;
+                                            dep = d;
+                                            p;
+                                            q;
+                                            overlap;
+                                          })))
+                          | _ -> ()
+                        in
+                        let reads_b =
+                          Option.bind eb (fun e -> e.Access.reads)
+                        and writes_b =
+                          Option.bind eb (fun e -> e.Access.writes)
+                        and writes_a =
+                          Option.bind ea (fun e -> e.Access.writes)
+                        in
+                        dep `Anti reads_b writes_a;
+                        dep `Output writes_b writes_a;
+                        (* Declared write sections must be written. *)
+                        List.iter
+                          (fun (a', srsd) ->
+                            if a' = arr then
+                              List.iter
+                                (fun p ->
+                                  let declared =
+                                    Conc.ranges orig ~nprocs ~p arr srsd
+                                  in
+                                  let written =
+                                    match eb with
+                                    | None -> Range.empty
+                                    | Some e -> rng ~p arr e.Access.writes
+                                  in
+                                  let excess =
+                                    Range.diff declared written
+                                  in
+                                  if not (Range.is_empty excess) then
+                                    emit
+                                      (warn
+                                         (Diag.Push_unwritten
+                                            {
+                                              sync = k;
+                                              array = arr;
+                                              p;
+                                              excess;
+                                            })))
+                                procs)
+                          pc.Ir.pwrite;
+                        (* Pushed data the receiver never reads. *)
+                        List.iter
+                          (fun (a', srsd_w) ->
+                            if a' = arr then
+                              List.iter
+                                (fun q ->
+                                  let pw =
+                                    Conc.ranges orig ~nprocs ~p:q arr srsd_w
+                                  in
+                                  List.iter
+                                    (fun p ->
+                                      if p <> q then begin
+                                        let pr =
+                                          List.fold_left
+                                            (fun acc (a'', srsd_r) ->
+                                              if a'' = arr then
+                                                Range.union acc
+                                                  (Conc.ranges orig ~nprocs
+                                                     ~p arr srsd_r)
+                                              else acc)
+                                            Range.empty pc.Ir.pread
+                                        in
+                                        let pushed = Range.inter pw pr in
+                                        if not (Range.is_empty pushed) then begin
+                                          let reads_after =
+                                            match ea with
+                                            | None -> Range.empty
+                                            | Some e ->
+                                                rng ~p arr e.Access.reads
+                                          in
+                                          let excess =
+                                            Range.diff pushed reads_after
+                                          in
+                                          if not (Range.is_empty excess)
+                                          then
+                                            emit
+                                              (warn
+                                                 (Diag.Push_overreach
+                                                    {
+                                                      sync = k;
+                                                      array = arr;
+                                                      src = q;
+                                                      dst = p;
+                                                      excess;
+                                                    }))
+                                        end
+                                      end)
+                                    procs)
+                                procs)
+                          pc.Ir.pwrite)
+                      arrays))
+          w.atts;
+        (* V5: hygiene — dead and duplicate validates. *)
+        Array.iteri
+          (fun k a ->
+            let all = a.after @ a.before in
+            List.iter
+              (fun (vc : Ir.vcall) ->
+                match vc.Ir.vaccess with
+                | Dsm_tmk.Tmk.Read | Dsm_tmk.Tmk.Write
+                | Dsm_tmk.Tmk.Read_write ->
+                    List.iter
+                      (fun (arr, srsd) ->
+                        let dead =
+                          match Access.find_region_after res k with
+                          | None -> true
+                          | Some r -> (
+                              match Access.entry r arr with
+                              | None -> true
+                              | Some e ->
+                                  List.for_all
+                                    (fun p ->
+                                      Range.is_empty
+                                        (Range.inter
+                                           (Conc.ranges orig ~nprocs ~p arr
+                                              srsd)
+                                           (Range.union
+                                              (rng ~p arr e.Access.reads)
+                                              (rng ~p arr e.Access.writes))))
+                                    procs)
+                        in
+                        if dead then
+                          emit
+                            (warn (Diag.Dead_validate { sync = k; array = arr })))
+                      vc.Ir.vsections
+                | _ -> ())
+              all;
+            (* overlapping sections for one array validated twice at the
+               same sync *)
+            let sections =
+              List.concat_map (fun (vc : Ir.vcall) -> vc.Ir.vsections) all
+            in
+            let rec dups = function
+              | [] -> ()
+              | (arr, s1) :: rest ->
+                  List.iter
+                    (fun (arr', s2) ->
+                      if arr' = arr then begin
+                        let overlap =
+                          List.fold_left
+                            (fun acc p ->
+                              Range.union acc
+                                (Range.inter
+                                   (Conc.ranges orig ~nprocs ~p arr s1)
+                                   (Conc.ranges orig ~nprocs ~p arr s2)))
+                            Range.empty procs
+                        in
+                        if not (Range.is_empty overlap) then
+                          emit
+                            (warn
+                               (Diag.Duplicate_validate
+                                  { sync = k; array = arr; overlap }))
+                      end)
+                    rest;
+                  dups rest
+            in
+            dups sections)
+          w.atts;
+        List.rev !diags
+        end
+      end
+    end
+  end

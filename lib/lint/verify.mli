@@ -1,0 +1,37 @@
+(** Soundness verification of transformed programs.
+
+    Given the original program and a transformed version (whether
+    produced by {!Dsm_compiler.Transform} or by hand), checks that the
+    inserted consistency annotations preserve the original semantics for
+    a given processor count:
+
+    - {b completeness} — every datum a processor can fetch in a region
+      (data another processor wrote in the preceding or current region)
+      is covered by a [Validate], a [Validate_w_sync] merged into the
+      opening sync, or the data pushed to it ({!Diag.kind.Missing_validate});
+    - {b consistency elimination} — every [WRITE_ALL] /
+      [READ&WRITE_ALL] validate names an exact, per-processor
+      contiguous section that the following region writes entirely,
+      with no exposed reads under [WRITE_ALL]
+      ({!Diag.kind.Bad_all_validate});
+    - {b push legality} — a [Push] that replaced a barrier admits no
+      cross-processor anti- or output-dependence across that point
+      ({!Diag.kind.Illegal_push}), declares only data its processor
+      actually writes beforehand ({!Diag.kind.Push_unwritten}), and
+      pushes only data the receiver's next region reads
+      ({!Diag.kind.Push_overreach});
+    - {b hygiene} — validates of data the following region never
+      touches, or overlapping validates at one sync, are flagged
+      ({!Diag.kind.Dead_validate}, {!Diag.kind.Duplicate_validate}).
+
+    Sync statements of the two programs are matched by pre-order index
+    ([Push] counts as a sync, so a replaced barrier keeps its index); a
+    count or kind mismatch aborts with a {!Diag.kind.Structure} error.
+    A transformed program containing no annotation at all (level
+    [base]) passes vacuously. *)
+
+val run :
+  orig:Dsm_compiler.Ir.program ->
+  transformed:Dsm_compiler.Ir.program ->
+  nprocs:int ->
+  Diag.t list

@@ -46,6 +46,7 @@ let diff a b =
   go a b []
 
 let size t = List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 t
+let subset a b = diff a b = []
 let is_empty t = t = []
 let mem x t = List.exists (fun (lo, hi) -> x >= lo && x < hi) t
 let covers t ~lo ~hi = hi <= lo || List.exists (fun (l, h) -> l <= lo && hi <= h) t

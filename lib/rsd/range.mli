@@ -31,6 +31,10 @@ val mem : int -> t -> bool
 val covers : t -> lo:int -> hi:int -> bool
 (** Whether [\[lo, hi)] is entirely contained. *)
 
+val subset : t -> t -> bool
+(** [subset a b]: every address of [a] is in [b] (i.e. [diff a b] is
+    empty). *)
+
 val iter : t -> (lo:int -> hi:int -> unit) -> unit
 
 val pages : page_size:int -> t -> int list

@@ -13,6 +13,7 @@ let () =
       ("shm", Test_shm.tests);
       ("mp+hpf", Test_mp.tests);
       ("compiler", Test_compiler.tests);
+      ("lint", Test_lint.tests);
       ("apps", Test_apps.tests);
       ("harness", Test_harness.tests);
       ("protocol-properties", Test_props.tests);
