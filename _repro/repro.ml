@@ -1,0 +1,50 @@
+module Ir = Core.Compiler.Ir
+module Lin = Core.Compiler.Lin
+module Race = Core.Lint.Race
+module Diag = Core.Lint.Diag
+let c = Lin.const
+let v x = Lin.var x
+
+(* Two regions in one epoch, separated by an (empty) lock critical
+   section.  write_first=true: region 1 writes a (block-partitioned),
+   region 3 reads a reversed (crosses blocks).  write_first=false: the
+   loops are swapped (read region first, write region second). *)
+let prog ~write_first ~n =
+  let wloop =
+    Ir.For { ivar = "i"; lo = v "begin"; hi = v "end";
+             body = [ Ir.Assign ({ Ir.aname = "a"; aidx = [ v "i" ] },
+                                 Ir.Fconst 1.0) ] }
+  and rloop =
+    Ir.For { ivar = "i"; lo = v "begin"; hi = v "end";
+             body = [ Ir.Assign ({ Ir.aname = "s"; aidx = [ v "i" ] },
+                                 Ir.Load { Ir.aname = "a";
+                                           aidx = [ Lin.sub (c (n-1)) (v "i") ] }) ] }
+  in
+  let first, second = if write_first then wloop, rloop else rloop, wloop in
+  {
+    Ir.pname = (if write_first then "write-then-read" else "read-then-write");
+    params = [ ("n", n) ];
+    arrays = [ ("a", [ c n ]); ("s", [ c n ]) ];
+    privates = [];
+    proc_bindings = (fun ~nprocs ~p ->
+      let chunk = n / nprocs in
+      let lo = p * chunk in
+      let hi = if p = nprocs - 1 then n - 1 else ((p + 1) * chunk) - 1 in
+      [ ("begin", lo); ("end", hi); ("p", p) ]);
+    body = [
+      Ir.Barrier 0;
+      first;
+      Ir.Lock_acquire 0;
+      Ir.Lock_release 0;
+      second;
+      Ir.Barrier 1;
+    ];
+  }
+
+let () =
+  List.iter (fun write_first ->
+    let p = prog ~write_first ~n:32 in
+    let ds = Race.check p ~nprocs:4 in
+    Format.printf "%s: %d diagnostic(s)@." p.Ir.pname (List.length ds);
+    List.iter (fun d -> Format.printf "  %a@." Diag.pp d) ds)
+    [ true; false ]
