@@ -44,6 +44,7 @@ let run_one = function
   | "scale" | "scaling" -> Experiments.scaling ppf Dsm_sim.Config.default
   | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
   | "faults" -> Experiments.faults ppf Dsm_sim.Config.default
+  | "backends" -> Experiments.backends ppf Dsm_sim.Config.default
   | name -> failwith ("unknown experiment: " ^ name)
 
 let run_all () =
@@ -56,7 +57,8 @@ let run_all () =
       Experiments.figure7 ppf apps);
   Experiments.scaling ppf Dsm_sim.Config.default;
   Experiments.ablation ppf Dsm_sim.Config.default;
-  Experiments.faults ppf Dsm_sim.Config.default
+  Experiments.faults ppf Dsm_sim.Config.default;
+  Experiments.backends ppf Dsm_sim.Config.default
 
 (* Bechamel wall-clock benchmarks: one Test.make per table/figure. Each run
    re-executes the experiment's simulations from scratch (no caching), so
@@ -221,6 +223,8 @@ let json_mode args =
     m "scaling" (fun ppf -> Experiments.scaling ppf Dsm_sim.Config.default);
     m "ablation" (fun ppf -> Experiments.ablation ppf Dsm_sim.Config.default);
     m "faults" (fun ppf -> Experiments.faults ppf Dsm_sim.Config.default);
+    m "backends" (fun ppf ->
+        Experiments.backends ppf Dsm_sim.Config.default);
     log
   in
   Format.printf "bench json (%s set, best of %d):@."

@@ -14,13 +14,19 @@
              check every dynamic page access against the static summary
 
    Exit code 0 when nothing above a warning was found (or nothing at
-   all under --strict), 1 for warnings under --strict, 2 for errors. *)
+   all under --strict), 1 for warnings under --strict, 2 for errors.
+
+   The argument vocabulary shared with dsm_run (levels, processors,
+   backend, network faults) lives in {!Core.Harness.Cli}; [--backend]
+   and the fault knobs select the run-time configuration of the
+   dynamic diff mode (race and verify are static and unaffected). *)
 
 open Cmdliner
 module Ir = Core.Compiler.Ir
 module Programs = Core.Compiler.Programs
 module Transform = Core.Compiler.Transform
 module Diag = Core.Lint.Diag
+module Cli = Core.Harness.Cli
 
 let programs : (string * Ir.program) list =
   [
@@ -31,38 +37,20 @@ let programs : (string * Ir.program) list =
     ("lock_accum", Programs.lock_accum ~n:64 ~iters:3);
   ]
 
+(* The level names are {!Cli.level_names}; the transformation recipes
+   they select are compiler-side and so stay here. *)
 let levels : (string * Transform.opts) list =
-  [
-    ("base", Transform.base);
-    ("aggr", Transform.level_aggregate);
-    ("cons", Transform.level_cons_elim);
-    ("merge", Transform.level_sync_merge);
-    ("push", Transform.level_push);
-  ]
-
-let parse_list ~known what s =
-  if s = "all" then Ok (List.map fst known)
-  else
-    let names = String.split_on_char ',' (String.trim s) in
-    let bad = List.filter (fun n -> not (List.mem_assoc n known)) names in
-    if bad <> [] then
-      Error
-        (Printf.sprintf "unknown %s: %s (known: %s)" what
-           (String.concat ", " bad)
-           (String.concat ", " (List.map fst known)))
-    else Ok names
-
-let parse_procs s =
-  try
-    let ps =
-      List.map
-        (fun x -> int_of_string (String.trim x))
-        (String.split_on_char ',' s)
-    in
-    if ps = [] || List.exists (fun p -> p < 1) ps then
-      Error "processor counts must be positive"
-    else Ok ps
-  with Failure _ -> Error ("cannot parse processor list: " ^ s)
+  List.map
+    (fun name ->
+      ( name,
+        match name with
+        | "base" -> Transform.base
+        | "aggr" -> Transform.level_aggregate
+        | "cons" -> Transform.level_cons_elim
+        | "merge" -> Transform.level_sync_merge
+        | "push" -> Transform.level_push
+        | _ -> assert false ))
+    Cli.level_names
 
 let run_race prog ~nprocs =
   let source = Core.Lint.Race.check prog ~nprocs in
@@ -84,14 +72,14 @@ let run_verify prog ~nprocs level_names =
       Core.Lint.Verify.run ~orig:prog ~transformed ~nprocs)
     level_names
 
-let run_diff prog ~nprocs level_names =
+let run_diff prog ~cfg ~nprocs level_names =
   if nprocs = 1 then []
     (* single-processor runs have no consistency traffic to check *)
   else
     List.concat_map
       (fun lname ->
         let opts = List.assoc lname levels in
-        let r = Core.Lint.Differential.run ~opts prog ~nprocs in
+        let r = Core.Lint.Differential.run ~opts ~cfg prog ~nprocs in
         Array.iteri
           (fun p (s : Core.Lint.Differential.proc_stat) ->
             Format.printf
@@ -113,11 +101,16 @@ let run_diff prog ~nprocs level_names =
         else r.Core.Lint.Differential.diags)
       level_names
 
-let main prog_arg procs_arg mode level_arg strict =
+let main prog_arg procs_arg mode level_arg common strict =
   let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
-  let* prog_names = parse_list ~known:programs "program" prog_arg in
-  let* level_names = parse_list ~known:levels "level" level_arg in
-  let* procs = parse_procs procs_arg in
+  let* prog_names =
+    Cli.parse_name_list ~known:(List.map fst programs) ~what:"program" prog_arg
+  in
+  let* level_names =
+    Cli.parse_name_list ~known:Cli.level_names ~what:"level" level_arg
+  in
+  let* procs = Cli.parse_procs procs_arg in
+  let* cfg = Cli.config common in
   let* modes =
     match mode with
     | "all" -> Ok [ "race"; "verify"; "diff" ]
@@ -134,7 +127,7 @@ let main prog_arg procs_arg mode level_arg strict =
               (function
                 | "race" -> run_race prog ~nprocs
                 | "verify" -> run_verify prog ~nprocs level_names
-                | "diff" -> run_diff prog ~nprocs level_names
+                | "diff" -> run_diff prog ~cfg ~nprocs level_names
                 | _ -> assert false)
               modes)
           procs)
@@ -153,24 +146,10 @@ let cmd =
             "Comma-separated IR programs to lint, or $(b,all): jacobi, \
              transpose, redblack, masked, lock_accum.")
   in
-  let procs =
-    Arg.(
-      value & opt string "1,2,4,8"
-      & info [ "procs"; "p" ] ~docv:"LIST"
-          ~doc:"Comma-separated processor counts.")
-  in
   let mode =
     Arg.(
       value & opt string "all"
       & info [ "mode"; "m" ] ~doc:"Analysis: race, verify, diff or all.")
-  in
-  let level =
-    Arg.(
-      value & opt string "all"
-      & info [ "level"; "l" ]
-          ~doc:
-            "Transformation levels for verify mode: base, aggr, cons, \
-             merge, push, or all.")
   in
   let strict =
     Arg.(
@@ -180,6 +159,9 @@ let cmd =
   let doc = "static data-race detection and transformation verification" in
   Cmd.v
     (Cmd.info "dsm_lint" ~doc)
-    Term.(ret (const main $ prog $ procs $ mode $ level $ strict))
+    Term.(
+      ret
+        (const main $ prog $ Cli.procs_list_t $ mode
+       $ Cli.level_t ~default:"all" $ Cli.term $ strict))
 
 let () = exit (Cmd.eval cmd)

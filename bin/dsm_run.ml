@@ -2,42 +2,28 @@
 
      dsm_run --app jacobi --version tmk --level push --size large
      dsm_run --app is --version pvm --procs 4
+     dsm_run --app gauss --backend hlrc --home-policy cyclic
      dsm_run --app gauss --trace gauss.jsonl --check
      dsm_run --list
 
    Prints the virtual execution time, speedup over the uniprocessor time,
-   and the protocol statistics of the run. [--trace FILE] records the
+   and the protocol statistics of the run. [--backend {lrc,hlrc}] selects
+   the coherence protocol of the tmk run-time. [--trace FILE] records the
    protocol events of a tmk run as JSON lines and prints a per-phase
    summary; [--check] replays the trace through the LRC invariant
    checker. [--drop R --dup R --jitter US --net-seed N] inject
    deterministic network faults: messages are dropped/duplicated/delayed
    and recovered by the reliable-delivery layer, whose costs appear in
-   the statistics and in a per-run fault summary. *)
+   the statistics and in a per-run fault summary.
+
+   The argument vocabulary shared with dsm_lint (applications, levels,
+   processors, backend, network faults) lives in {!Core.Harness.Cli}. *)
 
 open Cmdliner
 module A = Core.Apps.Common
+module Cli = Core.Harness.Cli
 
-let apps : (string * (module A.APP)) list =
-  [
-    ("jacobi", (module Core.Apps.Jacobi));
-    ("fft3d", (module Core.Apps.Fft3d));
-    ("shallow", (module Core.Apps.Shallow));
-    ("is", (module Core.Apps.Is));
-    ("gauss", (module Core.Apps.Gauss));
-    ("mgs", (module Core.Apps.Mgs));
-  ]
-
-let levels =
-  [
-    ("base", A.Base);
-    ("aggr", A.Comm_aggr);
-    ("cons", A.Cons_elim);
-    ("merge", A.Sync_merge);
-    ("push", A.Push_opt);
-  ]
-
-let run app version level size procs sync drop dup jitter net_seed trace_file
-    check prof list =
+let run app version level size procs common sync trace_file check prof list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -47,28 +33,19 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
           (String.concat ","
              (List.map A.opt_level_name App.levels))
           (if Option.is_some App.run_xhpf then " (+xhpf)" else ""))
-      apps;
+      Cli.apps;
     `Ok ()
   end
   else
-    match List.assoc_opt app apps with
+    match Cli.find_app app with
     | None -> `Error (false, "unknown application: " ^ app)
     | Some m -> (
         let module App = (val m : A.APP) in
         let params = if size = "large" then App.large else App.small in
-        let cfg =
-          {
-            Core.Config.default with
-            Core.Config.nprocs = procs;
-            net_drop = drop;
-            net_dup = dup;
-            net_jitter_us = jitter;
-            net_seed;
-          }
-        in
-        match Core.Net_plan.validate (Core.Net_plan.of_config cfg) with
-        | Error e -> `Error (false, "invalid fault parameters: " ^ e)
-        | Ok plan ->
+        match Cli.config ~procs common with
+        | Error e -> `Error (false, e)
+        | Ok cfg ->
+        let plan = Core.Net_plan.of_config cfg in
         let sink =
           if (trace_file <> None || check) && version <> "tmk" then None
           else if trace_file <> None || check then
@@ -79,7 +56,7 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
         let result =
           match version with
           | "tmk" -> (
-              match List.assoc_opt level levels with
+              match Cli.find_level level with
               | None -> Error ("unknown level: " ^ level)
               | Some l ->
                   Ok (App.run_tmk ?trace:sink cfg params ~level:l
@@ -96,8 +73,13 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
         | Error e -> `Error (false, e)
         | Ok r ->
             let seq = App.seq_time_us params in
+            let version_name =
+              if version = "tmk" then
+                "tmk/" ^ Core.Config.backend_name cfg.Core.Config.backend
+              else version
+            in
             Format.printf "%s (%s), %s, %d processors@." App.name
-              (App.size_name params) version procs;
+              (App.size_name params) version_name procs;
             Format.printf "  uniprocessor time: %12.0f us@." seq;
             Format.printf "  parallel time:     %12.0f us  (speedup %.2f)@."
               r.A.time_us (seq /. r.A.time_us);
@@ -160,61 +142,16 @@ let run app version level size procs sync drop dup jitter net_seed trace_file
                 else `Ok ())))
 
 let cmd =
-  (* cmdliner's Term module defines [app]; keep the argument terms suffixed *)
-  let app_t =
-    Arg.(value & opt string "jacobi" & info [ "app"; "a" ] ~doc:"Application.")
-  in
   let version =
     Arg.(
       value & opt string "tmk"
       & info [ "version"; "v" ] ~doc:"Version: tmk, pvm or xhpf.")
   in
-  let level =
-    Arg.(
-      value & opt string "push"
-      & info [ "level"; "l" ]
-          ~doc:"Optimization level for tmk: base, aggr, cons, merge, push.")
-  in
   let size =
     Arg.(value & opt string "small" & info [ "size"; "s" ] ~doc:"large or small.")
   in
-  let procs =
-    Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Processor count.")
-  in
   let sync =
     Arg.(value & flag & info [ "sync" ] ~doc:"Synchronous data fetching.")
-  in
-  let drop =
-    Arg.(
-      value & opt float 0.0
-      & info [ "drop" ] ~docv:"RATE"
-          ~doc:
-            "Probability in [0,1] that a transmitted message copy is lost \
-             (recovered by timeout and retransmission).")
-  in
-  let dup =
-    Arg.(
-      value & opt float 0.0
-      & info [ "dup" ] ~docv:"RATE"
-          ~doc:
-            "Probability in [0,1] that a delivered message is duplicated \
-             (the duplicate is suppressed at the receiver).")
-  in
-  let jitter =
-    Arg.(
-      value & opt float 0.0
-      & info [ "jitter" ] ~docv:"US"
-          ~doc:
-            "Maximum extra delivery delay, drawn uniformly per message, in \
-             microseconds of virtual time.")
-  in
-  let net_seed =
-    Arg.(
-      value & opt int 0
-      & info [ "net-seed" ] ~docv:"N"
-          ~doc:
-            "Seed of the deterministic fault-injection PRNG: the same \
-             configuration and seed replay the same faulty run exactly.")
   in
   let trace_file =
     Arg.(
@@ -248,7 +185,7 @@ let cmd =
     (Cmd.info "dsm_run" ~doc)
     Term.(
       ret
-        (const run $ app_t $ version $ level $ size $ procs $ sync $ drop $ dup
-       $ jitter $ net_seed $ trace_file $ check $ prof $ list))
+        (const run $ Cli.app_t $ version $ Cli.level_t ~default:"push" $ size
+       $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ prof $ list))
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,14 @@ type result = {
   time_us : float;
   stats : Dsm_sim.Stats.t;
   max_err : float;
+  digest : string;
+      (* content digest of the final shared state, observed through the
+         protocol ({!Dsm_tmk.Tmk.digest}); computed only when [run_tmk
+         ~digest:true] asks for it (an extra read pass), and [""]
+         otherwise. A string, never a closure over the system: results
+         are memoized across the whole benchmark suite, and anything
+         that kept the run-time state reachable would pin every page,
+         twin and diff store of every completed run in the heap. *)
 }
 
 let combine_err a b = Float.max a (abs_float b)
@@ -36,9 +44,12 @@ module type APP = sig
 
   val run_tmk :
     ?trace:Dsm_trace.Sink.t ->
+    ?digest:bool ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
   (** [trace] records the compute run's protocol events (the untimed
-      verification pass stays untraced). *)
+      verification pass stays untraced). [digest] (default false) adds
+      a protocol-level read pass over the final shared state and
+      records its content digest in the result. *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
   val run_xhpf : (Dsm_sim.Config.t -> params -> result) option

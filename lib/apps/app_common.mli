@@ -24,6 +24,12 @@ type result = {
   time_us : float;  (** parallel virtual execution time *)
   stats : Dsm_sim.Stats.t;  (** aggregate over processors *)
   max_err : float;  (** max |difference| against the sequential reference *)
+  digest : string;
+      (** content digest of the final shared state through the protocol
+          ({!Dsm_tmk.Tmk.digest}), when the run asked for it with
+          [run_tmk ~digest:true]; [""] otherwise (and always for the
+          message-passing versions, which have no shared state). Kept a
+          plain string so memoized results never pin run-time state. *)
 }
 
 val combine_err : float -> float -> float
@@ -41,9 +47,12 @@ module type APP = sig
 
   val run_tmk :
     ?trace:Dsm_trace.Sink.t ->
+    ?digest:bool ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
   (** [trace] records the compute run's protocol events (the untimed
-      verification pass stays untraced). *)
+      verification pass stays untraced). [digest] (default false) adds
+      a protocol-level read pass over the final shared state and
+      records its content digest in the result. *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
 

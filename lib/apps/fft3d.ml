@@ -207,10 +207,10 @@ let seq_time_us { n; iters; bf_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace cfg ({ n; iters; bf_cost } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) cfg ({ n; iters; bf_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
-  let x = Tmk.alloc_f64_3 sys "x" (2 * n) n n in
-  let y = Tmk.alloc_f64_3 sys "y" (2 * n) n n in
+  let x = Tmk.alloc sys "x" Tmk.F64 ~dims:[ (2 * n); n; n ] in
+  let y = Tmk.alloc sys "y" Tmk.F64 ~dims:[ (2 * n); n; n ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   (* X is slab-distributed along i3 (last dim), Y along i1 (its last dim,
      which holds X's first) *)
@@ -390,7 +390,8 @@ let run_tmk ?trace cfg ({ n; iters; bf_cost } as prm) ~level ~async =
             done
           done
         done);
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Message-passing versions}
 
@@ -544,7 +545,7 @@ let run_mp ~pack cfg ({ n; iters; bf_cost } as prm) =
         done
       done)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

@@ -103,12 +103,12 @@ let seq_time_us { m; update_cost = u } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace cfg ({ m; update_cost = u } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) cfg ({ m; update_cost = u } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
   let sys = Tmk.make cfg in
-  let a = Tmk.alloc_f64_2 sys "a" m m in
+  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ m; m ] in
   (* work(k+1) = pivot row (as float); work(k+1+d) = multiplier l(k+d) *)
-  let work = Tmk.alloc_f64_1 sys "work" (m + 1) in
+  let work = Tmk.alloc sys "work" Tmk.F64 ~dims:[ (m + 1) ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
@@ -218,7 +218,8 @@ let run_tmk ?trace cfg ({ m; update_cost = u } as prm) ~level ~async =
             err := combine_err !err (Shm.F64_2.get t a i j -. aref.(j).(i))
           done
         done);
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Message-passing versions} *)
 
@@ -293,7 +294,7 @@ let run_mp ~bcast cfg ({ m; update_cost = u } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm

@@ -92,7 +92,7 @@ let seq_time_us { n_keys; n_buckets; reps; key_cost; bucket_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
+let run_tmk ?trace ?(digest = false) cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
     ~level ~async =
   (* Our buckets stand in for 16x the paper's (2^19 vs 2^15, 2^15 vs 2^11):
      scale the per-page cost of matching piggy-backed section requests
@@ -113,7 +113,7 @@ let run_tmk ?trace cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as pr
     }
   in
   let sys = Tmk.make cfg in
-  let bucket = Tmk.alloc_i64_1 sys "bucket" n_buckets in
+  let bucket = Tmk.alloc sys "bucket" Tmk.I64 ~dims:[ n_buckets ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let chunk = n_keys / np in
   let sec_len = n_buckets / np in
@@ -194,7 +194,8 @@ let run_tmk ?trace cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as pr
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Hand-coded message passing}
 
@@ -286,6 +287,6 @@ let run_pvm cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm) =
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
 
 let run_xhpf = None

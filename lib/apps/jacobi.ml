@@ -78,9 +78,9 @@ let seq_time_us { m; iters; update_cost; copy_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
-  let b = Tmk.alloc_f64_2 sys "b" m m in
+  let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ m; m ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let read_sections =
     Array.init np (fun q ->
@@ -168,7 +168,8 @@ let run_tmk ?trace cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~asy
               combine_err !err (Shm.F64_2.get t b i j -. bref.((j * m) + i))
           done
         done);
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Message-passing versions}
 
@@ -235,6 +236,7 @@ let run_mp ~exchange cfg prm =
     time_us = Mp.elapsed sys;
     stats = Mp.total_stats sys;
     max_err = mp_err prm results;
+    digest = "";
   }
 
 let run_pvm cfg prm =

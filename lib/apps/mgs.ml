@@ -78,10 +78,10 @@ let seq_time_us { m; n; dot_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace cfg ({ m; n; dot_cost } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) cfg ({ m; n; dot_cost } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
   let sys = Tmk.make cfg in
-  let q = Tmk.alloc_f64_2 sys "q" m n in
+  let q = Tmk.alloc sys "q" Tmk.F64 ~dims:[ m; n ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
@@ -165,7 +165,8 @@ let run_tmk ?trace cfg ({ m; n; dot_cost } as prm) ~level ~async =
             err := combine_err !err (Shm.F64_2.get t q i j -. qref.(j).(i))
           done
         done);
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Message-passing versions} *)
 
@@ -226,7 +227,7 @@ let run_mp ~bcast cfg ({ m; n; dot_cost } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm

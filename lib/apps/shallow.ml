@@ -220,13 +220,13 @@ let bounds n nprocs p =
   let w = (n + nprocs - 1) / nprocs in
   (p * w, min (n - 1) (((p + 1) * w) - 1))
 
-let run_tmk ?trace cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
   let sys = Tmk.make cfg in
   let names =
     [| "u"; "v"; "p"; "unew"; "vnew"; "pnew"; "uold"; "vold"; "pold";
        "cu"; "cv"; "z"; "h" |]
   in
-  let arrs = Array.map (fun nm -> Tmk.alloc_f64_2 sys nm m n) names in
+  let arrs = Array.map (fun nm -> Tmk.alloc sys nm Tmk.F64 ~dims:[ m; n ]) names in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
@@ -307,7 +307,8 @@ let run_tmk ?trace cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
               done
             done)
           [ iu; iv; ip ]);
-  { time_us; stats; max_err = !err }
+  { time_us; stats; max_err = !err;
+    digest = (if digest then Tmk.digest sys else "") }
 
 (* {1 Message-passing versions}
 
@@ -391,7 +392,7 @@ let run_mp ~pack cfg ({ m; n; steps; point_cost } as prm) =
           done)
         [ iu; iv; ip ])
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

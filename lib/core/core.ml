@@ -69,4 +69,5 @@ module Harness = struct
   module Runset = Dsm_harness.Runset
   module Experiments = Dsm_harness.Experiments
   module Phases = Dsm_harness.Phases
+  module Cli = Dsm_harness.Cli
 end

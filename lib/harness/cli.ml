@@ -1,0 +1,203 @@
+(* Shared command-line vocabulary of the dsm_run and dsm_lint
+   executables. Both drive the same simulated cluster, so the argument
+   names, their parsing and their help text live here once: application
+   and optimization-level names, processor counts, the coherence
+   backend with its home-assignment policy, and the network fault
+   injection knobs. Executable-specific arguments (dsm_run's
+   --version/--size/--trace, dsm_lint's --program/--mode) stay with
+   their executables. *)
+
+open Cmdliner
+module Config = Dsm_sim.Config
+module A = Dsm_apps.App_common
+
+(* {1 Applications and levels} *)
+
+let apps : (string * (module A.APP)) list =
+  [
+    ("jacobi", (module Dsm_apps.Jacobi));
+    ("fft3d", (module Dsm_apps.Fft3d));
+    ("shallow", (module Dsm_apps.Shallow));
+    ("is", (module Dsm_apps.Is));
+    ("gauss", (module Dsm_apps.Gauss));
+    ("mgs", (module Dsm_apps.Mgs));
+  ]
+
+let find_app name = List.assoc_opt name apps
+let app_names = List.map fst apps
+
+let levels : (string * A.opt_level) list =
+  [
+    ("base", A.Base);
+    ("aggr", A.Comm_aggr);
+    ("cons", A.Cons_elim);
+    ("merge", A.Sync_merge);
+    ("push", A.Push_opt);
+  ]
+
+let find_level name = List.assoc_opt name levels
+let level_names = List.map fst levels
+
+(* {1 List parsing} *)
+
+let parse_name_list ~known ~what s =
+  if s = "all" then Ok known
+  else
+    let names = String.split_on_char ',' (String.trim s) in
+    let bad = List.filter (fun n -> not (List.mem n known)) names in
+    if bad <> [] then
+      Error
+        (Printf.sprintf "unknown %s: %s (known: %s)" what
+           (String.concat ", " bad)
+           (String.concat ", " known))
+    else Ok names
+
+let parse_procs s =
+  try
+    let ps =
+      List.map
+        (fun x -> int_of_string (String.trim x))
+        (String.split_on_char ',' s)
+    in
+    if ps = [] || List.exists (fun p -> p < 1) ps then
+      Error "processor counts must be positive"
+    else Ok ps
+  with Failure _ -> Error ("cannot parse processor list: " ^ s)
+
+(* {1 Shared terms} *)
+
+type t = {
+  backend : Config.backend_kind;
+  home_policy : Config.home_policy;
+  net_drop : float;
+  net_dup : float;
+  net_jitter_us : float;
+  net_seed : int;
+}
+
+let backend_conv =
+  let parse s =
+    match Config.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg ("unknown backend: " ^ s ^ " (lrc or hlrc)"))
+  in
+  let print fmt b = Format.pp_print_string fmt (Config.backend_name b) in
+  Arg.conv (parse, print)
+
+let home_policy_conv =
+  let parse s =
+    match Config.home_policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             ("unknown home policy: " ^ s ^ " (block, cyclic or first-touch)"))
+  in
+  let print fmt p = Format.pp_print_string fmt (Config.home_policy_name p) in
+  Arg.conv (parse, print)
+
+let term =
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Config.default.Config.backend
+      & info [ "backend"; "b" ] ~docv:"NAME"
+          ~doc:
+            "Coherence backend: $(b,lrc) (homeless lazy release \
+             consistency with distributed diffs, the paper's protocol) or \
+             $(b,hlrc) (home-based: releasers flush diffs to each page's \
+             home eagerly, faults fetch one full copy from the home).")
+  in
+  let home_policy =
+    Arg.(
+      value
+      & opt home_policy_conv Config.default.Config.home_policy
+      & info [ "home-policy" ] ~docv:"NAME"
+          ~doc:
+            "Static page-to-home assignment for the hlrc backend: \
+             $(b,block), $(b,cyclic) or $(b,first-touch).")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"RATE"
+          ~doc:
+            "Probability in [0,1] that a transmitted message copy is lost \
+             (recovered by timeout and retransmission).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"RATE"
+          ~doc:
+            "Probability in [0,1] that a delivered message is duplicated \
+             (the duplicate is suppressed at the receiver).")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jitter" ] ~docv:"US"
+          ~doc:
+            "Maximum extra delivery delay, drawn uniformly per message, in \
+             microseconds of virtual time.")
+  in
+  let net_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "net-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the deterministic fault-injection PRNG: the same \
+             configuration and seed replay the same faulty run exactly.")
+  in
+  let make backend home_policy net_drop net_dup net_jitter_us net_seed =
+    { backend; home_policy; net_drop; net_dup; net_jitter_us; net_seed }
+  in
+  Term.(
+    const make $ backend $ home_policy $ drop $ dup $ jitter $ net_seed)
+
+let config ?procs c =
+  let cfg =
+    {
+      Config.default with
+      Config.nprocs =
+        (match procs with
+        | Some p -> p
+        | None -> Config.default.Config.nprocs);
+      backend = c.backend;
+      home_policy = c.home_policy;
+      net_drop = c.net_drop;
+      net_dup = c.net_dup;
+      net_jitter_us = c.net_jitter_us;
+      net_seed = c.net_seed;
+    }
+  in
+  match Dsm_net.Plan.validate (Dsm_net.Plan.of_config cfg) with
+  | Ok _ -> Ok cfg
+  | Error e -> Error ("invalid fault parameters: " ^ e)
+
+(* {1 Per-executable terms with shared help text} *)
+
+let app_t =
+  Arg.(
+    value & opt string "jacobi"
+    & info [ "app"; "a" ] ~docv:"NAME"
+        ~doc:("Application: " ^ String.concat ", " app_names ^ "."))
+
+let procs_t =
+  Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Processor count.")
+
+let procs_list_t =
+  Arg.(
+    value & opt string "1,2,4,8"
+    & info [ "procs"; "p" ] ~docv:"LIST"
+        ~doc:"Comma-separated processor counts.")
+
+let level_t ~default =
+  let doc =
+    "Optimization level"
+    ^ (if default = "all" then "s" else "")
+    ^ ": "
+    ^ String.concat ", " level_names
+    ^ if default = "all" then ", or all." else "."
+  in
+  Arg.(value & opt string default & info [ "level"; "l" ] ~doc)

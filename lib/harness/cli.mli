@@ -1,0 +1,66 @@
+(** Shared command-line vocabulary of the [dsm_run] and [dsm_lint]
+    executables: one source of truth for application and
+    optimization-level names, processor-count parsing, coherence
+    backend selection and the network fault-injection arguments. *)
+
+(** {1 Applications and levels} *)
+
+val apps : (string * (module Dsm_apps.App_common.APP)) list
+(** The six benchmark applications, keyed by their CLI names. *)
+
+val find_app : string -> (module Dsm_apps.App_common.APP) option
+val app_names : string list
+
+val levels : (string * Dsm_apps.App_common.opt_level) list
+(** Optimization levels in increasing order, keyed by their CLI names
+    (base, aggr, cons, merge, push). *)
+
+val find_level : string -> Dsm_apps.App_common.opt_level option
+val level_names : string list
+
+(** {1 List parsing} *)
+
+val parse_name_list :
+  known:string list -> what:string -> string -> (string list, string) result
+(** [parse_name_list ~known ~what s] parses a comma-separated subset of
+    [known]; ["all"] means all of them. [what] names the domain in the
+    error message. *)
+
+val parse_procs : string -> (int list, string) result
+(** Comma-separated positive processor counts. *)
+
+(** {1 Shared terms} *)
+
+type t = {
+  backend : Dsm_sim.Config.backend_kind;
+  home_policy : Dsm_sim.Config.home_policy;
+  net_drop : float;
+  net_dup : float;
+  net_jitter_us : float;
+  net_seed : int;
+}
+(** Arguments common to every executable that builds a
+    {!Dsm_sim.Config.t}. *)
+
+val term : t Cmdliner.Term.t
+(** [--backend/-b], [--home-policy], [--drop], [--dup], [--jitter] and
+    [--net-seed]. *)
+
+val config : ?procs:int -> t -> (Dsm_sim.Config.t, string) result
+(** Specialize {!Dsm_sim.Config.default} with the parsed arguments and
+    validate the resulting network fault plan. *)
+
+(** {1 Per-executable terms with shared help text} *)
+
+val app_t : string Cmdliner.Term.t
+(** [--app/-a], defaulting to [jacobi]. *)
+
+val procs_t : int Cmdliner.Term.t
+(** [--procs/-p] as a single count, defaulting to 8. *)
+
+val procs_list_t : string Cmdliner.Term.t
+(** [--procs/-p] as a comma-separated list, defaulting to [1,2,4,8]. *)
+
+val level_t : default:string -> string Cmdliner.Term.t
+(** [--level/-l] with the given default ([all] allowed for list-valued
+    consumers). *)

@@ -196,6 +196,60 @@ let ablation ppf cfg =
     "hot-spot queueing (MGS small, base)" (time_of on) (time_of off);
   rule ppf 76
 
+(* Homeless vs home-based LRC, per application and optimization level.
+   Correctness is protocol-independent (the backend-equivalence tests
+   pin the outputs bit-for-bit); what moves is where modifications live
+   and who pays to assemble them, visible as messages, data volume and
+   the resulting speedup. *)
+let backends ppf cfg =
+  let module Config = Dsm_sim.Config in
+  Format.fprintf ppf
+    "@.Backends: homeless (lrc) vs home-based (hlrc) LRC@.";
+  Format.fprintf ppf
+    "(small data sets, %d processors, async fetch, hlrc homes: %s)@."
+    cfg.Config.nprocs
+    (Config.home_policy_name cfg.Config.home_policy);
+  rule ppf 86;
+  Format.fprintf ppf "%-10s %-10s %9s %9s %9s %9s %8s %8s@." "Application"
+    "level" "msg lrc" "msg hlrc" "MB lrc" "MB hlrc" "sp lrc" "sp hlrc";
+  rule ppf 86;
+  let apps : (string * (module A.APP)) list =
+    [
+      ("Jacobi", (module Dsm_apps.Jacobi));
+      ("3D-FFT", (module Dsm_apps.Fft3d));
+      ("Shallow", (module Dsm_apps.Shallow));
+      ("IS", (module Dsm_apps.Is));
+      ("Gauss", (module Dsm_apps.Gauss));
+      ("MGS", (module Dsm_apps.Mgs));
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let module App = (val m : A.APP) in
+      let params = App.small in
+      let seq = App.seq_time_us params in
+      List.iter
+        (fun level ->
+          let run backend =
+            App.run_tmk
+              { cfg with Config.backend }
+              params ~level ~async:true
+          in
+          let rl = run Config.Lrc and rh = run Config.Hlrc in
+          if rl.A.max_err > 1e-6 || rh.A.max_err > 1e-6 then
+            failwith (name ^ ": wrong result");
+          let mb (r : A.result) =
+            float_of_int r.A.stats.Stats.bytes /. 1e6
+          in
+          Format.fprintf ppf "%-10s %-10s %9d %9d %9.1f %9.1f %8.2f %8.2f@."
+            name
+            (A.opt_level_name level)
+            rl.A.stats.Stats.messages rh.A.stats.Stats.messages (mb rl)
+            (mb rh) (seq /. rl.A.time_us) (seq /. rh.A.time_us))
+        App.levels)
+    apps;
+  rule ppf 86
+
 (* Drop-rate sweep over the unreliable transport: correctness must be
    untouched (losses are recovered by the reliable layer), only time and
    the fault counters move. *)

@@ -38,6 +38,14 @@ val ablation : Format.formatter -> Dsm_sim.Config.t -> unit
     WRITE_ALL supersede pruning, and hot-spot request queueing — on the
     workload that exercises it. *)
 
+val backends : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: homeless LRC vs home-based LRC on every application
+    at every applicable optimization level (small data sets) — messages,
+    data volume and speedup side by side. Correctness is
+    protocol-independent; the table shows where each protocol's costs go:
+    hlrc trades the homeless protocol's per-writer diff chatter for eager
+    whole-page flushes to a static home. *)
+
 val faults : Format.formatter -> Dsm_sim.Config.t -> unit
 (** Beyond the paper: a drop-rate sweep over the modeled unreliable
     transport (0/1/5% loss with duplication and delivery jitter) on four

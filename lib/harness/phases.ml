@@ -91,6 +91,16 @@ let of_events events =
               push_bytes = ph.push_bytes + bytes;
             }
         | E.Broadcast _ -> { ph with broadcasts = ph.broadcasts + 1 }
+        | E.Home_flush { bytes; _ } ->
+            (* HLRC traffic files under the diff columns: a flush is a diff
+               application at the home, a fetch a (full-page) diff receipt *)
+            {
+              ph with
+              diffs_applied = ph.diffs_applied + 1;
+              diff_bytes = ph.diff_bytes + bytes;
+            }
+        | E.Home_fetch { bytes; _ } ->
+            { ph with diff_bytes = ph.diff_bytes + bytes }
         | E.Diff_fetch _ | E.Fetch_done _ | E.Notice_send _
         | E.Barrier_arrive _ | E.Barrier_depart _ | E.Lock_request _
         | E.Push_recv _ | E.Push_rollback _ | E.Msg_drop _ | E.Msg_dup _

@@ -1,3 +1,24 @@
+type backend_kind = Lrc | Hlrc
+type home_policy = Home_block | Home_cyclic | Home_first_touch
+
+let backend_name = function Lrc -> "lrc" | Hlrc -> "hlrc"
+
+let backend_of_string = function
+  | "lrc" -> Some Lrc
+  | "hlrc" -> Some Hlrc
+  | _ -> None
+
+let home_policy_name = function
+  | Home_block -> "block"
+  | Home_cyclic -> "cyclic"
+  | Home_first_touch -> "first-touch"
+
+let home_policy_of_string = function
+  | "block" -> Some Home_block
+  | "cyclic" -> Some Home_cyclic
+  | "first-touch" | "first_touch" -> Some Home_first_touch
+  | _ -> None
+
 type t = {
   nprocs : int;
   page_size : int;
@@ -24,6 +45,8 @@ type t = {
   net_jitter_us : float;
   net_seed : int;
   net_rto_us : float;
+  backend : backend_kind;
+  home_policy : home_policy;
 }
 
 (* Calibration (see config.mli): solving the roundtrip, lock and barrier
@@ -56,6 +79,8 @@ let default =
     net_jitter_us = 0.0;
     net_seed = 0;
     net_rto_us = 1000.0;
+    backend = Lrc;
+    home_policy = Home_block;
   }
 
 let with_procs cfg n = { cfg with nprocs = n }

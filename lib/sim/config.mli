@@ -15,6 +15,23 @@
     [2 * wire_latency_us + 16 * msg_overhead_us + 7 * interrupt_us = 893]
     (see {!Dsm_tmk.Barrier}), reproducing the published platform numbers. *)
 
+type backend_kind =
+  | Lrc  (** homeless LRC: distributed diffs, TreadMarks-style (the paper) *)
+  | Hlrc
+      (** home-based LRC: each page has a home processor; releasers flush
+          diffs to the home eagerly, faults fetch one full page copy *)
+
+type home_policy =
+  | Home_block  (** contiguous page ranges per processor *)
+  | Home_cyclic  (** page [g] homed on [g mod nprocs] *)
+  | Home_first_touch
+      (** first processor to flush to or fetch a page becomes its home *)
+
+val backend_name : backend_kind -> string
+val backend_of_string : string -> backend_kind option
+val home_policy_name : home_policy -> string
+val home_policy_of_string : string -> home_policy option
+
 type t = {
   nprocs : int;  (** number of simulated processors *)
   page_size : int;  (** bytes per virtual-memory page *)
@@ -61,6 +78,9 @@ type t = {
   net_rto_us : float;
       (** base retransmission timeout of the reliable-delivery layer; doubles
           on every consecutive loss (exponential backoff) *)
+  backend : backend_kind;  (** coherence protocol run by {!Dsm_tmk.Tmk} *)
+  home_policy : home_policy;
+      (** static page-to-home assignment (HLRC only) *)
 }
 
 val default : t

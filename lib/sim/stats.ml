@@ -16,6 +16,10 @@ type t = {
   mutable timeouts : int;
   mutable dropped : int;
   mutable duplicates : int;
+  mutable home_flushes : int;
+  mutable home_flush_bytes : int;
+  mutable home_fetches : int;
+  mutable home_fetch_bytes : int;
 }
 
 let create () =
@@ -37,6 +41,10 @@ let create () =
     timeouts = 0;
     dropped = 0;
     duplicates = 0;
+    home_flushes = 0;
+    home_flush_bytes = 0;
+    home_fetches = 0;
+    home_fetch_bytes = 0;
   }
 
 let reset t =
@@ -56,7 +64,11 @@ let reset t =
   t.retransmits <- 0;
   t.timeouts <- 0;
   t.dropped <- 0;
-  t.duplicates <- 0
+  t.duplicates <- 0;
+  t.home_flushes <- 0;
+  t.home_flush_bytes <- 0;
+  t.home_fetches <- 0;
+  t.home_fetch_bytes <- 0
 
 let add acc x =
   acc.messages <- acc.messages + x.messages;
@@ -75,7 +87,11 @@ let add acc x =
   acc.retransmits <- acc.retransmits + x.retransmits;
   acc.timeouts <- acc.timeouts + x.timeouts;
   acc.dropped <- acc.dropped + x.dropped;
-  acc.duplicates <- acc.duplicates + x.duplicates
+  acc.duplicates <- acc.duplicates + x.duplicates;
+  acc.home_flushes <- acc.home_flushes + x.home_flushes;
+  acc.home_flush_bytes <- acc.home_flush_bytes + x.home_flush_bytes;
+  acc.home_fetches <- acc.home_fetches + x.home_fetches;
+  acc.home_fetch_bytes <- acc.home_fetch_bytes + x.home_fetch_bytes
 
 let total arr =
   let acc = create () in
@@ -89,4 +105,9 @@ let pp ppf t =
      retx=%d tmo=%d drop=%d dup=%d@]"
     t.messages t.bytes t.segv t.mprotects t.twins t.diffs_created
     t.diffs_applied t.diff_bytes_applied t.lock_acquires t.barriers t.validates
-    t.pushes t.broadcasts t.retransmits t.timeouts t.dropped t.duplicates
+    t.pushes t.broadcasts t.retransmits t.timeouts t.dropped t.duplicates;
+  (* home-based counters stay silent under the homeless protocol so that
+     LRC output is unchanged byte-for-byte *)
+  if t.home_flushes <> 0 || t.home_fetches <> 0 then
+    Format.fprintf ppf "@[<v> hflush=%d/%dB hfetch=%d/%dB@]" t.home_flushes
+      t.home_flush_bytes t.home_fetches t.home_fetch_bytes

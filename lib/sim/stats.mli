@@ -24,6 +24,12 @@ type t = {
   mutable dropped : int;  (** delivery attempts lost by the modeled network *)
   mutable duplicates : int;
       (** network-duplicated deliveries suppressed by the reliable layer *)
+  mutable home_flushes : int;
+      (** HLRC: eager diff flushes sent to a page's home at release *)
+  mutable home_flush_bytes : int;  (** HLRC: payload bytes of those flushes *)
+  mutable home_fetches : int;
+      (** HLRC: full-page copies fetched from a home at a fault *)
+  mutable home_fetch_bytes : int;  (** HLRC: payload bytes of those fetches *)
 }
 
 val create : unit -> t

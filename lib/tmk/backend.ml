@@ -1,0 +1,63 @@
+(* The coherence-backend interface.
+
+   A backend is one complete consistency protocol: it decides what happens
+   at an access miss, how an interval's modifications are collected and
+   exchanged at synchronization operations, and how the compiler-directed
+   entry points (Validate / Validate_w_sync / Push) move data. Everything
+   else — the simulated cluster, the shared address space, write-notice
+   logs, vector clocks, the barrier/lock timing skeletons — is shared
+   infrastructure (see {!Sync_ops.barrier_with} and friends).
+
+   Two backends ship: the homeless lazy-release-consistency protocol of the
+   paper ({!Backend_lrc}, TreadMarks-style: diffs stay with their writers
+   and are fetched per writer on a miss) and a home-based LRC ({!Hlrc}:
+   every page has a home processor, releasers eagerly flush their diffs to
+   the home, and a miss fetches one up-to-date full page from it). *)
+
+module type S = sig
+  val name : string
+  (** CLI / stats identifier ("lrc", "hlrc"). *)
+
+  val read_fault : Types.system -> int -> int -> unit
+  (** [read_fault sys p page]: access-miss handler for a read. *)
+
+  val write_fault : Types.system -> int -> int -> unit
+  (** Write-detection handler (invalid or write-protected page). *)
+
+  val barrier : Types.t -> unit
+
+  val lock_acquire : Types.t -> int -> unit
+
+  val lock_release : Types.t -> int -> unit
+
+  val validate :
+    Types.t -> async:bool -> Dsm_rsd.Section.t list -> Types.access -> unit
+  (** The augmented [Validate(section, access)] call (Figure 3). *)
+
+  val validate_w_sync :
+    Types.t -> async:bool -> Dsm_rsd.Section.t list -> Types.access -> unit
+  (** [Validate_w_sync]: the request is piggy-backed on the next
+      synchronization operation. *)
+
+  val push :
+    Types.t ->
+    read_sections:Dsm_rsd.Section.t list array ->
+    write_sections:Dsm_rsd.Section.t list array ->
+    unit
+  (** Compiler-directed point-to-point exchange replacing a barrier. *)
+end
+
+(* Reify a backend module as the closure record stored in {!Types.system};
+   {!Tmk.make} selects the record once from [Config.backend]. *)
+let ops (module B : S) : Types.backend_ops =
+  {
+    Types.b_name = B.name;
+    b_read_fault = B.read_fault;
+    b_write_fault = B.write_fault;
+    b_barrier = B.barrier;
+    b_lock_acquire = B.lock_acquire;
+    b_lock_release = B.lock_release;
+    b_validate = B.validate;
+    b_validate_w_sync = B.validate_w_sync;
+    b_push = B.push;
+  }

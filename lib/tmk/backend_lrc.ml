@@ -1,0 +1,22 @@
+(* The homeless lazy-release-consistency backend: the protocol of the
+   paper, exactly as implemented by {!Protocol}, {!Sync_ops} and
+   {!Validate}. Diffs stay distributed with their writers; an access miss
+   fetches and merges the missing diffs writer by writer.
+
+   This module is intentionally nothing but delegation — the pre-backend
+   code paths are reused verbatim so a run under [--backend lrc] is
+   bit-identical to the historical runtime (guarded by the performance
+   goldens). *)
+
+let name = "lrc"
+let read_fault = Protocol.read_fault
+let write_fault = Protocol.write_fault
+let barrier = Sync_ops.barrier
+let lock_acquire = Sync_ops.lock_acquire
+let lock_release = Sync_ops.lock_release
+let validate t ~async sections access = Validate.validate t ~async sections access
+
+let validate_w_sync t ~async sections access =
+  Validate.validate_w_sync t ~async sections access
+
+let push = Validate.push

@@ -1,0 +1,554 @@
+(* Home-based lazy release consistency (HLRC).
+
+   Every shared page has a {e home} processor whose copy is kept eagerly up
+   to date: at each release the writer materializes its diffs for the
+   released pages and flushes them into the homes' copies, and an access
+   miss is serviced by fetching one full up-to-date page from the home
+   instead of per-writer diff sets. Write notices, vector clocks and the
+   synchronization skeletons are shared with the homeless protocol — only
+   the data movement differs (cf. Zhou et al., "Performance Evaluation of
+   Two Home-Based Lazy Release Consistency Protocols", OSDI '96).
+
+   Soundness in this simulator: a flush happens inside the releaser's
+   engine turn, strictly before the release's write notices can reach any
+   acquirer (notices travel on barrier-departure and lock-grant messages).
+   The home copy therefore always covers every interval any processor can
+   hold a notice for, so [applied := known] after installing the home copy
+   is exact. The trace checker enforces this as the home-fetch-current
+   rule. *)
+
+open Types
+module Cluster = Dsm_sim.Cluster
+module Config = Dsm_sim.Config
+module Stats = Dsm_sim.Stats
+module Net = Dsm_net.Net
+module Range = Dsm_rsd.Range
+module Page_table = Dsm_mem.Page_table
+module Diff = Dsm_mem.Diff
+module Prof = Dsm_prof.Prof
+
+let name = "hlrc"
+
+(* {1 Home assignment} *)
+
+(* Static policy, resolved lazily and memoized in [sys.homes] so every
+   backend path (flush, fetch, wsync scan) agrees on the same map. Under
+   [Home_first_touch] the first processor to flush or query the page
+   becomes its home — the engine's deterministic interleaving makes the
+   assignment reproducible. *)
+let home_of sys ~toucher page =
+  match Hashtbl.find_opt sys.homes page with
+  | Some h -> h
+  | None ->
+      let h =
+        match sys.cluster.Cluster.cfg.Config.home_policy with
+        | Config.Home_cyclic -> page mod sys.nprocs
+        | Config.Home_first_touch -> toucher
+        | Config.Home_block ->
+            (* contiguous blocks of the allocated heap, one per processor *)
+            let npages = max 1 (Dsm_mem.Addr_space.n_pages sys.space) in
+            let per = (npages + sys.nprocs - 1) / sys.nprocs in
+            min (page / per) (sys.nprocs - 1)
+      in
+      Hashtbl.replace sys.homes page h;
+      h
+
+(* {1 Release: eager diff flush to the homes} *)
+
+(* Close the interval exactly as the homeless protocol does (write notices,
+   interval log, write protection), then push the closed interval's diffs
+   into the home copies. One message per home aggregates all of this
+   release's pages homed there. After a flush the releaser holds no lazy
+   interval for remotely-homed pages: [lazy_hi] is 0 between releases, so
+   foreign notices never force a materialization. *)
+let release sys p =
+  match Protocol.release sys p with
+  | None -> None
+  | Some (seq, pages) as entry ->
+      let st = sys.states.(p) in
+      let cfg = sys.cluster.Cluster.cfg in
+      let pstats = sys.cluster.Cluster.stats.(p) in
+      let by_home = Array.make sys.nprocs [] in
+      List.iter
+        (fun page ->
+          let home = home_of sys ~toucher:p page in
+          if home = p then begin
+            (* My copy is the home copy: trivially flushed. The diff is
+               still materialized into the store — the store's
+               single-writer coalescing is only sound when every real
+               writer of a page has a cell, and it also retires the twin
+               (the homeless protocol would do both lazily). *)
+            let c = Protocol.materialize sys ~writer:p ~page in
+            if c > 0.0 then Cluster.charge sys.cluster p c;
+            let m = Protocol.meta st ~nprocs:sys.nprocs page in
+            if seq > m.home_flushed then m.home_flushed <- seq
+          end
+          else by_home.(home) <- page :: by_home.(home))
+        pages;
+      for home = 0 to sys.nprocs - 1 do
+        match by_home.(home) with
+        | [] -> ()
+        | rev_pages ->
+            let hpages = List.rev rev_pages in
+            let hst = sys.states.(home) in
+            let payload = ref 0 in
+            let per_page =
+              List.map
+                (fun page ->
+                  let m = Protocol.meta st ~nprocs:sys.nprocs page in
+                  let c = Protocol.materialize sys ~writer:p ~page in
+                  if c > 0.0 then Cluster.charge sys.cluster p c;
+                  let r =
+                    Diff_store.fetch sys.store ~writer:p ~page
+                      ~after:m.home_flushed ~upto:seq
+                  in
+                  let high =
+                    List.fold_left
+                      (fun acc u -> max acc u.Diff_store.upto_seq)
+                      seq r.Diff_store.units
+                  in
+                  payload := !payload + r.Diff_store.charge_bytes;
+                  (page, m, r, high))
+                hpages
+            in
+            let bytes = !payload + (16 * List.length hpages) in
+            let arrival = Net.send sys.net ~src:p ~dst:home ~bytes in
+            (* home-side handler: receive and overlay the diffs *)
+            let service =
+              cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+              +. (cfg.Config.diff_apply_per_byte_us *. float_of_int !payload)
+            in
+            Cluster.charge sys.cluster home service;
+            ignore
+              (Cluster.occupy sys.cluster home ~arrival ~handler_time:service);
+            List.iter
+              (fun (page, m, r, high) ->
+                let hpg = Page_table.get hst.pt page in
+                let sorted =
+                  List.sort
+                    (fun a b -> compare a.Diff_store.order b.Diff_store.order)
+                    r.Diff_store.units
+                in
+                List.iter
+                  (fun u ->
+                    Diff.apply u.Diff_store.payload hpg.Page_table.data;
+                    match hpg.Page_table.twin with
+                    | Some twin -> Diff.apply u.Diff_store.payload twin
+                    | None -> ())
+                  sorted;
+                let hm = Protocol.meta hst ~nprocs:sys.nprocs page in
+                if high > hm.applied.(p) then hm.applied.(p) <- high;
+                if hm.known.(p) < hm.applied.(p) then
+                  hm.known.(p) <- hm.applied.(p);
+                Diff_store.note_applied sys.store ~writer:p ~page ~by:home
+                  ~seq:hm.applied.(p);
+                if high > m.home_flushed then m.home_flushed <- high;
+                if sys.trace <> None then
+                  Protocol.emit sys p
+                    (Dsm_trace.Event.Home_flush
+                       {
+                         page;
+                         home;
+                         seq = high;
+                         bytes = r.Diff_store.charge_bytes;
+                       }))
+              per_page;
+            pstats.Stats.home_flushes <- pstats.Stats.home_flushes + 1;
+            pstats.Stats.home_flush_bytes <-
+              pstats.Stats.home_flush_bytes + !payload
+      done;
+      entry
+
+(* {1 Access misses: full-page fetch from the home} *)
+
+(* A page's copy is stale when a write notice outruns the applied
+   watermark. Pages already consistent need no data movement. *)
+let stale st ~nprocs p page =
+  let m = Protocol.meta st ~nprocs page in
+  let s = ref false in
+  for q = 0 to nprocs - 1 do
+    if q <> p && m.known.(q) > m.applied.(q) then s := true
+  done;
+  !s
+
+(* The home's own copy needs no message: flushes landed in it eagerly, so
+   it only has to advance its watermarks (this happens after a partial-push
+   rollback or a foreign notice invalidated the home's page). *)
+let revalidate_local sys p page =
+  let st = sys.states.(p) in
+  let m = Protocol.meta st ~nprocs:sys.nprocs page in
+  for q = 0 to sys.nprocs - 1 do
+    if m.known.(q) > m.applied.(q) then begin
+      m.applied.(q) <- m.known.(q);
+      Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+        ~seq:m.applied.(q)
+    end
+  done;
+  if sys.trace <> None then begin
+    Protocol.emit sys p
+      (Dsm_trace.Event.Home_fetch { page; home = p; bytes = 0 });
+    Protocol.emit sys p (Dsm_trace.Event.Fetch_done { page; full = true })
+  end
+
+(* Install the home copy into [p]'s page, preserving the current (not yet
+   released) local writes: they live only in this copy, and under a
+   data-race-free program they touch bytes disjoint from any interval the
+   fetch covers. With a twin the writes are recovered as a diff and
+   re-applied on top (the twin itself becomes the fresh home copy, so the
+   next materialization still captures exactly the local writes); a
+   WRITE_ALL page carries no twin, so once it is dirty the validated
+   ranges are saved and restored verbatim. A clean page holds no local
+   writes — in particular a READ&WRITE_ALL page between the validate and
+   its first access must take the home copy unmodified, or the reads
+   would see the superseded content. *)
+let install_home_copy sys p page ~home =
+  let st = sys.states.(p) in
+  let hpg = Page_table.get sys.states.(home).pt page in
+  let pg = Page_table.get st.pt page in
+  let m = Protocol.meta st ~nprocs:sys.nprocs page in
+  let cur =
+    match pg.Page_table.twin with
+    | Some twin -> Some (Diff.create ~twin ~current:pg.Page_table.data)
+    | None -> None
+  in
+  let saved = ref [] in
+  if cur = None && Protocol.in_dirty st page
+     && not (Range.is_empty m.write_all)
+  then
+    Range.iter m.write_all (fun ~lo ~hi ->
+        let off = lo - (page * sys.page_size) in
+        let buf = Bytes.create (hi - lo) in
+        Bytes.blit pg.Page_table.data off buf 0 (hi - lo);
+        saved := (off, buf) :: !saved);
+  Bytes.blit hpg.Page_table.data 0 pg.Page_table.data 0 sys.page_size;
+  (match pg.Page_table.twin with
+  | Some twin -> Bytes.blit hpg.Page_table.data 0 twin 0 sys.page_size
+  | None -> ());
+  (match cur with Some d -> Diff.apply d pg.Page_table.data | None -> ());
+  List.iter
+    (fun (off, buf) ->
+      Bytes.blit buf 0 pg.Page_table.data off (Bytes.length buf))
+    !saved;
+  for q = 0 to sys.nprocs - 1 do
+    if m.known.(q) > m.applied.(q) then m.applied.(q) <- m.known.(q);
+    Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:m.applied.(q)
+  done
+
+(* Fetch and install the home copies of every stale page, one aggregated
+   request per home; paid for according to [mode] exactly like the
+   homeless protocol's diff fetches. *)
+let fetch_pages sys p pages ~mode =
+  Prof.enter Prof.Protocol;
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let st = sys.states.(p) in
+  let by_home = Array.make sys.nprocs [] in
+  List.iter
+    (fun page ->
+      if stale st ~nprocs:sys.nprocs p page then begin
+        let home = home_of sys ~toucher:p page in
+        if home = p then revalidate_local sys p page
+        else by_home.(home) <- page :: by_home.(home)
+      end)
+    (List.sort_uniq compare pages);
+  for home = 0 to sys.nprocs - 1 do
+    match by_home.(home) with
+    | [] -> ()
+    | rev_pages ->
+        let hpages = List.rev rev_pages in
+        let npages = List.length hpages in
+        let payload = npages * sys.page_size in
+        let resp_bytes = payload + (16 * npages) in
+        (match mode with
+        | Protocol.Rpc ->
+            Net.rpc sys.net ~src:p ~dst:home ~req_bytes:(16 * npages)
+              ~resp_bytes ~service:cfg.Config.diff_service_us
+        | Protocol.Prepaid -> ()
+        | Protocol.Piggyback at ->
+            let hstats = sys.cluster.Cluster.stats.(home) in
+            hstats.Stats.messages <- hstats.Stats.messages + 1;
+            hstats.Stats.bytes <- hstats.Stats.bytes + resp_bytes;
+            Cluster.charge sys.cluster home
+              (cfg.Config.msg_overhead_us
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes));
+            Cluster.sync_clock sys.cluster p
+              (at
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes)
+              +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us));
+        List.iter
+          (fun page ->
+            install_home_copy sys p page ~home;
+            pstats.Stats.home_fetches <- pstats.Stats.home_fetches + 1;
+            pstats.Stats.home_fetch_bytes <-
+              pstats.Stats.home_fetch_bytes + sys.page_size;
+            pstats.Stats.diff_bytes_applied <-
+              pstats.Stats.diff_bytes_applied + sys.page_size;
+            if sys.trace <> None then
+              Protocol.emit sys p
+                (Dsm_trace.Event.Home_fetch
+                   { page; home; bytes = sys.page_size }))
+          hpages;
+        Cluster.charge sys.cluster p
+          (cfg.Config.diff_apply_per_byte_us *. float_of_int payload)
+  done;
+  if sys.trace <> None then
+    List.iter
+      (fun page ->
+        if Array.exists (fun l -> List.memq page l) by_home then
+          Protocol.emit sys p (Dsm_trace.Event.Fetch_done { page; full = true }))
+      (List.sort_uniq compare pages);
+  Prof.exit Prof.Protocol
+
+(* Asynchronous variant: send the page requests to the homes and record
+   the response arrival times; the fault handler installs the copies
+   (Section 3.2.3 of the paper applies unchanged). *)
+let async_fetch sys p pages =
+  Prof.enter Prof.Protocol;
+  let st = sys.states.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  let by_home = Array.make sys.nprocs [] in
+  List.iter
+    (fun page ->
+      if
+        (not (Hashtbl.mem st.pending_async page))
+        && stale st ~nprocs:sys.nprocs p page
+      then begin
+        let home = home_of sys ~toucher:p page in
+        if home = p then revalidate_local sys p page
+        else by_home.(home) <- page :: by_home.(home)
+      end)
+    (List.sort_uniq compare pages);
+  for home = 0 to sys.nprocs - 1 do
+    match by_home.(home) with
+    | [] -> ()
+    | rev_pages ->
+        let hpages = List.rev rev_pages in
+        let npages = List.length hpages in
+        let arrival_at_home =
+          Net.send sys.net ~src:p ~dst:home ~bytes:(16 * npages)
+        in
+        let resp_bytes = (npages * sys.page_size) + (16 * npages) in
+        let service =
+          cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+          +. cfg.Config.diff_service_us +. cfg.Config.msg_overhead_us
+          +. (cfg.Config.per_byte_us *. float_of_int resp_bytes)
+        in
+        Cluster.charge sys.cluster home service;
+        let hstats = sys.cluster.Cluster.stats.(home) in
+        hstats.Stats.messages <- hstats.Stats.messages + 1;
+        hstats.Stats.bytes <- hstats.Stats.bytes + resp_bytes;
+        let start =
+          Cluster.occupy sys.cluster home ~arrival:arrival_at_home
+            ~handler_time:service
+        in
+        let arrival = start +. service +. cfg.Config.wire_latency_us in
+        List.iter
+          (fun page ->
+            let prev =
+              Option.value ~default:0.0
+                (Hashtbl.find_opt st.pending_async page)
+            in
+            Hashtbl.replace st.pending_async page (Float.max prev arrival))
+          hpages
+  done;
+  Prof.exit Prof.Protocol
+
+let make_consistent sys p page =
+  let st = sys.states.(p) in
+  match Hashtbl.find_opt st.pending_async page with
+  | Some arrival ->
+      Hashtbl.remove st.pending_async page;
+      Cluster.sync_clock sys.cluster p arrival;
+      fetch_pages sys p [ page ] ~mode:Protocol.Prepaid
+  | None -> fetch_pages sys p [ page ] ~mode:Protocol.Rpc
+
+(* Fault handlers: identical bookkeeping to the homeless protocol, with
+   the home fetch as the data movement. *)
+let read_fault sys p page =
+  Prof.enter Prof.Protocol;
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  pstats.Stats.segv <- pstats.Stats.segv + 1;
+  Cluster.mm_op sys.cluster p ~npages:1;
+  if sys.trace <> None then
+    Protocol.emit sys p
+      (Dsm_trace.Event.Page_fault { page; write = false; fetch = true });
+  make_consistent sys p page;
+  let pg = Page_table.get st.pt page in
+  pg.Page_table.prot <-
+    (if Protocol.in_dirty st page then Page_table.Read_write
+     else Page_table.Read_only);
+  Prof.exit Prof.Protocol
+
+let write_fault sys p page =
+  Prof.enter Prof.Protocol;
+  let st = sys.states.(p) in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  pstats.Stats.segv <- pstats.Stats.segv + 1;
+  Cluster.mm_op sys.cluster p ~npages:1;
+  let pg = Page_table.get st.pt page in
+  let m = Protocol.meta st ~nprocs:sys.nprocs page in
+  let fetch = pg.Page_table.prot = Page_table.No_access in
+  if sys.trace <> None then
+    Protocol.emit sys p (Dsm_trace.Event.Page_fault { page; write = true; fetch });
+  if fetch then make_consistent sys p page;
+  if Range.is_empty m.write_all && pg.Page_table.twin = None then begin
+    Page_table.make_twin pg;
+    pstats.Stats.twins <- pstats.Stats.twins + 1;
+    if sys.trace <> None then Protocol.emit sys p (Dsm_trace.Event.Twin { page });
+    Cluster.charge sys.cluster p
+      (cfg.Config.twin_per_byte_us *. float_of_int sys.page_size)
+  end;
+  Protocol.mark_dirty st page;
+  pg.Page_table.prot <- Page_table.Read_write;
+  Prof.exit Prof.Protocol
+
+(* {1 Synchronization: shared skeletons, home-based data movement} *)
+
+(* Piggy-backed section requests at a barrier. The responder scan runs at
+   the homes (each processor matches the other requesters' sections
+   against the pages it homes); requesters are answered with home copies
+   sent at departure. No broadcast detection: the home copy is already a
+   single producer, so the hybrid-update optimization has nothing to
+   merge. *)
+let handle_wsync sys p ~epoch ~departure_clock ~my_reqs =
+  let b = sys.barrier in
+  let cfg = sys.cluster.Cluster.cfg in
+  let entries =
+    Option.value ~default:[] (Hashtbl.find_opt b.wsync_tbl epoch)
+  in
+  List.iter
+    (fun (r, reqs) ->
+      if r <> p then begin
+        let mine =
+          List.filter
+            (fun page -> home_of sys ~toucher:r page = p)
+            (Sync_ops.wsync_req_pages sys reqs)
+        in
+        if mine <> [] then
+          Cluster.charge sys.cluster p
+            (cfg.Config.wsync_scan_per_page_us
+            *. float_of_int (List.length mine))
+      end)
+    entries;
+  List.iter
+    (fun req ->
+      let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
+      if req.wr_async then begin
+        let st = sys.states.(p) in
+        let by_home = Array.make sys.nprocs [] in
+        List.iter
+          (fun page ->
+            if
+              (not (Hashtbl.mem st.pending_async page))
+              && stale st ~nprocs:sys.nprocs p page
+            then begin
+              let home = home_of sys ~toucher:p page in
+              if home = p then revalidate_local sys p page
+              else by_home.(home) <- page :: by_home.(home)
+            end)
+          pages;
+        for home = 0 to sys.nprocs - 1 do
+          match by_home.(home) with
+          | [] -> ()
+          | rev_pages ->
+              (* the request traveled on the arrival message; the home
+                 answers at departure and the faults consume the copies *)
+              let hpages = List.rev rev_pages in
+              let npages = List.length hpages in
+              let resp_bytes = (npages * sys.page_size) + (16 * npages) in
+              let hstats = sys.cluster.Cluster.stats.(home) in
+              hstats.Stats.messages <- hstats.Stats.messages + 1;
+              hstats.Stats.bytes <- hstats.Stats.bytes + resp_bytes;
+              Cluster.charge sys.cluster home
+                (cfg.Config.msg_overhead_us
+                +. (cfg.Config.per_byte_us *. float_of_int resp_bytes));
+              let arrival =
+                departure_clock
+                +. (cfg.Config.per_byte_us *. float_of_int resp_bytes)
+                +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us
+              in
+              List.iter
+                (fun page ->
+                  let prev =
+                    Option.value ~default:0.0
+                      (Hashtbl.find_opt st.pending_async page)
+                  in
+                  Hashtbl.replace st.pending_async page
+                    (Float.max prev arrival))
+                hpages
+        done;
+        match req.wr_access with
+        | Write_all | Read_write_all ->
+            Protocol.record_write_all sys p req.wr_ranges
+        | Read | Write | Read_write -> ()
+      end
+      else begin
+        fetch_pages sys p pages ~mode:(Protocol.Piggyback departure_clock);
+        Protocol.apply_access_state sys p ~ranges:req.wr_ranges
+          ~access:req.wr_access
+      end)
+    my_reqs
+
+let no_bcast _sys ~epoch:_ ~departure_clock:_ _entries = None
+
+let barrier t =
+  Sync_ops.barrier_with ~release ~plan_bcast:no_bcast
+    ~handle_wsync t
+
+(* On a lock grant, piggy-backed section requests are answered with home
+   copies sent at grant time (the grantor's scan cost is absorbed into the
+   homes' handlers). *)
+let answer_wsync sys p ~grantor:_ ~grant_ready req =
+  let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
+  fetch_pages sys p pages ~mode:(Protocol.Piggyback grant_ready);
+  Protocol.apply_access_state sys p ~ranges:req.wr_ranges
+    ~access:req.wr_access
+
+let lock_acquire t lid = Sync_ops.lock_acquire_with ~answer_wsync t lid
+let lock_release t lid = Sync_ops.lock_release_with ~release t lid
+
+(* {1 The augmented interface} *)
+
+let validate t ~async sections access =
+  Prof.enter Prof.Sync;
+  let sys = t.sys
+  and p = t.p in
+  let pstats = Types.stats t in
+  pstats.Stats.validates <- pstats.Stats.validates + 1;
+  let ranges = Validate.ranges_of_sections sections in
+  let pages = Range.pages ~page_size:sys.page_size ranges in
+  if sys.trace <> None then
+    Protocol.emit sys p
+      (Dsm_trace.Event.Validate
+         {
+           access = access_to_string access;
+           npages = List.length pages;
+           async;
+           w_sync = false;
+         });
+  (match access with
+  | Read | Write | Read_write ->
+      if async then async_fetch sys p pages
+      else begin
+        fetch_pages sys p pages ~mode:Protocol.Rpc;
+        Protocol.apply_access_state sys p ~ranges ~access
+      end
+  | Write_all -> Protocol.apply_access_state sys p ~ranges ~access
+  | Read_write_all ->
+      if async then begin
+        async_fetch sys p pages;
+        Protocol.record_write_all sys p ranges
+      end
+      else begin
+        fetch_pages sys p pages ~mode:Protocol.Rpc;
+        Protocol.apply_access_state sys p ~ranges ~access
+      end);
+  Prof.exit Prof.Sync
+
+let validate_w_sync t ~async sections access =
+  Validate.validate_w_sync t ~async sections access
+
+let push t ~read_sections ~write_sections =
+  Validate.push_with ~release t ~read_sections ~write_sections

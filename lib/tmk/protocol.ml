@@ -46,6 +46,7 @@ let meta st ~nprocs page =
           write_all = Range.empty;
           lazy_hi = 0;
           lazy_vcsum = 0;
+          home_flushed = 0;
         }
       in
       Hashtbl.replace st.meta page m;

@@ -101,6 +101,9 @@ val make_consistent : system -> int -> int -> unit
 val in_dirty : pstate -> int -> bool
 (** Membership in the current interval's write set (hash set; O(1)). *)
 
+val mark_dirty : pstate -> int -> unit
+(** Add a page to the current interval's write set. *)
+
 val record_write_all : system -> int -> Dsm_rsd.Range.t -> unit
 (** Mark byte ranges as validated WRITE_ALL: the fault handler skips twin
     creation for them and materialization copies them verbatim. *)

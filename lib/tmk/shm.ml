@@ -27,7 +27,8 @@ let[@inline] page_for_read t addr =
   let pg = Page_table.get t.st.pt page in
   match pg.Page_table.prot with
   | Page_table.No_access ->
-      Protocol.read_fault t.sys t.p page;
+      (* cold path: enter the selected backend's fault handler *)
+      t.sys.bops.b_read_fault t.sys t.p page;
       Page_table.get t.st.pt page
   | Page_table.Read_only | Page_table.Read_write -> pg
 
@@ -37,7 +38,7 @@ let[@inline] page_for_write t addr =
   match pg.Page_table.prot with
   | Page_table.Read_write -> pg
   | Page_table.No_access | Page_table.Read_only ->
-      Protocol.write_fault t.sys t.p page;
+      t.sys.bops.b_write_fault t.sys t.p page;
       Page_table.get t.st.pt page
 
 (* Unchecked native-order 64-bit access. Eight-byte elements are 8-aligned
@@ -71,6 +72,10 @@ let get_i64 t addr =
 let set_i64 t addr v =
   let pg = page_for_write t addr in
   set_64_le pg.Page_table.data (offset_of t addr) (Int64.of_int v)
+
+let get_raw64 t addr =
+  let pg = page_for_read t addr in
+  get_64_le pg.Page_table.data (offset_of t addr)
 
 let get_i32 t addr =
   let pg = page_for_read t addr in

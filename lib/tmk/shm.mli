@@ -2,11 +2,12 @@
     interface.
 
     Every access consults the page's protection bits and enters the
-    protocol's fault handlers exactly where a hardware MMU would deliver
-    SIGSEGV: a read of an invalid page triggers {!Protocol.read_fault}
-    (diff fetch), the first write to a write-protected page triggers
-    {!Protocol.write_fault} (twin creation, write detection). Elements are
-    4- or 8-byte aligned and never straddle a page boundary. *)
+    selected coherence backend's fault handlers (via {!Types.backend_ops})
+    exactly where a hardware MMU would deliver SIGSEGV: a read of an
+    invalid page triggers the backend's read fault (diff or home-page
+    fetch), the first write to a write-protected page its write fault
+    (twin creation, write detection). Elements are 4- or 8-byte aligned
+    and never straddle a page boundary. *)
 
 val page_for_read : Types.t -> int -> Dsm_mem.Page_table.page
 val page_for_write : Types.t -> int -> Dsm_mem.Page_table.page
@@ -15,6 +16,11 @@ val get_f64 : Types.t -> int -> float
 val set_f64 : Types.t -> int -> float -> unit
 val get_i64 : Types.t -> int -> int
 val set_i64 : Types.t -> int -> int -> unit
+
+val get_raw64 : Types.t -> int -> int64
+(** Raw 64-bit load through the read-fault path (little-endian), without
+    interpreting the element as float or int: used for content digests. *)
+
 val get_i32 : Types.t -> int -> int
 val set_i32 : Types.t -> int -> int -> unit
 

@@ -278,7 +278,15 @@ let handle_wsync_at_barrier sys p ~epoch ~departure_clock ~my_reqs =
             ~access:req.wr_access)
     my_reqs
 
-let barrier t =
+(* The barrier skeleton is shared by every backend: arrival/departure
+   timing, notice redistribution and the piggy-backed-request plumbing are
+   protocol-independent. What varies — how an interval is closed at the
+   arrival ([release]), whether a departure may turn fetch responses into a
+   broadcast ([plan_bcast]) and how the piggy-backed section requests are
+   answered ([handle_wsync]) — comes in as closures, so the homeless LRC
+   instantiation below stays bit-identical to the pre-backend code (same
+   operations in the same floating-point order). *)
+let barrier_with ~release ~plan_bcast ~handle_wsync t =
   Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
@@ -287,7 +295,7 @@ let barrier t =
   let cfg = sys.cluster.Cluster.cfg in
   let pstats = sys.cluster.Cluster.stats.(p) in
   pstats.Stats.barriers <- pstats.Stats.barriers + 1;
-  ignore (Protocol.release sys p);
+  ignore (release sys p);
   let my_epoch = st.barrier_epoch in
   st.barrier_epoch <- my_epoch + 1;
   let my_reqs = st.pending_wsync in
@@ -338,7 +346,7 @@ let barrier t =
     Array.iter (fun stq -> Vc.merge dvc stq.vc) sys.states;
     b.departure_vc <- dvc;
     b.bcast_plan <-
-      detect_bcast sys ~epoch:my_epoch ~departure_clock:b.departure_clock
+      plan_bcast sys ~epoch:my_epoch ~departure_clock:b.departure_clock
         (Option.value ~default:[] (Hashtbl.find_opt b.wsync_tbl my_epoch));
     b.epoch <- b.epoch + 1;
     b.arrived <- 0
@@ -374,8 +382,8 @@ let barrier t =
     st.partial_push;
   st.partial_push <- [];
   if !rolled <> [] then Protocol.protect_runs sys p !rolled;
-  handle_wsync_at_barrier sys p ~epoch:my_epoch
-    ~departure_clock:b.departure_clock ~my_reqs;
+  handle_wsync sys p ~epoch:my_epoch ~departure_clock:b.departure_clock
+    ~my_reqs;
   (* prune the piggy-backed-request table once every processor has finished
      this epoch's departure processing — without this the table (and the
      departure-count table) grow without bound over a run *)
@@ -388,6 +396,10 @@ let barrier t =
   end
   else Hashtbl.replace b.wsync_done my_epoch ndone;
   Prof.exit Prof.Sync
+
+let barrier t =
+  barrier_with ~release:Protocol.release ~plan_bcast:detect_bcast
+    ~handle_wsync:handle_wsync_at_barrier t
 
 (* {1 Locks} *)
 
@@ -410,7 +422,21 @@ let get_lock sys lid =
       Hashtbl.replace sys.locks lid lk;
       lk
 
-let lock_acquire t lid =
+(* Homeless-LRC answer to a piggy-backed section request on a lock grant:
+   the grantor scans its page list and ships the diffs it holds locally on
+   the grant message. *)
+let answer_wsync_from_grantor sys p ~grantor ~grant_ready req =
+  let cfg = sys.cluster.Cluster.cfg in
+  let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
+  if grantor <> p then begin
+    Cluster.charge sys.cluster grantor
+      (cfg.Config.wsync_scan_per_page_us *. float_of_int (List.length pages));
+    Protocol.fetch_and_apply sys p pages ~mode:(Protocol.Piggyback grant_ready)
+      ~only_via:grantor ()
+  end;
+  Protocol.apply_access_state sys p ~ranges:req.wr_ranges ~access:req.wr_access
+
+let lock_acquire_with ~answer_wsync t lid =
   Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
@@ -486,30 +512,20 @@ let lock_acquire t lid =
   if sys.trace <> None then
     Protocol.emit sys p
       (Dsm_trace.Event.Lock_grant { lock = lid; grantor; notices = ncount });
-  (* piggy-backed section requests are answered on the grant message with
-     the diffs the grantor holds locally *)
-  List.iter
-    (fun req ->
-      let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
-      if grantor <> p then begin
-        Cluster.charge sys.cluster grantor
-          (cfg.Config.wsync_scan_per_page_us
-          *. float_of_int (List.length pages));
-        Protocol.fetch_and_apply sys p pages
-          ~mode:(Protocol.Piggyback grant_ready) ~only_via:grantor ()
-      end;
-      Protocol.apply_access_state sys p ~ranges:req.wr_ranges
-        ~access:req.wr_access)
-    my_reqs;
+  (* piggy-backed section requests are answered on the grant message *)
+  List.iter (fun req -> answer_wsync sys p ~grantor ~grant_ready req) my_reqs;
   Prof.exit Prof.Sync
 
-let lock_release t lid =
+let lock_acquire t lid =
+  lock_acquire_with ~answer_wsync:answer_wsync_from_grantor t lid
+
+let lock_release_with ~release t lid =
   Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
   let lk = get_lock sys lid in
   if lk.held_by <> Some p then invalid_arg "lock_release: not the holder";
-  ignore (Protocol.release sys p);
+  ignore (release sys p);
   lk.release_clock <- Cluster.time sys.cluster p;
   lk.release_vc <- Some (Vc.copy (state t).vc);
   lk.last_releaser <- p;
@@ -533,3 +549,5 @@ let lock_release t lid =
       lk.granted <- Some next;
       lk.grant_clock <- Float.max arr lk.release_clock);
   Prof.exit Prof.Sync
+
+let lock_release t lid = lock_release_with ~release:Protocol.release t lid

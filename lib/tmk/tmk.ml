@@ -62,6 +62,11 @@ let make cfg =
       (let ps = cfg.Config.page_size in
        if ps > 0 && ps land (ps - 1) = 0 then ps - 1 else 0);
     nprocs;
+    homes = Hashtbl.create 64;
+    bops =
+      (match cfg.Config.backend with
+      | Config.Lrc -> Backend.ops (module Backend_lrc)
+      | Config.Hlrc -> Backend.ops (module Hlrc));
     trace = None;
   }
   in
@@ -84,56 +89,73 @@ let run ?trace sys main =
       Engine.run ~nprocs:sys.Types.nprocs (fun p ->
           let t = { Types.sys; p; st = sys.Types.states.(p) } in
           main t;
-          Sync_ops.barrier t))
+          sys.Types.bops.Types.b_barrier t))
 
 let update_pages_in_use sys =
   sys.Types.cluster.Cluster.pages_in_use <-
     Dsm_mem.Addr_space.n_pages sys.Types.space
 
-let alloc_f64_1 sys name n =
-  let a =
-    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8 [| n |]
-  in
-  update_pages_in_use sys;
-  a
+type kind = F64 | I64
 
-let alloc_f64_2 sys name n0 n1 =
+let alloc sys name (kind : kind) ~dims =
+  (* both element kinds are 8 bytes wide on the simulated machine; [kind]
+     documents intent and leaves room for narrower elements later *)
+  ignore kind;
   let a =
     Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
-      [| n0; n1 |]
+      (Array.of_list dims)
   in
   update_pages_in_use sys;
   a
 
-let alloc_f64_3 sys name n0 n1 n2 =
-  let a =
-    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
-      [| n0; n1; n2 |]
-  in
-  update_pages_in_use sys;
-  a
-
-let alloc_i64_1 sys name n =
-  let a =
-    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8 [| n |]
-  in
-  update_pages_in_use sys;
-  a
-
+let alloc_f64_1 sys name n = alloc sys name F64 ~dims:[ n ]
+let alloc_f64_2 sys name n0 n1 = alloc sys name F64 ~dims:[ n0; n1 ]
+let alloc_f64_3 sys name n0 n1 n2 = alloc sys name F64 ~dims:[ n0; n1; n2 ]
+let alloc_i64_1 sys name n = alloc sys name I64 ~dims:[ n ]
 let pid (t : t) = t.Types.p
 let nprocs (t : t) = t.Types.sys.Types.nprocs
 let charge (t : t) us = Cluster.charge t.Types.sys.Types.cluster t.Types.p us
-let barrier = Sync_ops.barrier
-let lock_acquire = Sync_ops.lock_acquire
-let lock_release = Sync_ops.lock_release
-let validate = Validate.validate
-let validate_w_sync = Validate.validate_w_sync
-let push = Validate.push
+
+(* Every protocol-visible operation dispatches through the backend selected
+   in {!make}; a record-field load on operations this coarse is free. *)
+let backend_name sys = sys.Types.bops.Types.b_name
+let barrier (t : t) = t.Types.sys.Types.bops.Types.b_barrier t
+let lock_acquire (t : t) lid = t.Types.sys.Types.bops.Types.b_lock_acquire t lid
+let lock_release (t : t) lid = t.Types.sys.Types.bops.Types.b_lock_release t lid
+
+let validate (t : t) ?(async = false) sections access =
+  t.Types.sys.Types.bops.Types.b_validate t ~async sections access
+
+let validate_w_sync (t : t) ?(async = false) sections access =
+  t.Types.sys.Types.bops.Types.b_validate_w_sync t ~async sections access
+
+let push (t : t) ~read_sections ~write_sections =
+  t.Types.sys.Types.bops.Types.b_push t ~read_sections ~write_sections
+
 let elapsed sys = Cluster.elapsed sys.Types.cluster
 let time (t : t) = Cluster.time t.Types.sys.Types.cluster t.Types.p
 let stats sys = sys.Types.cluster.Cluster.stats
 let total_stats sys = Dsm_sim.Stats.total (stats sys)
 let cluster sys = sys.Types.cluster
+
+(* Content digest of every allocated array, observed through the protocol
+   (an extra run in which processor 0 reads all of shared memory; plain
+   byte inspection would see stale local copies). Used by the
+   backend-equivalence tests: capture timing/statistics results before
+   calling this, as the digest run advances the simulated clocks. *)
+let digest sys =
+  let buf = Buffer.create 4096 in
+  run sys (fun t ->
+      if t.Types.p = 0 then
+        List.iter
+          (fun (a : Dsm_rsd.Section.array_info) ->
+            let n = Array.fold_left ( * ) 1 a.Dsm_rsd.Section.extents in
+            for i = 0 to n - 1 do
+              Buffer.add_int64_le buf
+                (Shm.get_raw64 t (a.Dsm_rsd.Section.base + (8 * i)))
+            done)
+          (Dsm_mem.Addr_space.arrays sys.Types.space));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 module Shm = Shm
 module Section = Dsm_rsd.Section

@@ -1,11 +1,14 @@
 (** TreadMarks-style lazy-release-consistency software DSM, with the
     augmented compiler interface of the paper (Validate, Validate_w_sync,
-    Push).
+    Push), and pluggable coherence backends ([Config.backend]): the
+    homeless LRC protocol of the paper, or home-based LRC (each page has a
+    home processor; releasers flush diffs to it eagerly and misses fetch
+    one full page from it).
 
     Typical use:
     {[
       let sys = Tmk.make (Dsm_sim.Config.default) in
-      let b = Tmk.alloc_f64_2 sys "b" rows cols in
+      let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ rows; cols ] in
       Tmk.run sys (fun t ->
           let p = Tmk.pid t in
           ...
@@ -29,6 +32,12 @@ type access = Types.access =
           and require exact compiler analysis. *)
 
 val make : Dsm_sim.Config.t -> system
+(** Build a system for [Config.nprocs] processors, driven by the coherence
+    backend selected by [Config.backend] (with homes assigned per
+    [Config.home_policy] when home-based). *)
+
+val backend_name : system -> string
+(** Name of the selected backend: ["lrc"] or ["hlrc"]. *)
 
 val run : ?trace:Dsm_trace.Sink.t -> system -> (t -> unit) -> unit
 (** Execute the program on every simulated processor. [trace] collects
@@ -41,11 +50,26 @@ val run : ?trace:Dsm_trace.Sink.t -> system -> (t -> unit) -> unit
 
 (** {1 Allocation} (before {!run}) *)
 
+type kind = F64 | I64  (** Element kind of a shared array (8 bytes each). *)
+
+val alloc :
+  system -> string -> kind -> dims:int list -> Dsm_rsd.Section.array_info
+(** [alloc sys name kind ~dims] allocates a shared array of the given
+    extents (column-major; the first dimension is contiguous). Access it
+    through the {!Shm} view matching its rank and kind. *)
+
 val alloc_f64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
+[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n]"]
+
 val alloc_f64_2 : system -> string -> int -> int -> Dsm_rsd.Section.array_info
+[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n0; n1]"]
+
 val alloc_f64_3 :
   system -> string -> int -> int -> int -> Dsm_rsd.Section.array_info
+[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n0; n1; n2]"]
+
 val alloc_i64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
+[@@deprecated "use Tmk.alloc sys name I64 ~dims:[n]"]
 
 (** {1 Per-processor operations} *)
 
@@ -89,6 +113,13 @@ val time : t -> float
 val stats : system -> Dsm_sim.Stats.t array
 val total_stats : system -> Dsm_sim.Stats.t
 val cluster : system -> Dsm_sim.Cluster.t
+
+val digest : system -> string
+(** Hex digest of the contents of every allocated array, observed through
+    the protocol (an extra {!run} in which processor 0 reads all of shared
+    memory). Two backends implementing the same memory model produce equal
+    digests for the same program. Capture timing/statistics results before
+    calling this: the digest run advances the simulated clocks. *)
 
 (** {1 Raw shared-memory access} *)
 

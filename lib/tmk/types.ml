@@ -32,6 +32,9 @@ type page_meta = {
   mutable lazy_vcsum : int;
       (* vector-clock sum at that release: the happens-before order stamp the
          materialized diff must carry (materialization happens much later) *)
+  mutable home_flushed : int;
+      (* HLRC only: my highest interval seq whose modifications to this page
+         have been flushed into the home copy; 0 = none *)
 }
 
 (* Per-processor run-time state. *)
@@ -130,6 +133,12 @@ type system = {
          the Shm fast path replaces the per-access div/mod with shift/mask *)
   page_mask : int;  (* page_size - 1 when a power of two, 0 otherwise *)
   nprocs : int;
+  homes : (int, int) Hashtbl.t;
+      (* HLRC only: page -> home processor, filled lazily by the active
+         home-assignment policy; empty under the homeless backend *)
+  bops : backend_ops;
+      (* the coherence backend driving this system; selected once in
+         {!Tmk.make} from [Config.backend] and never changed afterwards *)
   mutable trace : Dsm_trace.Sink.t option;
       (* protocol event sink; [None] (the default) makes every
          instrumentation site a single comparison with no allocation, and
@@ -139,7 +148,31 @@ type system = {
 (* Per-processor handle passed to application code. [st] caches
    [sys.states.(p)]: every Shm access starts from the handle, and the
    cached field saves an array bound check plus two loads on that path. *)
-type t = { sys : system; p : int; st : pstate }
+and t = { sys : system; p : int; st : pstate }
+
+(* First-class record of one coherence backend's entry points — everything
+   the rest of the run-time (fault handlers in {!Shm}, synchronization and
+   augmented-interface dispatch in {!Tmk}) needs from a protocol. The
+   functions mirror {!Backend.S}; keeping them as a flat record of closures
+   lets {!system} carry the selected backend without a functor boundary on
+   the hot path (faults are already cold: a dispatch through a record field
+   is noise next to the page-table work they do). *)
+and backend_ops = {
+  b_name : string;
+  b_read_fault : system -> int -> int -> unit;  (* sys proc page *)
+  b_write_fault : system -> int -> int -> unit;
+  b_barrier : t -> unit;
+  b_lock_acquire : t -> int -> unit;
+  b_lock_release : t -> int -> unit;
+  b_validate : t -> async:bool -> Dsm_rsd.Section.t list -> access -> unit;
+  b_validate_w_sync :
+    t -> async:bool -> Dsm_rsd.Section.t list -> access -> unit;
+  b_push :
+    t ->
+    read_sections:Dsm_rsd.Section.t list array ->
+    write_sections:Dsm_rsd.Section.t list array ->
+    unit;
+}
 
 let state t = t.st
 let cfg t = t.sys.cluster.Dsm_sim.Cluster.cfg

@@ -86,8 +86,12 @@ let validate_w_sync t ?(async = false) sections access =
 (* Push(r_section[0..N-1], w_section[0..N-1]), Figure 3: replaces a barrier
    with point-to-point exchanges of exactly the data written before and read
    after. Data is received in place, not as diffs. Only the pushed sections
-   are made consistent; full consistency is restored at the next barrier. *)
-let push t ~read_sections ~write_sections =
+   are made consistent; full consistency is restored at the next barrier.
+
+   The exchange itself is protocol-independent; [release] closes the
+   sender's interval the backend's way (the homeless LRC keeps the diffs
+   for later fetches, HLRC additionally flushes them to the homes). *)
+let push_with ~release t ~read_sections ~write_sections =
   Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
@@ -95,7 +99,7 @@ let push t ~read_sections ~write_sections =
   let cfg = sys.cluster.Cluster.cfg in
   let pstats = stats t in
   pstats.Stats.pushes <- pstats.Stats.pushes + 1;
-  let entry = Protocol.release sys p in
+  let entry = release sys p in
   let my_seq = Vc.get st.vc p in
   let my_writes = ranges_of_sections write_sections.(p) in
   (* send phase *)
@@ -225,3 +229,6 @@ let push t ~read_sections ~write_sections =
     end
   done;
   Prof.exit Prof.Sync
+
+let push t ~read_sections ~write_sections =
+  push_with ~release:Protocol.release t ~read_sections ~write_sections

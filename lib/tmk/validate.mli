@@ -19,6 +19,15 @@ val validate_w_sync :
 (** Like {!validate}, but the request for diffs is piggy-backed on the next
     synchronization operation (Section 3.1.1). *)
 
+val push_with :
+  release:(Types.system -> int -> (int * int list) option) ->
+  Types.t ->
+  read_sections:Dsm_rsd.Section.t list array ->
+  write_sections:Dsm_rsd.Section.t list array ->
+  unit
+(** The protocol-independent [Push] exchange; [release] closes the sender's
+    interval the backend's way before the point-to-point sends. *)
+
 val push :
   Types.t ->
   read_sections:Dsm_rsd.Section.t list array ->

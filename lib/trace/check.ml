@@ -83,6 +83,7 @@ type state = {
   nprocs : int;
   procs : proc_state array;
   msgs : (int, msg_state) Hashtbl.t;  (* reliable-layer msg id -> state *)
+  homes : (int, int) Hashtbl.t;  (* HLRC: page -> home, learned from events *)
   mutable violations : violation list;
   mutable nchecked : int;
 }
@@ -119,6 +120,7 @@ let create ~nprocs =
             pages = Hashtbl.create 256;
           });
     msgs = Hashtbl.create 256;
+    homes = Hashtbl.create 64;
     violations = [];
     nchecked = 0;
   }
@@ -146,6 +148,21 @@ let msg_state st e ~msg ~src ~dst =
       in
       Hashtbl.replace st.msgs msg ms;
       ms
+
+(* HLRC: a page's home is static; the first home-flush/fetch event naming
+   a page fixes it, and every later event must agree. *)
+let home_of st e ~page ~home =
+  (match Hashtbl.find_opt st.homes page with
+  | Some h ->
+      if h <> home then
+        fail st e "home-consistent"
+          "page %d homed at p%d but an earlier event homed it at p%d" page
+          home h
+  | None ->
+      if home < 0 || home >= st.nprocs then
+        fail st e "home-range" "home p%d out of range" home
+      else Hashtbl.replace st.homes page home);
+  home
 
 (* A protocol action at which an un-serviced access miss would mean the
    faulting access ran on an inconsistent copy. *)
@@ -328,6 +345,55 @@ let step st (e : Event.t) =
             seq s.applied.(writer);
         s.applied.(writer) <- seq - 1
     | Broadcast _ -> ()
+    (* {2 HLRC home rules} *)
+    | Home_flush { page; home; seq; bytes = _ } ->
+        let home = home_of st e ~page ~home in
+        if home = p then
+          fail st e "home-flush-self" "p%d flushed page %d to itself" p page;
+        if seq > ps.own then
+          fail st e "home-flush-future"
+            "flushed through interval %d but only %d released" seq ps.own;
+        if home >= 0 && home < st.nprocs && home <> p then begin
+          let s = page_state st home page in
+          if seq <= s.applied.(p) then
+            fail st e "home-flush-stale"
+              "flush of page %d covers up to interval %d but the home copy \
+               already has %d"
+              page seq s.applied.(p);
+          s.applied.(p) <- max s.applied.(p) seq;
+          s.known.(p) <- max s.known.(p) s.applied.(p)
+        end
+    | Home_fetch { page; home; bytes } ->
+        let home = home_of st e ~page ~home in
+        let s = page_state st p page in
+        if home = p then begin
+          (* local revalidation: the home's own copy needs no transfer
+             (it only looks stale after a conservative push rollback) *)
+          if bytes <> 0 then
+            fail st e "home-fetch-self"
+              "p%d 'fetched' %d bytes of page %d from itself" p bytes page
+        end
+        else if home >= 0 && home < st.nprocs then begin
+          if bytes <= 0 then
+            fail st e "home-fetch-bytes" "empty page transfer for page %d"
+              page;
+          (* the HLRC soundness condition: every released interval is
+             flushed before its notice can travel, so the home copy must
+             already cover everything the fetcher knows of the page *)
+          let sh = page_state st home page in
+          for q = 0 to st.nprocs - 1 do
+            if s.known.(q) > sh.applied.(q) then
+              fail st e "home-fetch-current"
+                "page %d: fetcher knows p%d interval %d but the home copy \
+                 only has %d"
+                page q s.known.(q) sh.applied.(q)
+          done
+        end;
+        (* a full-page install leaves nothing known-but-unapplied *)
+        for q = 0 to st.nprocs - 1 do
+          s.applied.(q) <- max s.applied.(q) s.known.(q)
+        done;
+        s.batch_order <- min_int
     (* {2 Reliable-transport rules} *)
     | Msg_drop { msg; src; dst; attempt } ->
         let ms = msg_state st e ~msg ~src ~dst in

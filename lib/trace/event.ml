@@ -48,6 +48,14 @@ type kind =
       (* barrier rolled the applied watermark back over a partially pushed
          page, restoring full consistency on the next access *)
   | Broadcast of { bytes : int; requesters : int list }
+  (* Home-based LRC (HLRC) events. A page's home holds a copy that every
+     released interval has been eagerly flushed into; faulting processors
+     fetch that single full copy instead of merging per-writer diffs. *)
+  | Home_flush of { page : int; home : int; seq : int; bytes : int }
+      (* the releaser flushed its diffs for [page], covering its intervals
+         up to [seq], into the home copy at processor [home] *)
+  | Home_fetch of { page : int; home : int; bytes : int }
+      (* a faulting processor installed the full page copy held by [home] *)
   (* Transport-level events of the unreliable-network model (lib/net).
      [msg] is the global message id of the reliable-delivery layer; each
      event names the flow endpoints so the checker can reason per message
@@ -94,6 +102,8 @@ let kind_name = function
   | Push_recv _ -> "push_recv"
   | Push_rollback _ -> "push_rollback"
   | Broadcast _ -> "broadcast"
+  | Home_flush _ -> "home_flush"
+  | Home_fetch _ -> "home_fetch"
   | Msg_drop _ -> "msg_drop"
   | Msg_dup _ -> "msg_dup"
   | Retransmit _ -> "retransmit"
@@ -145,6 +155,11 @@ let kind_fields = function
   | Broadcast { bytes; requesters } ->
       Printf.sprintf "\"bytes\":%d,\"requesters\":%s" bytes
         (json_int_list requesters)
+  | Home_flush { page; home; seq; bytes } ->
+      Printf.sprintf "\"page\":%d,\"home\":%d,\"seq\":%d,\"bytes\":%d" page
+        home seq bytes
+  | Home_fetch { page; home; bytes } ->
+      Printf.sprintf "\"page\":%d,\"home\":%d,\"bytes\":%d" page home bytes
   | Msg_drop { msg; src; dst; attempt } ->
       Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d" msg src
         dst attempt
@@ -398,6 +413,16 @@ let of_json line =
           { page = int "page"; writer = int "writer"; seq = int "seq" }
     | "broadcast" ->
         Broadcast { bytes = int "bytes"; requesters = ints "requesters" }
+    | "home_flush" ->
+        Home_flush
+          {
+            page = int "page";
+            home = int "home";
+            seq = int "seq";
+            bytes = int "bytes";
+          }
+    | "home_fetch" ->
+        Home_fetch { page = int "page"; home = int "home"; bytes = int "bytes" }
     | "msg_drop" ->
         Msg_drop
           {

@@ -71,6 +71,13 @@ type kind =
   | Broadcast of { bytes : int; requesters : int list }
       (** hybrid update: one writer broadcast [bytes] of diffs to
           [requesters] instead of serving individual fetches *)
+  | Home_flush of { page : int; home : int; seq : int; bytes : int }
+      (** HLRC: at a release, the writer eagerly flushed its diffs of
+          [page] — covering its intervals up to [seq], [bytes] bytes of
+          payload — into the copy held by the page's [home] processor *)
+  | Home_fetch of { page : int; home : int; bytes : int }
+      (** HLRC: a faulting processor replaced its copy of [page] with
+          the full up-to-date copy fetched from [home] *)
   | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
       (** a delivery attempt of reliable-layer message [msg] was lost *)
   | Msg_dup of { msg : int; src : int; dst : int }

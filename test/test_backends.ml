@@ -1,0 +1,260 @@
+(* Coherence-backend equivalence.
+
+   Both backends implement the same memory model for data-race-free
+   programs, so every application must produce byte-identical shared
+   memory under homeless LRC and home-based LRC: each app x {1,2,4,8}
+   processors x every applicable optimization level is run under both
+   backends and the {!Tmk.digest} of the final shared state compared.
+   Additional suites cover: digest equality across the three home
+   assignment policies, determinism of each backend (same run twice,
+   same digest and clocks), hlrc runs through the trace invariant
+   checker, the new-style [Tmk.alloc], and the hlrc statistics
+   counters. *)
+
+module Config = Dsm_sim.Config
+module Stats = Dsm_sim.Stats
+module Sink = Dsm_trace.Sink
+module Check = Dsm_trace.Check
+module Tmk = Dsm_tmk.Tmk
+open Dsm_apps.App_common
+
+let cfg ?(policy = Config.Home_block) backend nprocs =
+  {
+    Config.default with
+    Config.nprocs;
+    Config.backend;
+    Config.home_policy = policy;
+  }
+
+(* Reduced data sets: enough pages, processors and iterations to exercise
+   every protocol path, small enough that the full matrix stays fast. *)
+
+let jacobi_prm =
+  let open Dsm_apps.Jacobi in
+  { small with m = 64; iters = 3 }
+
+let shallow_prm =
+  let open Dsm_apps.Shallow in
+  { small with m = 64; n = 32; steps = 3 }
+
+let gauss_prm =
+  let open Dsm_apps.Gauss in
+  { small with m = 48 }
+
+let mgs_prm =
+  let open Dsm_apps.Mgs in
+  { small with m = 48; n = 32 }
+
+let fft3d_prm =
+  let open Dsm_apps.Fft3d in
+  { small with n = 8; iters = 2 }
+
+let is_prm =
+  let open Dsm_apps.Is in
+  { small with n_keys = 1 lsl 12; n_buckets = 1 lsl 8; reps = 2 }
+
+type case = {
+  app : string;
+  levels : opt_level list;
+  run :
+    ?trace:Sink.t ->
+    ?digest:bool ->
+    Config.t -> level:opt_level -> async:bool -> result;
+}
+
+let cases : case list =
+  [
+    {
+      app = "jacobi";
+      levels = Dsm_apps.Jacobi.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Jacobi.run_tmk ?trace ?digest c jacobi_prm);
+    };
+    {
+      app = "fft3d";
+      levels = Dsm_apps.Fft3d.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Fft3d.run_tmk ?trace ?digest c fft3d_prm);
+    };
+    {
+      app = "shallow";
+      levels = Dsm_apps.Shallow.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Shallow.run_tmk ?trace ?digest c shallow_prm);
+    };
+    {
+      app = "is";
+      levels = Dsm_apps.Is.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Is.run_tmk ?trace ?digest c is_prm);
+    };
+    {
+      app = "gauss";
+      levels = Dsm_apps.Gauss.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Gauss.run_tmk ?trace ?digest c gauss_prm);
+    };
+    {
+      app = "mgs";
+      levels = Dsm_apps.Mgs.levels;
+      run = (fun ?trace ?digest c -> Dsm_apps.Mgs.run_tmk ?trace ?digest c mgs_prm);
+    };
+  ]
+
+(* {1 lrc = hlrc, bit for bit} *)
+
+let equivalence case () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun level ->
+          List.iter
+            (fun async ->
+              (* keep the matrix bounded: async only at 4 processors *)
+              if (not async) || nprocs = 4 then begin
+                let name =
+                  Printf.sprintf "%s %s p%d%s" case.app (opt_level_name level)
+                    nprocs
+                    (if async then " async" else "")
+                in
+                let r_lrc =
+                  case.run ~digest:true (cfg Config.Lrc nprocs) ~level ~async
+                in
+                let r_hlrc =
+                  case.run ~digest:true (cfg Config.Hlrc nprocs) ~level ~async
+                in
+                Alcotest.(check (float 1e-6))
+                  (name ^ ": lrc verified") 0.0 r_lrc.max_err;
+                Alcotest.(check (float 1e-6))
+                  (name ^ ": hlrc verified") 0.0 r_hlrc.max_err;
+                Alcotest.(check string)
+                  (name ^ ": digests equal")
+                  r_lrc.digest r_hlrc.digest
+              end)
+            [ false; true ])
+        case.levels)
+    [ 1; 2; 4; 8 ]
+
+(* {1 Home policies} *)
+
+let home_policies case () =
+  let nprocs = 4 in
+  let level = List.fold_left (fun _ l -> l) Base case.levels in
+  let digest_of policy =
+    let r =
+      case.run ~digest:true (cfg ~policy Config.Hlrc nprocs) ~level ~async:false
+    in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "%s %s verified" case.app
+         (Config.home_policy_name policy))
+      0.0 r.max_err;
+    r.digest
+  in
+  let block = digest_of Config.Home_block in
+  let cyclic = digest_of Config.Home_cyclic in
+  let first_touch = digest_of Config.Home_first_touch in
+  Alcotest.(check string) (case.app ^ ": cyclic = block") block cyclic;
+  Alcotest.(check string)
+    (case.app ^ ": first-touch = block")
+    block first_touch
+
+(* {1 Determinism} *)
+
+let determinism backend () =
+  let case = List.hd cases in
+  let run () =
+    let r = case.run ~digest:true (cfg backend 4) ~level:Base ~async:false in
+    let t = r.time_us and s = r.stats in
+    (t, s, r.digest)
+  in
+  let t1, s1, d1 = run () in
+  let t2, s2, d2 = run () in
+  Alcotest.(check (float 0.0)) "clocks identical" t1 t2;
+  Alcotest.(check string) "digests identical" d1 d2;
+  Alcotest.(check int) "messages identical" s1.Stats.messages
+    s2.Stats.messages;
+  Alcotest.(check int) "bytes identical" s1.Stats.bytes s2.Stats.bytes
+
+(* {1 hlrc under the invariant checker} *)
+
+let last l = List.fold_left (fun _ x -> x) (List.hd l) l
+
+let hlrc_checker_clean case () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun level ->
+          let sink = Sink.create ~nprocs () in
+          let r =
+            case.run ~trace:sink (cfg Config.Hlrc nprocs) ~level ~async:true
+          in
+          let name =
+            Printf.sprintf "%s hlrc %s p%d" case.app (opt_level_name level)
+              nprocs
+          in
+          Alcotest.(check (float 1e-6)) (name ^ ": verified") 0.0 r.max_err;
+          Alcotest.(check int) (name ^ ": no dropped events") 0
+            (Sink.dropped sink);
+          match Check.run_sink sink with
+          | [] -> ()
+          | vs ->
+              Alcotest.failf "%s: %d violations, first: %a" name
+                (List.length vs) Check.pp_violation (List.hd vs))
+        [ List.hd case.levels; last case.levels ])
+    [ 1; 2; 4; 8 ]
+
+(* {1 hlrc statistics} *)
+
+let hlrc_stats () =
+  let case = List.hd cases in
+  let r_lrc = case.run (cfg Config.Lrc 4) ~level:Base ~async:false in
+  let r_hlrc = case.run (cfg Config.Hlrc 4) ~level:Base ~async:false in
+  let s = r_hlrc.stats in
+  Alcotest.(check bool) "hlrc flushes counted" true (s.Stats.home_flushes > 0);
+  Alcotest.(check bool) "hlrc fetches counted" true (s.Stats.home_fetches > 0);
+  Alcotest.(check bool)
+    "hlrc fetch bytes are whole pages" true
+    (s.Stats.home_fetch_bytes mod Config.default.Config.page_size = 0);
+  let sl = r_lrc.stats in
+  Alcotest.(check int) "lrc has no home flushes" 0 sl.Stats.home_flushes;
+  Alcotest.(check int) "lrc has no home fetches" 0 sl.Stats.home_fetches
+
+(* {1 new-style alloc} *)
+
+let alloc_api () =
+  let sys = Tmk.make (cfg Config.Hlrc 2) in
+  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 3; 5 ] in
+  let k = Tmk.alloc sys "k" Tmk.I64 ~dims:[ 7 ] in
+  Alcotest.(check (array int))
+    "f64 extents" [| 3; 5 |] a.Dsm_rsd.Section.extents;
+  Alcotest.(check (array int)) "i64 extents" [| 7 |] k.Dsm_rsd.Section.extents;
+  Alcotest.(check string) "backend name" "hlrc" (Tmk.backend_name sys);
+  Tmk.run sys (fun t ->
+      let p = Tmk.pid t in
+      if p = 0 then begin
+        Dsm_tmk.Shm.F64_2.set t a 2 4 3.5;
+        Dsm_tmk.Shm.I64_1.set t k 6 42
+      end;
+      Tmk.barrier t;
+      if p = 1 then begin
+        Alcotest.(check (float 0.0)) "f64 roundtrip" 3.5
+          (Dsm_tmk.Shm.F64_2.get t a 2 4);
+        Alcotest.(check int) "i64 roundtrip" 42 (Dsm_tmk.Shm.I64_1.get t k 6)
+      end)
+
+let tests =
+  List.concat_map
+    (fun case ->
+      [
+        Alcotest.test_case
+          (case.app ^ ": lrc = hlrc digests")
+          `Slow (equivalence case);
+        Alcotest.test_case
+          (case.app ^ ": home policies agree")
+          `Slow (home_policies case);
+        Alcotest.test_case
+          (case.app ^ ": hlrc checker clean")
+          `Slow (hlrc_checker_clean case);
+      ])
+    cases
+  @ [
+      Alcotest.test_case "lrc deterministic" `Quick (determinism Config.Lrc);
+      Alcotest.test_case "hlrc deterministic" `Quick (determinism Config.Hlrc);
+      Alcotest.test_case "hlrc stats counters" `Quick hlrc_stats;
+      Alcotest.test_case "alloc API" `Quick alloc_api;
+    ]

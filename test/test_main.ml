@@ -21,4 +21,5 @@ let () =
       ("net", Test_net.tests);
       ("perf-goldens", Test_perf_goldens.tests);
       ("perf-infra", Test_perf_infra.tests);
+      ("backends", Test_backends.tests);
     ]

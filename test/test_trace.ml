@@ -115,12 +115,12 @@ let test_trace_off_identical_locks () =
     !v
   in
   let sys0 = build () in
-  let a0 = Tmk.alloc_f64_1 sys0 "a" 8 in
+  let a0 = Tmk.alloc sys0 "a" Tmk.F64 ~dims:[ 8 ] in
   Tmk.run sys0 (program a0);
   let t0 = Tmk.elapsed sys0
   and s0 = Array.to_list (Tmk.stats sys0) in
   let sys1 = build () in
-  let a1 = Tmk.alloc_f64_1 sys1 "a" 8 in
+  let a1 = Tmk.alloc sys1 "a" Tmk.F64 ~dims:[ 8 ] in
   let sink = Sink.create ~nprocs:4 () in
   Tmk.run ~trace:sink sys1 (program a1);
   let t1 = Tmk.elapsed sys1
@@ -261,6 +261,143 @@ let test_checker_catches_out_of_order_apply () =
   Alcotest.(check bool) "apply-order-writer flagged" true
     (List.mem "apply-order-writer" (rules vs))
 
+(* {2 HLRC home rules} *)
+
+let test_home_events_json_roundtrip () =
+  List.iter
+    (fun kind ->
+      let e = ev 7 1 3.25 [| 2; 5 |] kind in
+      let e' = Event.of_json (Event.to_json e) in
+      Alcotest.(check bool)
+        (Event.kind_name kind ^ " round-trips")
+        true (e' = e))
+    [
+      Event.Home_flush { page = 12; home = 3; seq = 9; bytes = 128 };
+      Event.Home_fetch { page = 12; home = 3; bytes = 4096 };
+      Event.Home_fetch { page = 0; home = 0; bytes = 0 };
+    ]
+
+let test_checker_catches_moving_home () =
+  let vs =
+    Check.run ~nprocs:3
+      [
+        ev 0 0 1.0 [| 1; 0; 0 |] (Event.Notice_send { seq = 1; pages = [ 2 ] });
+        ev 1 0 1.1 [| 1; 0; 0 |]
+          (Event.Home_flush { page = 2; home = 1; seq = 1; bytes = 8 });
+        ev 2 0 1.2 [| 1; 0; 0 |]
+          (Event.Home_fetch { page = 2; home = 2; bytes = 64 });
+      ]
+  in
+  Alcotest.(check bool) "home-consistent flagged" true
+    (List.mem "home-consistent" (rules vs))
+
+let test_checker_catches_self_flush () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 1; 0 |] (Event.Notice_send { seq = 1; pages = [ 2 ] });
+        ev 1 0 1.1 [| 1; 0 |]
+          (Event.Home_flush { page = 2; home = 0; seq = 1; bytes = 8 });
+      ]
+  in
+  Alcotest.(check bool) "home-flush-self flagged" true
+    (List.mem "home-flush-self" (rules vs))
+
+let test_checker_catches_future_flush () =
+  (* flushing an interval the processor never released *)
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |]
+          (Event.Home_flush { page = 2; home = 1; seq = 5; bytes = 8 });
+      ]
+  in
+  Alcotest.(check bool) "home-flush-future flagged" true
+    (List.mem "home-flush-future" (rules vs))
+
+let test_checker_catches_repeated_flush () =
+  (* the home-flushed watermark must advance: re-flushing an interval the
+     home already covers would re-apply stale bytes *)
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 1; 0 |] (Event.Notice_send { seq = 1; pages = [ 2 ] });
+        ev 1 0 1.1 [| 1; 0 |]
+          (Event.Home_flush { page = 2; home = 1; seq = 1; bytes = 8 });
+        ev 2 0 1.2 [| 1; 0 |]
+          (Event.Home_flush { page = 2; home = 1; seq = 1; bytes = 8 });
+      ]
+  in
+  Alcotest.(check bool) "home-flush-stale flagged" true
+    (List.mem "home-flush-stale" (rules vs))
+
+let test_checker_catches_nonempty_self_fetch () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |]
+          (Event.Home_fetch { page = 3; home = 0; bytes = 64 });
+      ]
+  in
+  Alcotest.(check bool) "home-fetch-self flagged" true
+    (List.mem "home-fetch-self" (rules vs))
+
+let test_checker_catches_empty_remote_fetch () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |]
+          (Event.Home_fetch { page = 3; home = 1; bytes = 0 });
+      ]
+  in
+  Alcotest.(check bool) "home-fetch-bytes flagged" true
+    (List.mem "home-fetch-bytes" (rules vs))
+
+let test_checker_catches_behind_home () =
+  (* the fetcher holds a notice for p1's interval 1 but the home copy never
+     received a flush for it: the flush-precedes-notice soundness condition *)
+  let vs =
+    Check.run ~nprocs:3
+      [
+        ev 0 1 1.0 [| 0; 1; 0 |] (Event.Notice_send { seq = 1; pages = [ 4 ] });
+        ev 1 0 2.0 [| 0; 0; 0 |]
+          (Event.Notice_apply
+             { writer = 1; seq = 1; page = 4; invalidated = true });
+        ev 2 0 3.0 [| 0; 1; 0 |]
+          (Event.Home_fetch { page = 4; home = 2; bytes = 64 });
+      ]
+  in
+  Alcotest.(check bool) "home-fetch-current flagged" true
+    (List.mem "home-fetch-current" (rules vs))
+
+let test_checker_accepts_clean_hlrc_trace () =
+  (* writer 1 flushes to home 0 before its notice travels; the home
+     revalidates locally (zero-byte self fetch) at its fault *)
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 1 1.0 [| 0; 1 |] (Event.Notice_send { seq = 1; pages = [ 5 ] });
+        ev 1 1 1.1 [| 0; 1 |]
+          (Event.Home_flush { page = 5; home = 0; seq = 1; bytes = 24 });
+        ev 2 1 1.5 [| 0; 1 |] (Event.Barrier_arrive { epoch = 0 });
+        ev 3 0 1.6 [| 0; 0 |] (Event.Barrier_arrive { epoch = 0 });
+        ev 4 0 2.0 [| 0; 0 |] (Event.Barrier_depart { epoch = 0 });
+        ev 5 0 2.1 [| 0; 1 |]
+          (Event.Notice_apply
+             { writer = 1; seq = 1; page = 5; invalidated = true });
+        ev 6 1 2.2 [| 0; 1 |] (Event.Barrier_depart { epoch = 0 });
+        ev 7 0 3.0 [| 0; 1 |]
+          (Event.Page_fault { page = 5; write = false; fetch = true });
+        ev 8 0 3.1 [| 0; 1 |]
+          (Event.Home_fetch { page = 5; home = 0; bytes = 0 });
+        ev 9 0 3.2 [| 0; 1 |] (Event.Fetch_done { page = 5; full = true });
+      ]
+  in
+  (match vs with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "unexpected: %a" Check.pp_violation v);
+  Alcotest.(check int) "clean" 0 (List.length vs)
+
 let test_checker_accepts_clean_trace () =
   let vs =
     Check.run ~nprocs:2
@@ -315,7 +452,7 @@ let test_phases () =
 let test_wsync_table_bounded () =
   let nprocs = 4 in
   let sys = Tmk.make (cfg_n nprocs) in
-  let a = Tmk.alloc_f64_1 sys "a" 512 in
+  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 512 ] in
   Tmk.run sys (fun t ->
       let p = Tmk.pid t in
       for i = 0 to 49 do
@@ -430,7 +567,7 @@ let test_tmk_failure_mid_barrier () =
      failure must surface (annotated) instead of leaving the run stuck with
      leaked continuations, and the engine must stay usable afterwards *)
   let sys = Tmk.make (cfg_n 4) in
-  let a = Tmk.alloc_f64_1 sys "a" 64 in
+  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 64 ] in
   (match
      Tmk.run sys (fun t ->
          let p = Tmk.pid t in
@@ -444,7 +581,7 @@ let test_tmk_failure_mid_barrier () =
       Alcotest.failf "expected Proc_failure (2, ...), got %s"
         (Printexc.to_string e));
   let sys2 = Tmk.make (cfg_n 4) in
-  let b = Tmk.alloc_f64_1 sys2 "b" 64 in
+  let b = Tmk.alloc sys2 "b" Tmk.F64 ~dims:[ 64 ] in
   let ok = ref 0 in
   Tmk.run sys2 (fun t ->
       Dsm_tmk.Shm.F64_1.set t b (Tmk.pid t) 2.0;
@@ -487,6 +624,24 @@ let tests =
       test_checker_catches_out_of_order_apply;
     Alcotest.test_case "checker accepts clean trace" `Quick
       test_checker_accepts_clean_trace;
+    Alcotest.test_case "home events: json round-trip" `Quick
+      test_home_events_json_roundtrip;
+    Alcotest.test_case "checker catches moving home" `Quick
+      test_checker_catches_moving_home;
+    Alcotest.test_case "checker catches self flush" `Quick
+      test_checker_catches_self_flush;
+    Alcotest.test_case "checker catches future flush" `Quick
+      test_checker_catches_future_flush;
+    Alcotest.test_case "checker catches repeated flush" `Quick
+      test_checker_catches_repeated_flush;
+    Alcotest.test_case "checker catches nonempty self fetch" `Quick
+      test_checker_catches_nonempty_self_fetch;
+    Alcotest.test_case "checker catches empty remote fetch" `Quick
+      test_checker_catches_empty_remote_fetch;
+    Alcotest.test_case "checker catches fetch from behind home" `Quick
+      test_checker_catches_behind_home;
+    Alcotest.test_case "checker accepts clean hlrc trace" `Quick
+      test_checker_accepts_clean_hlrc_trace;
     Alcotest.test_case "per-phase summaries" `Quick test_phases;
     Alcotest.test_case "wsync table bounded" `Quick test_wsync_table_bounded;
     Alcotest.test_case "lock grants follow arrival order" `Quick
