@@ -45,6 +45,8 @@ let run_one = function
   | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
   | "faults" -> Experiments.faults ppf Dsm_sim.Config.default
   | "backends" -> Experiments.backends ppf Dsm_sim.Config.default
+  | "protocols" | "matrix" ->
+      Experiments.protocol_matrix ppf Dsm_sim.Config.default
   | name -> failwith ("unknown experiment: " ^ name)
 
 let run_all () =
@@ -58,7 +60,8 @@ let run_all () =
   Experiments.scaling ppf Dsm_sim.Config.default;
   Experiments.ablation ppf Dsm_sim.Config.default;
   Experiments.faults ppf Dsm_sim.Config.default;
-  Experiments.backends ppf Dsm_sim.Config.default
+  Experiments.backends ppf Dsm_sim.Config.default;
+  Experiments.protocol_matrix ppf Dsm_sim.Config.default
 
 (* Bechamel wall-clock benchmarks: one Test.make per table/figure. Each run
    re-executes the experiment's simulations from scratch (no caching), so
@@ -225,6 +228,8 @@ let json_mode args =
     m "faults" (fun ppf -> Experiments.faults ppf Dsm_sim.Config.default);
     m "backends" (fun ppf ->
         Experiments.backends ppf Dsm_sim.Config.default);
+    m "protocols" (fun ppf ->
+        Experiments.protocol_matrix ppf Dsm_sim.Config.default);
     log
   in
   Format.printf "bench json (%s set, best of %d):@."

@@ -7,11 +7,15 @@
      dsm_run --list
 
    Prints the virtual execution time, speedup over the uniprocessor time,
-   and the protocol statistics of the run. [--backend {lrc,hlrc}] selects
-   the coherence protocol of the tmk run-time. [--trace FILE] records the
-   protocol events of a tmk run as JSON lines and prints a per-phase
-   summary; [--check] replays the trace through the LRC invariant
-   checker. [--drop R --dup R --jitter US --net-seed N] inject
+   and the protocol statistics of the run. [--backend
+   {lrc,hlrc,inval,adaptive}] selects the coherence protocol of the tmk
+   run-time. [--trace FILE] records the protocol events of a tmk run as
+   JSON lines and prints a per-phase summary; [--check] replays the trace
+   through the protocol invariant checker; [--recheck FILE] replays a
+   previously written trace file instead of running anything (unknown
+   event kinds and a truncated final line are warnings, not errors, so
+   traces from newer builds or crashed runs stay usable).
+   [--drop R --dup R --jitter US --net-seed N] inject
    deterministic network faults: messages are dropped/duplicated/delayed
    and recovered by the reliable-delivery layer, whose costs appear in
    the statistics and in a per-run fault summary.
@@ -23,7 +27,35 @@ open Cmdliner
 module A = Core.Apps.Common
 module Cli = Core.Harness.Cli
 
-let run app version level size procs common sync trace_file check prof list =
+(* Replay a trace file through the checker without running anything.
+   Malformed input degrades to warnings: unknown event kinds are skipped
+   with a count (trace written by a newer build), and a torn final line
+   (crash mid-write) is reported but does not fail the load. *)
+let recheck_file ~nprocs file =
+  match Core.Trace.Event.load_jsonl file with
+  | exception Sys_error msg -> `Error (false, "cannot read trace: " ^ msg)
+  | { Core.Trace.Event.events; warnings; unknown_kinds } -> (
+      List.iter
+        (fun (line, msg) ->
+          Format.eprintf "%s:%d: warning: %s@." file line msg)
+        warnings;
+      if unknown_kinds > 0 then
+        Format.eprintf "%s: skipped %d events of unknown kind@." file
+          unknown_kinds;
+      match Core.Trace.Check.run ~nprocs events with
+      | [] ->
+          Format.printf "%s: %d events, 0 violations@." file
+            (List.length events);
+          `Ok ()
+      | vs ->
+          Format.printf "@[<v>%s: %d events, %d violations@,%a@]@." file
+            (List.length events) (List.length vs)
+            (Format.pp_print_list Core.Trace.Check.pp_violation)
+            vs;
+          `Error (false, "protocol invariant violations found"))
+
+let run app version level size procs common sync trace_file check recheck prof
+    list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -37,6 +69,9 @@ let run app version level size procs common sync trace_file check prof list =
     `Ok ()
   end
   else
+    match recheck with
+    | Some file -> recheck_file ~nprocs:procs file
+    | None -> (
     match Cli.find_app app with
     | None -> `Error (false, "unknown application: " ^ app)
     | Some m -> (
@@ -139,7 +174,7 @@ let run app version level size procs common sync trace_file check prof list =
                         vs;
                       `Error (false, "LRC invariant violations found")
                 end
-                else `Ok ())))
+                else `Ok ()))))
 
 let cmd =
   let version =
@@ -170,6 +205,17 @@ let cmd =
             "Replay the recorded trace through the LRC invariant checker; \
              exit non-zero on violations.")
   in
+  let recheck =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recheck" ] ~docv:"FILE"
+          ~doc:
+            "Replay a previously recorded JSONL trace through the invariant \
+             checker instead of running an application ($(b,--procs) must \
+             match the recorded run). Unknown event kinds and a truncated \
+             final line are reported as warnings and skipped.")
+  in
   let prof =
     Arg.(
       value & flag
@@ -186,6 +232,7 @@ let cmd =
     Term.(
       ret
         (const run $ Cli.app_t $ version $ Cli.level_t ~default:"push" $ size
-       $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ prof $ list))
+       $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ recheck $ prof
+       $ list))
 
 let () = exit (Cmd.eval cmd)

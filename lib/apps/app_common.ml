@@ -28,6 +28,11 @@ type result = {
          are memoized across the whole benchmark suite, and anything
          that kept the run-time state reachable would pin every page,
          twin and diff store of every completed run in the heap. *)
+  homes : (int * int) list;
+      (* page-to-home assignments the run made ({!Dsm_tmk.Tmk.homes}),
+         snapshotted before the digest pass; [[]] for non-tmk versions
+         and for backends that assign none. The first-touch determinism
+         regression compares these across traced and untraced runs. *)
 }
 
 let combine_err a b = Float.max a (abs_float b)

@@ -30,6 +30,12 @@ type result = {
           [run_tmk ~digest:true]; [""] otherwise (and always for the
           message-passing versions, which have no shared state). Kept a
           plain string so memoized results never pin run-time state. *)
+  homes : (int * int) list;
+      (** page-to-home assignments the run made ({!Dsm_tmk.Tmk.homes}),
+          snapshotted before the digest pass; [[]] for the message-passing
+          versions and for backends that assign none. The first-touch
+          determinism regression compares these across traced and
+          untraced runs. *)
 }
 
 val combine_err : float -> float -> float

@@ -390,8 +390,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ n; iters; bf_cost } as prm) ~level ~
             done
           done
         done);
+  let homes = Tmk.homes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else "") }
+    digest = (if digest then Tmk.digest sys else ""); homes }
 
 (* {1 Message-passing versions}
 
@@ -545,7 +546,7 @@ let run_mp ~pack cfg ({ n; iters; bf_cost } as prm) =
         done
       done)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

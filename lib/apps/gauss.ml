@@ -218,8 +218,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; update_cost = u } as prm) ~level 
             err := combine_err !err (Shm.F64_2.get t a i j -. aref.(j).(i))
           done
         done);
+  let homes = Tmk.homes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else "") }
+    digest = (if digest then Tmk.digest sys else ""); homes }
 
 (* {1 Message-passing versions} *)
 
@@ -294,7 +295,7 @@ let run_mp ~bcast cfg ({ m; update_cost = u } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm

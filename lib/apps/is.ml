@@ -194,8 +194,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ n_keys; n_buckets; reps; key_cost; b
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
+  let homes = Tmk.homes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else "") }
+    digest = (if digest then Tmk.digest sys else ""); homes }
 
 (* {1 Hand-coded message passing}
 
@@ -287,6 +288,6 @@ let run_pvm cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm) =
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
 
 let run_xhpf = None

@@ -168,8 +168,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; iters; update_cost; copy_cost } a
               combine_err !err (Shm.F64_2.get t b i j -. bref.((j * m) + i))
           done
         done);
+  let homes = Tmk.homes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else "") }
+    digest = (if digest then Tmk.digest sys else ""); homes }
 
 (* {1 Message-passing versions}
 
@@ -237,6 +238,7 @@ let run_mp ~exchange cfg prm =
     stats = Mp.total_stats sys;
     max_err = mp_err prm results;
     digest = "";
+    homes = [];
   }
 
 let run_pvm cfg prm =

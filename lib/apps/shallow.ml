@@ -307,8 +307,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; n; steps; point_cost } as prm) ~l
               done
             done)
           [ iu; iv; ip ]);
+  let homes = Tmk.homes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else "") }
+    digest = (if digest then Tmk.digest sys else ""); homes }
 
 (* {1 Message-passing versions}
 
@@ -392,7 +393,7 @@ let run_mp ~pack cfg ({ m; n; steps; point_cost } as prm) =
           done)
         [ iu; iv; ip ])
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = "" }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

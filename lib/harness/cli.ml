@@ -75,26 +75,30 @@ type t = {
   net_seed : int;
 }
 
-let backend_conv =
+(* Both enum flags parse through {!Config.normalize_enum} (so
+   [first_touch] and [first-touch] both work) and list the valid choices
+   verbatim in their error message. *)
+let enum_conv ~what ~choices ~of_string ~to_string =
   let parse s =
-    match Config.backend_of_string s with
-    | Some b -> Ok b
-    | None -> Error (`Msg ("unknown backend: " ^ s ^ " (lrc or hlrc)"))
-  in
-  let print fmt b = Format.pp_print_string fmt (Config.backend_name b) in
-  Arg.conv (parse, print)
-
-let home_policy_conv =
-  let parse s =
-    match Config.home_policy_of_string s with
-    | Some p -> Ok p
+    match of_string s with
+    | Some v -> Ok v
     | None ->
         Error
           (`Msg
-             ("unknown home policy: " ^ s ^ " (block, cyclic or first-touch)"))
+             (Printf.sprintf "unknown %s: %s (choices: %s)" what s
+                (String.concat ", " choices)))
   in
-  let print fmt p = Format.pp_print_string fmt (Config.home_policy_name p) in
+  let print fmt v = Format.pp_print_string fmt (to_string v) in
   Arg.conv (parse, print)
+
+let backend_conv =
+  enum_conv ~what:"backend" ~choices:Config.backend_choices
+    ~of_string:Config.backend_of_string ~to_string:Config.backend_name
+
+let home_policy_conv =
+  enum_conv ~what:"home policy" ~choices:Config.home_policy_choices
+    ~of_string:Config.home_policy_of_string
+    ~to_string:Config.home_policy_name
 
 let term =
   let backend =
@@ -104,9 +108,12 @@ let term =
       & info [ "backend"; "b" ] ~docv:"NAME"
           ~doc:
             "Coherence backend: $(b,lrc) (homeless lazy release \
-             consistency with distributed diffs, the paper's protocol) or \
+             consistency with distributed diffs, the paper's protocol), \
              $(b,hlrc) (home-based: releasers flush diffs to each page's \
-             home eagerly, faults fetch one full copy from the home).")
+             home eagerly, faults fetch one full copy from the home), \
+             $(b,inval) (sequentially consistent directory-based \
+             single-writer invalidate) or $(b,adaptive) (per-page online \
+             switching between the three by observed sharing pattern).")
   in
   let home_policy =
     Arg.(

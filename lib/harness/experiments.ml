@@ -250,6 +250,85 @@ let backends ppf cfg =
     apps;
   rule ppf 86
 
+(* The whole protocol family side by side: which consistency protocol
+   suits which sharing pattern. Base rows are fault-driven (the protocol
+   alone moves the data); best-level rows show how much the compiler's
+   Validate/Push annotations flatten the differences. Correctness is
+   again protocol-independent — the table reports only where the costs
+   go. *)
+let protocol_matrix ppf cfg =
+  let module Config = Dsm_sim.Config in
+  let backends =
+    [
+      (Config.Lrc, "lrc");
+      (Config.Hlrc, "hlrc");
+      (Config.Inval, "inval");
+      (Config.Adaptive, "adpt");
+    ]
+  in
+  Format.fprintf ppf
+    "@.Protocol matrix: lrc / hlrc / inval / adaptive across the six \
+     applications@.";
+  Format.fprintf ppf
+    "(small data sets, %d processors, async fetch; '*' marks the row's \
+     fewest messages and best speedup)@."
+    cfg.Config.nprocs;
+  rule ppf 112;
+  Format.fprintf ppf "%-10s %-10s" "Application" "level";
+  List.iter (fun (_, n) -> Format.fprintf ppf " %9s" ("m." ^ n)) backends;
+  List.iter (fun (_, n) -> Format.fprintf ppf " %8s" ("s." ^ n)) backends;
+  Format.fprintf ppf "@.";
+  rule ppf 112;
+  let apps : (string * (module A.APP)) list =
+    [
+      ("Jacobi", (module Dsm_apps.Jacobi));
+      ("3D-FFT", (module Dsm_apps.Fft3d));
+      ("Shallow", (module Dsm_apps.Shallow));
+      ("IS", (module Dsm_apps.Is));
+      ("Gauss", (module Dsm_apps.Gauss));
+      ("MGS", (module Dsm_apps.Mgs));
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let module App = (val m : A.APP) in
+      let params = App.small in
+      let seq = App.seq_time_us params in
+      let best = List.fold_left (fun _ l -> l) A.Base App.levels in
+      List.iter
+        (fun level ->
+          let rs =
+            List.map
+              (fun (backend, bname) ->
+                let r =
+                  App.run_tmk { cfg with Config.backend } params ~level
+                    ~async:true
+                in
+                if r.A.max_err > 1e-6 then
+                  failwith (name ^ "/" ^ bname ^ ": wrong result");
+                r)
+              backends
+          in
+          let msgs =
+            List.map (fun (r : A.result) -> r.A.stats.Stats.messages) rs
+          in
+          let sps = List.map (fun (r : A.result) -> seq /. r.A.time_us) rs in
+          let min_m = List.fold_left min max_int msgs
+          and max_s = List.fold_left max 0.0 sps in
+          Format.fprintf ppf "%-10s %-10s" name (A.opt_level_name level);
+          List.iter
+            (fun m ->
+              Format.fprintf ppf " %8d%s" m (if m = min_m then "*" else " "))
+            msgs;
+          List.iter
+            (fun s ->
+              Format.fprintf ppf " %7.2f%s" s (if s = max_s then "*" else " "))
+            sps;
+          Format.fprintf ppf "@.")
+        (List.sort_uniq compare [ A.Base; best ]))
+    apps;
+  rule ppf 112
+
 (* Drop-rate sweep over the unreliable transport: correctness must be
    untouched (losses are recovered by the reliable layer), only time and
    the fault counters move. *)

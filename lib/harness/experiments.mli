@@ -46,6 +46,15 @@ val backends : Format.formatter -> Dsm_sim.Config.t -> unit
     hlrc trades the homeless protocol's per-writer diff chatter for eager
     whole-page flushes to a static home. *)
 
+val protocol_matrix : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: the full protocol family — homeless LRC, home-based
+    LRC, the directory-based single-writer invalidate protocol and the
+    adaptive per-page switcher — on every application (small data sets),
+    at the fault-driven base level and at the best compiler-optimized
+    level. Messages and speedup side by side, with the per-row winners
+    marked: which consistency protocol suits which sharing pattern, and
+    how much the compiler's annotations flatten the differences. *)
+
 val faults : Format.formatter -> Dsm_sim.Config.t -> unit
 (** Beyond the paper: a drop-rate sweep over the modeled unreliable
     transport (0/1/5% loss with duplication and delivery jitter) on four

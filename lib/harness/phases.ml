@@ -101,10 +101,15 @@ let of_events events =
             }
         | E.Home_fetch { bytes; _ } ->
             { ph with diff_bytes = ph.diff_bytes + bytes }
+        | E.Inval_ack _ ->
+            (* a dropped copy under the single-writer protocol files under
+               the same column as LRC notice invalidations *)
+            { ph with invalidations = ph.invalidations + 1 }
         | E.Diff_fetch _ | E.Fetch_done _ | E.Notice_send _
         | E.Barrier_arrive _ | E.Barrier_depart _ | E.Lock_request _
         | E.Push_recv _ | E.Push_rollback _ | E.Msg_drop _ | E.Msg_dup _
-        | E.Retransmit _ | E.Timeout_fire _ | E.Ack _ ->
+        | E.Retransmit _ | E.Timeout_fire _ | E.Ack _ | E.Inval_send _
+        | E.Downgrade _ | E.Proto_switch _ ->
             ph
       in
       r := ph;

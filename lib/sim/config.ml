@@ -1,11 +1,27 @@
-type backend_kind = Lrc | Hlrc
+type backend_kind = Lrc | Hlrc | Inval | Adaptive
 type home_policy = Home_block | Home_cyclic | Home_first_touch
 
-let backend_name = function Lrc -> "lrc" | Hlrc -> "hlrc"
+(* One normalization for every enum-valued flag: trim surrounding
+   whitespace, lower-case, and treat '_' and '-' as the same separator, so
+   "first-touch", "first_touch" and "First-Touch" all name one policy. *)
+let normalize_enum s =
+  String.trim s |> String.lowercase_ascii
+  |> String.map (function '_' -> '-' | c -> c)
 
-let backend_of_string = function
+let backend_name = function
+  | Lrc -> "lrc"
+  | Hlrc -> "hlrc"
+  | Inval -> "inval"
+  | Adaptive -> "adaptive"
+
+let backend_choices = [ "lrc"; "hlrc"; "inval"; "adaptive" ]
+
+let backend_of_string s =
+  match normalize_enum s with
   | "lrc" -> Some Lrc
   | "hlrc" -> Some Hlrc
+  | "inval" | "invalidate" -> Some Inval
+  | "adaptive" -> Some Adaptive
   | _ -> None
 
 let home_policy_name = function
@@ -13,10 +29,13 @@ let home_policy_name = function
   | Home_cyclic -> "cyclic"
   | Home_first_touch -> "first-touch"
 
-let home_policy_of_string = function
+let home_policy_choices = [ "block"; "cyclic"; "first-touch" ]
+
+let home_policy_of_string s =
+  match normalize_enum s with
   | "block" -> Some Home_block
   | "cyclic" -> Some Home_cyclic
-  | "first-touch" | "first_touch" -> Some Home_first_touch
+  | "first-touch" -> Some Home_first_touch
   | _ -> None
 
 type t = {
@@ -47,6 +66,9 @@ type t = {
   net_rto_us : float;
   backend : backend_kind;
   home_policy : home_policy;
+  adapt_window : int;
+      (* adaptive backend: number of barrier epochs observed before a page's
+         sharing pattern is (re)classified and its protocol may switch *)
 }
 
 (* Calibration (see config.mli): solving the roundtrip, lock and barrier
@@ -81,6 +103,7 @@ let default =
     net_rto_us = 1000.0;
     backend = Lrc;
     home_policy = Home_block;
+    adapt_window = 2;
   }
 
 let with_procs cfg n = { cfg with nprocs = n }

@@ -20,6 +20,14 @@ type backend_kind =
   | Hlrc
       (** home-based LRC: each page has a home processor; releasers flush
           diffs to the home eagerly, faults fetch one full page copy *)
+  | Inval
+      (** sequentially consistent directory-based single-writer invalidate:
+          one writer or many readers per page, enforced by a per-page
+          directory entry on processor [page mod nprocs] *)
+  | Adaptive
+      (** per-page protocol switching: pages start under [Lrc] and migrate
+          between lrc/hlrc/invalidate modes at barrier epochs based on the
+          observed sharing pattern *)
 
 type home_policy =
   | Home_block  (** contiguous page ranges per processor *)
@@ -27,10 +35,22 @@ type home_policy =
   | Home_first_touch
       (** first processor to flush to or fetch a page becomes its home *)
 
+val normalize_enum : string -> string
+(** Canonical spelling of an enum-flag value: trimmed, lower-case, with
+    ['_'] mapped to ['-']. All [*_of_string] parsers below apply it, so
+    ["first-touch"] and ["first_touch"] are the same policy. *)
+
 val backend_name : backend_kind -> string
 val backend_of_string : string -> backend_kind option
+
+val backend_choices : string list
+(** Canonical names accepted by {!backend_of_string}, for error messages. *)
+
 val home_policy_name : home_policy -> string
 val home_policy_of_string : string -> home_policy option
+
+val home_policy_choices : string list
+(** Canonical names accepted by {!home_policy_of_string}. *)
 
 type t = {
   nprocs : int;  (** number of simulated processors *)
@@ -81,6 +101,9 @@ type t = {
   backend : backend_kind;  (** coherence protocol run by {!Dsm_tmk.Tmk} *)
   home_policy : home_policy;
       (** static page-to-home assignment (HLRC only) *)
+  adapt_window : int;
+      (** adaptive backend: barrier epochs observed per classification
+          window; a page's protocol can switch once per window *)
 }
 
 val default : t

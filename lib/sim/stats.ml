@@ -20,6 +20,9 @@ type t = {
   mutable home_flush_bytes : int;
   mutable home_fetches : int;
   mutable home_fetch_bytes : int;
+  mutable invals : int;
+  mutable downgrades : int;
+  mutable proto_switches : int;
 }
 
 let create () =
@@ -45,6 +48,9 @@ let create () =
     home_flush_bytes = 0;
     home_fetches = 0;
     home_fetch_bytes = 0;
+    invals = 0;
+    downgrades = 0;
+    proto_switches = 0;
   }
 
 let reset t =
@@ -68,7 +74,10 @@ let reset t =
   t.home_flushes <- 0;
   t.home_flush_bytes <- 0;
   t.home_fetches <- 0;
-  t.home_fetch_bytes <- 0
+  t.home_fetch_bytes <- 0;
+  t.invals <- 0;
+  t.downgrades <- 0;
+  t.proto_switches <- 0
 
 let add acc x =
   acc.messages <- acc.messages + x.messages;
@@ -91,7 +100,10 @@ let add acc x =
   acc.home_flushes <- acc.home_flushes + x.home_flushes;
   acc.home_flush_bytes <- acc.home_flush_bytes + x.home_flush_bytes;
   acc.home_fetches <- acc.home_fetches + x.home_fetches;
-  acc.home_fetch_bytes <- acc.home_fetch_bytes + x.home_fetch_bytes
+  acc.home_fetch_bytes <- acc.home_fetch_bytes + x.home_fetch_bytes;
+  acc.invals <- acc.invals + x.invals;
+  acc.downgrades <- acc.downgrades + x.downgrades;
+  acc.proto_switches <- acc.proto_switches + x.proto_switches
 
 let total arr =
   let acc = create () in
@@ -110,4 +122,8 @@ let pp ppf t =
      LRC output is unchanged byte-for-byte *)
   if t.home_flushes <> 0 || t.home_fetches <> 0 then
     Format.fprintf ppf "@[<v> hflush=%d/%dB hfetch=%d/%dB@]" t.home_flushes
-      t.home_flush_bytes t.home_fetches t.home_fetch_bytes
+      t.home_flush_bytes t.home_fetches t.home_fetch_bytes;
+  (* likewise for the invalidate/adaptive counters *)
+  if t.invals <> 0 || t.downgrades <> 0 || t.proto_switches <> 0 then
+    Format.fprintf ppf "@[<v> inval=%d downgrade=%d switch=%d@]" t.invals
+      t.downgrades t.proto_switches

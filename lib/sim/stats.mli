@@ -30,6 +30,12 @@ type t = {
   mutable home_fetches : int;
       (** HLRC: full-page copies fetched from a home at a fault *)
   mutable home_fetch_bytes : int;  (** HLRC: payload bytes of those fetches *)
+  mutable invals : int;
+      (** invalidate backend: invalidation requests sent to sharers *)
+  mutable downgrades : int;
+      (** invalidate backend: exclusive copies downgraded to shared *)
+  mutable proto_switches : int;
+      (** adaptive backend: per-page protocol switches at barriers *)
 }
 
 val create : unit -> t

@@ -55,20 +55,17 @@ let home_of sys ~toucher page =
 
 (* {1 Release: eager diff flush to the homes} *)
 
-(* Close the interval exactly as the homeless protocol does (write notices,
-   interval log, write protection), then push the closed interval's diffs
-   into the home copies. One message per home aggregates all of this
-   release's pages homed there. After a flush the releaser holds no lazy
-   interval for remotely-homed pages: [lazy_hi] is 0 between releases, so
-   foreign notices never force a materialization. *)
-let release sys p =
-  match Protocol.release sys p with
-  | None -> None
-  | Some (seq, pages) as entry ->
-      let st = sys.states.(p) in
-      let cfg = sys.cluster.Cluster.cfg in
-      let pstats = sys.cluster.Cluster.stats.(p) in
-      let by_home = Array.make sys.nprocs [] in
+(* Push a closed interval's diffs for [pages] into the home copies. One
+   message per home aggregates all of the release's pages homed there.
+   After a flush the releaser holds no lazy interval for remotely-homed
+   pages: [lazy_hi] is 0 between releases, so foreign notices never force
+   a materialization. Factored out of {!release} so the adaptive backend
+   can flush just the pages it currently runs under this protocol. *)
+let flush_pages sys p ~seq pages =
+  let st = sys.states.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let by_home = Array.make sys.nprocs [] in
       List.iter
         (fun page ->
           let home = home_of sys ~toucher:p page in
@@ -156,7 +153,15 @@ let release sys p =
             pstats.Stats.home_flushes <- pstats.Stats.home_flushes + 1;
             pstats.Stats.home_flush_bytes <-
               pstats.Stats.home_flush_bytes + !payload
-      done;
+  done
+
+(* Close the interval exactly as the homeless protocol does (write notices,
+   interval log, write protection), then flush its diffs home. *)
+let release sys p =
+  match Protocol.release sys p with
+  | None -> None
+  | Some (seq, pages) as entry ->
+      flush_pages sys p ~seq pages;
       entry
 
 (* {1 Access misses: full-page fetch from the home} *)
@@ -423,7 +428,20 @@ let handle_wsync sys p ~epoch ~departure_clock ~my_reqs =
       if r <> p then begin
         let mine =
           List.filter
-            (fun page -> home_of sys ~toucher:r page = p)
+            (fun page ->
+              (* cost-only peek: this scan must never assign a home. Under
+                 first-touch a page with no home yet cannot be "mine", and
+                 recording the requester as its toucher here would hand
+                 out homes a run without this scan (or with a different
+                 departure order) would assign differently — the page's
+                 real first toucher claims it when data actually moves. *)
+              match Hashtbl.find_opt sys.homes page with
+              | Some h -> h = p
+              | None -> (
+                  match sys.cluster.Cluster.cfg.Config.home_policy with
+                  | Config.Home_first_touch -> false
+                  | Config.Home_cyclic | Config.Home_block ->
+                      home_of sys ~toucher:r page = p))
             (Sync_ops.wsync_req_pages sys reqs)
         in
         if mine <> [] then

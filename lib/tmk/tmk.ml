@@ -63,10 +63,15 @@ let make cfg =
        if ps > 0 && ps land (ps - 1) = 0 then ps - 1 else 0);
     nprocs;
     homes = Hashtbl.create 64;
+    iv_dir = Hashtbl.create 64;
+    adapt = Hashtbl.create 64;
+    adapt_tick = 0;
     bops =
       (match cfg.Config.backend with
       | Config.Lrc -> Backend.ops (module Backend_lrc)
-      | Config.Hlrc -> Backend.ops (module Hlrc));
+      | Config.Hlrc -> Backend.ops (module Hlrc)
+      | Config.Inval -> Backend.ops (module Invalidate)
+      | Config.Adaptive -> Backend.ops (module Adaptive));
     trace = None;
   }
   in
@@ -156,6 +161,15 @@ let digest sys =
             done)
           (Dsm_mem.Addr_space.arrays sys.Types.space));
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Snapshot of the page-to-home assignments the run actually made, sorted
+   by page. Empty unless the hlrc backend assigned any (first-touch makes
+   the assignments data-dependent, which is exactly what the determinism
+   regression tests compare). Capture before {!digest}: the digest run's
+   read pass can itself assign homes to pages nobody had touched. *)
+let homes sys =
+  List.sort compare
+    (Hashtbl.fold (fun page home acc -> (page, home) :: acc) sys.Types.homes [])
 
 module Shm = Shm
 module Section = Dsm_rsd.Section

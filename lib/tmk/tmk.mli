@@ -121,6 +121,11 @@ val digest : system -> string
     digests for the same program. Capture timing/statistics results before
     calling this: the digest run advances the simulated clocks. *)
 
+val homes : system -> (int * int) list
+(** The page-to-home assignments the run made (hlrc backend), sorted by
+    page; empty for backends that assign none. Capture before {!digest} —
+    the digest run's read pass can itself assign first-touch homes. *)
+
 (** {1 Raw shared-memory access} *)
 
 module Shm = Shm

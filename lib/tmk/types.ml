@@ -114,6 +114,37 @@ type push_msg = {
   pm_vc : Vc.t;
 }
 
+(* Per-page directory entry of the single-writer invalidate protocol
+   ({!Invalidate}); lives conceptually on processor [page mod nprocs].
+   [iv_owner] always holds an up-to-date copy; when [iv_excl] it is the
+   only valid copy (M), otherwise every processor in [iv_sharers] holds
+   one (S). Before the first directory transaction every processor's
+   zero-filled initial copy is valid, so a fresh entry lists them all. *)
+type iv_entry = {
+  mutable iv_owner : int;
+  mutable iv_excl : bool;
+  mutable iv_sharers : int list;  (* sorted; includes the owner *)
+}
+
+(* Adaptive backend: which protocol currently governs a page. *)
+type page_proto = P_lrc | P_hlrc | P_inval
+
+let page_proto_name = function
+  | P_lrc -> "lrc"
+  | P_hlrc -> "hlrc"
+  | P_inval -> "inval"
+
+(* Per-page sharing-pattern observations of the adaptive backend, reset at
+   each classification window. Masks are processor bitmasks (the simulated
+   clusters stay far below 62 processors). *)
+type adapt_page = {
+  mutable ap_proto : page_proto;
+  mutable ap_read_mask : int;  (* procs that read-faulted/validated *)
+  mutable ap_write_mask : int;  (* procs that write-faulted/validated *)
+  mutable ap_last_writer : int;  (* previous window's single writer, -1 *)
+  mutable ap_migrations : int;  (* windows in which the writer changed *)
+}
+
 type system = {
   cluster : Dsm_sim.Cluster.t;
   net : Dsm_net.Net.t;
@@ -136,6 +167,13 @@ type system = {
   homes : (int, int) Hashtbl.t;
       (* HLRC only: page -> home processor, filled lazily by the active
          home-assignment policy; empty under the homeless backend *)
+  iv_dir : (int, iv_entry) Hashtbl.t;
+      (* invalidate/adaptive only: per-page directory entries, created on
+         the first directory transaction for a page *)
+  adapt : (int, adapt_page) Hashtbl.t;
+      (* adaptive only: per-page protocol mode + sharing observations *)
+  mutable adapt_tick : int;
+      (* adaptive only: barrier epochs since the last classification *)
   bops : backend_ops;
       (* the coherence backend driving this system; selected once in
          {!Tmk.make} from [Config.backend] and never changed afterwards *)

@@ -90,8 +90,16 @@ let validate_w_sync t ?(async = false) sections access =
 
    The exchange itself is protocol-independent; [release] closes the
    sender's interval the backend's way (the homeless LRC keeps the diffs
-   for later fetches, HLRC additionally flushes them to the homes). *)
-let push_with ~release t ~read_sections ~write_sections =
+   for later fetches, HLRC additionally flushes them to the homes).
+
+   Pages governed by the single-writer invalidate protocol ([is_inval])
+   carry no interval watermarks: the sender owns them exclusively (it
+   wrote them), so the payload bytes are valid, but the receiver-side LRC
+   bookkeeping (watermarks, partial-push tracking, revalidation) must not
+   run — the backend decides what receipt means via [on_inval]. *)
+let push_with ~release ?(is_inval = fun _ -> false)
+    ?(on_inval = fun ~src:_ ~page:_ ~covered:_ -> ()) t ~read_sections
+    ~write_sections =
   Prof.enter Prof.Sync;
   let sys = t.sys
   and p = t.p in
@@ -197,6 +205,12 @@ let push_with ~release t ~read_sections ~write_sections =
         let revalidated = ref [] in
         List.iter
           (fun page ->
+            if is_inval page then
+              on_inval ~src:i ~page
+                ~covered:
+                  (Range.covers !pushed_ranges ~lo:(page * sys.page_size)
+                     ~hi:((page + 1) * sys.page_size))
+            else begin
             let m = Protocol.meta st ~nprocs:sys.nprocs page in
             if msg.pm_seq > m.applied.(i) then begin
               m.applied.(i) <- msg.pm_seq;
@@ -222,6 +236,7 @@ let push_with ~release t ~read_sections ~write_sections =
                 pg.Page_table.prot <- Page_table.Read_only;
                 revalidated := page :: !revalidated
               end
+            end
             end)
           (Range.pages ~page_size:sys.page_size !pushed_ranges);
         if !revalidated <> [] then Protocol.protect_runs sys p !revalidated

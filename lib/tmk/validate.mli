@@ -21,12 +21,19 @@ val validate_w_sync :
 
 val push_with :
   release:(Types.system -> int -> (int * int list) option) ->
+  ?is_inval:(int -> bool) ->
+  ?on_inval:(src:int -> page:int -> covered:bool -> unit) ->
   Types.t ->
   read_sections:Dsm_rsd.Section.t list array ->
   write_sections:Dsm_rsd.Section.t list array ->
   unit
 (** The protocol-independent [Push] exchange; [release] closes the sender's
-    interval the backend's way before the point-to-point sends. *)
+    interval the backend's way before the point-to-point sends. Pages for
+    which [is_inval] holds are governed by the single-writer invalidate
+    protocol: the payload is still received in place, but the LRC
+    watermark/revalidation bookkeeping is replaced by the [on_inval]
+    callback ([src] is the sending processor, [covered] tells whether the
+    push covered the whole page). *)
 
 val push :
   Types.t ->

@@ -79,11 +79,26 @@ type msg_state = {
   mutable acked : bool;
 }
 
+(* Single-writer invalidate tracking of one page, opened lazily by the
+   first [Inval_send]/[Inval_ack]/[Downgrade] naming it — LRC-only traces
+   never allocate any. [iv_transfer] carries the one sanctioned window in
+   which a second valid copy may transiently exist: a write-miss fetches
+   the current contents from the exclusive owner just before the
+   invalidation round that moves ownership to the fetcher. *)
+type iv_state = {
+  iv_invalid : bool array;  (* per proc: copy invalidated, not refetched *)
+  mutable iv_pending : int list;  (* dsts of unacknowledged Inval_sends *)
+  mutable iv_excl : int option;  (* writer holding the only valid copy *)
+  mutable iv_transfer : int option;
+      (* proc that fetched under exclusivity and must take ownership next *)
+}
+
 type state = {
   nprocs : int;
   procs : proc_state array;
   msgs : (int, msg_state) Hashtbl.t;  (* reliable-layer msg id -> state *)
   homes : (int, int) Hashtbl.t;  (* HLRC: page -> home, learned from events *)
+  iv : (int, iv_state) Hashtbl.t;  (* invalidate-protocol page tracking *)
   mutable violations : violation list;
   mutable nchecked : int;
 }
@@ -121,9 +136,31 @@ let create ~nprocs =
           });
     msgs = Hashtbl.create 256;
     homes = Hashtbl.create 64;
+    iv = Hashtbl.create 64;
     violations = [];
     nchecked = 0;
   }
+
+let iv_state st page =
+  match Hashtbl.find_opt st.iv page with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          iv_invalid = Array.make st.nprocs false;
+          iv_pending = [];
+          iv_excl = None;
+          iv_transfer = None;
+        }
+      in
+      Hashtbl.replace st.iv page s;
+      s
+
+(* Remove one occurrence of [x] (the pending list may name a dst twice
+   across overlapping rounds). *)
+let rec remove_one x = function
+  | [] -> []
+  | y :: tl -> if y = x then tl else y :: remove_one x tl
 
 let fail st event rule fmt =
   Printf.ksprintf
@@ -293,14 +330,38 @@ let step st (e : Event.t) =
         (match ps.pending_fetch with
         | Some pg when pg = page -> ps.pending_fetch <- None
         | _ -> ());
-        if full then
-          for q = 0 to st.nprocs - 1 do
-            if q <> p && s.applied.(q) < s.known.(q) then
-              fail st e "fetch-complete"
-                "page %d left with p%d applied=%d < known=%d after an \
-                 unrestricted fetch"
-                page q s.applied.(q) s.known.(q)
-          done
+        (match Hashtbl.find_opt st.iv page with
+        | Some iv ->
+            (* the page is governed by the invalidate protocol: a full
+               fetch installs the owner's current copy, which covers
+               everything anyone knows of the page (like [Home_fetch]) *)
+            for q = 0 to st.nprocs - 1 do
+              s.applied.(q) <- max s.applied.(q) s.known.(q)
+            done;
+            (match iv.iv_transfer with
+            | Some q when q <> p ->
+                fail st e "inval-single-writer"
+                  "p%d fetched page %d while p%d's fetch under exclusivity \
+                   had not yet taken ownership"
+                  p page q;
+                iv.iv_transfer <- None
+            | _ -> ());
+            iv.iv_invalid.(p) <- false;
+            (match iv.iv_excl with
+            | Some w when w <> p ->
+                (* only legal as the data leg of an ownership transfer:
+                   the next invalidation round must name [p] the writer *)
+                iv.iv_transfer <- Some p
+            | _ -> ())
+        | None ->
+            if full then
+              for q = 0 to st.nprocs - 1 do
+                if q <> p && s.applied.(q) < s.known.(q) then
+                  fail st e "fetch-complete"
+                    "page %d left with p%d applied=%d < known=%d after an \
+                     unrestricted fetch"
+                    page q s.applied.(q) s.known.(q)
+              done)
     | Page_fault { page; fetch; _ } ->
         if fetch then ps.pending_fetch <- Some page
     | Twin _ -> ()
@@ -345,6 +406,100 @@ let step st (e : Event.t) =
             seq s.applied.(writer);
         s.applied.(writer) <- seq - 1
     | Broadcast _ -> ()
+    (* {2 Single-writer invalidate rules} *)
+    | Inval_send { page; dst } ->
+        let s = iv_state st page in
+        if dst < 0 || dst >= st.nprocs then
+          fail st e "inval-dst-range" "invalidation target p%d out of range"
+            dst
+        else if s.iv_invalid.(dst) then
+          fail st e "inval-redundant"
+            "invalidation of page %d sent to p%d whose copy is already \
+             invalid"
+            page dst;
+        s.iv_pending <- dst :: s.iv_pending
+    | Inval_ack { page; writer } ->
+        let s = iv_state st page in
+        if not (List.mem p s.iv_pending) then
+          fail st e "inval-ack-unrequested"
+            "p%d acknowledged an invalidation of page %d that was never sent \
+             to it"
+            p page
+        else s.iv_pending <- remove_one p s.iv_pending;
+        if s.iv_invalid.(p) then
+          fail st e "inval-ack-stale"
+            "p%d acknowledged an invalidation of page %d while already \
+             invalid (it held a copy the directory did not track)"
+            p page;
+        if writer < 0 || writer >= st.nprocs then
+          fail st e "inval-writer-range" "writer p%d out of range" writer
+        else begin
+          (* the soundness rule of the write path: exclusivity may only be
+             granted over a current copy, so a writer whose own copy was
+             invalidated must have completed its fetch first *)
+          if s.iv_invalid.(writer) then
+            fail st e "inval-writer-stale"
+              "page %d granted exclusively to p%d whose copy is invalid"
+              page writer;
+          (match s.iv_transfer with
+          | Some q when q <> writer ->
+              fail st e "inval-single-writer"
+                "p%d fetched page %d under exclusivity but ownership moved \
+                 to p%d"
+                q page writer
+          | _ -> ());
+          s.iv_transfer <- None;
+          s.iv_excl <- Some writer
+        end;
+        s.iv_invalid.(p) <- true
+    | Downgrade { page; reader = _ } ->
+        let s = iv_state st page in
+        if s.iv_invalid.(p) then
+          fail st e "inval-downgrade-stale"
+            "p%d downgraded page %d but its copy is invalid" p page;
+        (match s.iv_transfer with
+        | Some q ->
+            fail st e "inval-single-writer"
+              "page %d downgraded while p%d's fetch under exclusivity had \
+               not yet taken ownership"
+              page q;
+            s.iv_transfer <- None
+        | None -> ());
+        s.iv_excl <- None
+    | Proto_switch { page; proto; owner; epoch = _ } ->
+        (* epochal reset at global quiescence: the adaptive backend makes
+           the page current everywhere before changing its governing
+           protocol, so the per-protocol tracking restarts from scratch
+           and every processor's watermarks are squared up *)
+        Hashtbl.remove st.iv page;
+        Hashtbl.remove st.homes page;
+        if owner < 0 || owner >= st.nprocs then
+          fail st e "proto-owner-range" "owner p%d out of range" owner
+        else if proto = "hlrc" then Hashtbl.replace st.homes page owner
+        else if proto = "inval" then begin
+          (* install the directory view eagerly: only the owner's copy is
+             mapped after the switch, so the page's later [Fetch_done]s are
+             judged by the invalidate rules (the generic fetch-complete
+             rule would misfire on write notices that straggle in at the
+             departures following the switch — the switch itself already
+             distributed their data) *)
+          let s =
+            {
+              iv_invalid = Array.init st.nprocs (fun q -> q <> owner);
+              iv_pending = [];
+              iv_excl = None;
+              iv_transfer = None;
+            }
+          in
+          Hashtbl.replace st.iv page s
+        end;
+        for q = 0 to st.nprocs - 1 do
+          let s = page_state st q page in
+          for w = 0 to st.nprocs - 1 do
+            s.applied.(w) <- max s.applied.(w) s.known.(w)
+          done;
+          s.batch_order <- min_int
+        done
     (* {2 HLRC home rules} *)
     | Home_flush { page; home; seq; bytes = _ } ->
         let home = home_of st e ~page ~home in
@@ -491,6 +646,40 @@ let finish st =
           }
           :: st.violations)
     st.procs;
+  (* Every invalidation round must complete within the trace: an unacked
+     send means a sharer kept a copy the directory believes dead, and a
+     fetch under exclusivity that never took ownership is a stale read. *)
+  Hashtbl.fold (fun page s acc -> (page, s) :: acc) st.iv []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (page, s) ->
+         List.iter
+           (fun dst ->
+             st.violations <-
+               {
+                 event = None;
+                 rule = "inval-unacked";
+                 detail =
+                   Printf.sprintf
+                     "invalidation of page %d sent to p%d was never \
+                      acknowledged"
+                     page dst;
+               }
+               :: st.violations)
+           (List.sort_uniq compare s.iv_pending);
+         match s.iv_transfer with
+         | Some q ->
+             st.violations <-
+               {
+                 event = None;
+                 rule = "inval-single-writer";
+                 detail =
+                   Printf.sprintf
+                     "p%d fetched page %d under exclusivity and never took \
+                      ownership"
+                     q page;
+               }
+               :: st.violations
+         | None -> ());
   (* Every transport-level message must reach its receiver: a dropped
      final attempt with no retransmission is a lost message; a message
      that was transmitted but never acknowledged is undelivered. Sort by

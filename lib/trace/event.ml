@@ -56,6 +56,23 @@ type kind =
          up to [seq], into the home copy at processor [home] *)
   | Home_fetch of { page : int; home : int; bytes : int }
       (* a faulting processor installed the full page copy held by [home] *)
+  (* Directory-based single-writer invalidate events. The directory entry
+     for a page lives on processor [page mod nprocs]; a write fault sends
+     [Inval_send] to every sharer (answered by [Inval_ack]) before the
+     writer is granted exclusivity, and a read miss on an exclusive page
+     downgrades the owner to shared. *)
+  | Inval_send of { page : int; dst : int }
+      (* the directory asked sharer [dst] to drop its copy of [page] *)
+  | Inval_ack of { page : int; writer : int }
+      (* the emitting processor dropped its copy of [page] so that
+         [writer] could take it exclusively *)
+  | Downgrade of { page : int; reader : int }
+      (* the exclusive owner's copy of [page] was demoted to shared so
+         that [reader] could be served the current contents *)
+  | Proto_switch of { page : int; proto : string; owner : int; epoch : int }
+      (* adaptive backend: at barrier [epoch] the page moved to protocol
+         [proto] ("lrc", "hlrc" or "inval") with designated [owner]
+         (home under hlrc, current holder under inval, -1 under lrc) *)
   (* Transport-level events of the unreliable-network model (lib/net).
      [msg] is the global message id of the reliable-delivery layer; each
      event names the flow endpoints so the checker can reason per message
@@ -104,6 +121,10 @@ let kind_name = function
   | Broadcast _ -> "broadcast"
   | Home_flush _ -> "home_flush"
   | Home_fetch _ -> "home_fetch"
+  | Inval_send _ -> "inval_send"
+  | Inval_ack _ -> "inval_ack"
+  | Downgrade _ -> "downgrade"
+  | Proto_switch _ -> "proto_switch"
   | Msg_drop _ -> "msg_drop"
   | Msg_dup _ -> "msg_dup"
   | Retransmit _ -> "retransmit"
@@ -160,6 +181,15 @@ let kind_fields = function
         home seq bytes
   | Home_fetch { page; home; bytes } ->
       Printf.sprintf "\"page\":%d,\"home\":%d,\"bytes\":%d" page home bytes
+  | Inval_send { page; dst } ->
+      Printf.sprintf "\"page\":%d,\"dst\":%d" page dst
+  | Inval_ack { page; writer } ->
+      Printf.sprintf "\"page\":%d,\"writer\":%d" page writer
+  | Downgrade { page; reader } ->
+      Printf.sprintf "\"page\":%d,\"reader\":%d" page reader
+  | Proto_switch { page; proto; owner; epoch } ->
+      Printf.sprintf "\"page\":%d,\"proto\":%S,\"owner\":%d,\"epoch\":%d" page
+        proto owner epoch
   | Msg_drop { msg; src; dst; attempt } ->
       Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d" msg src
         dst attempt
@@ -194,9 +224,13 @@ let pp ppf e =
 
 exception Parse_error of string
 
+(* Internal: lets {!parse_line} tell an event kind this parser does not
+   know (a trace written by a newer binary) apart from malformed input. *)
+exception Unknown_kind_exn of string
+
 type jv = Num of float | Bool of bool | Str of string | Ints of int list
 
-let of_json line =
+let parse_exn line =
   let n = String.length line in
   let pos = ref 0 in
   let fail msg =
@@ -423,6 +457,17 @@ let of_json line =
           }
     | "home_fetch" ->
         Home_fetch { page = int "page"; home = int "home"; bytes = int "bytes" }
+    | "inval_send" -> Inval_send { page = int "page"; dst = int "dst" }
+    | "inval_ack" -> Inval_ack { page = int "page"; writer = int "writer" }
+    | "downgrade" -> Downgrade { page = int "page"; reader = int "reader" }
+    | "proto_switch" ->
+        Proto_switch
+          {
+            page = int "page";
+            proto = str "proto";
+            owner = int "owner";
+            epoch = int "epoch";
+          }
     | "msg_drop" ->
         Msg_drop
           {
@@ -458,7 +503,7 @@ let of_json line =
             dst = int "dst";
             attempts = int "attempts";
           }
-    | ev -> raise (Parse_error (Printf.sprintf "unknown event kind %S" ev))
+    | ev -> raise (Unknown_kind_exn ev)
   in
   {
     id = int "id";
@@ -467,3 +512,70 @@ let of_json line =
     vc = Array.of_list (ints "vc");
     kind;
   }
+
+(* {1 Tolerant line/file entry points}
+
+   A trace file may have been written by a newer binary (event kinds this
+   parser does not know) or cut short by a crash mid-write (truncated final
+   line). Offline consumers must degrade to warnings in both cases instead
+   of dying mid-file, so the checker can still validate every event it does
+   understand. *)
+
+type parse_result = Event of t | Unknown_kind of string | Malformed of string
+
+let parse_line line =
+  match parse_exn line with
+  | e -> Event e
+  | exception Unknown_kind_exn ev -> Unknown_kind ev
+  | exception Parse_error msg -> Malformed msg
+
+let of_json line =
+  match parse_exn line with
+  | e -> e
+  | exception Unknown_kind_exn ev ->
+      raise (Parse_error (Printf.sprintf "unknown event kind %S" ev))
+
+type load = {
+  events : t list;  (* every successfully parsed event, in file order *)
+  warnings : (int * string) list;  (* (1-based line number, message) *)
+  unknown_kinds : int;  (* lines skipped because of an unrecognized kind *)
+}
+
+let load_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let events = ref [] and warnings = ref [] and unknown = ref 0 in
+      let lineno = ref 0 in
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            incr lineno;
+            let last = in_channel_length ic = pos_in ic in
+            (if String.trim line = "" then ()
+             else
+               match parse_exn line with
+               | e -> events := e :: !events
+               | exception Unknown_kind_exn ev ->
+                   incr unknown;
+                   warnings :=
+                     (!lineno, Printf.sprintf "unknown event kind %S" ev)
+                     :: !warnings
+               | exception Parse_error msg ->
+                   warnings :=
+                     ( !lineno,
+                       if last then
+                         Printf.sprintf
+                           "truncated final line (crash mid-write?): %s" msg
+                       else Printf.sprintf "malformed line: %s" msg )
+                     :: !warnings);
+            go ()
+      in
+      go ();
+      {
+        events = List.rev !events;
+        warnings = List.rev !warnings;
+        unknown_kinds = !unknown;
+      })

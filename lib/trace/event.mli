@@ -78,6 +78,20 @@ type kind =
   | Home_fetch of { page : int; home : int; bytes : int }
       (** HLRC: a faulting processor replaced its copy of [page] with
           the full up-to-date copy fetched from [home] *)
+  | Inval_send of { page : int; dst : int }
+      (** invalidate protocol: the directory asked sharer [dst] to drop
+          its copy of [page] before granting a writer exclusivity *)
+  | Inval_ack of { page : int; writer : int }
+      (** invalidate protocol: the emitting processor dropped its copy
+          of [page] in answer to an {!Inval_send}, granting [writer]
+          exclusivity *)
+  | Downgrade of { page : int; reader : int }
+      (** invalidate protocol: the exclusive owner's copy of [page] was
+          demoted to shared so [reader] could fetch current contents *)
+  | Proto_switch of { page : int; proto : string; owner : int; epoch : int }
+      (** adaptive backend: at barrier [epoch], [page] switched to
+          protocol [proto] ("lrc", "hlrc" or "inval") with designated
+          [owner] (home under hlrc, holder under inval, -1 under lrc) *)
   | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
       (** a delivery attempt of reliable-layer message [msg] was lost *)
   | Msg_dup of { msg : int; src : int; dst : int }
@@ -112,5 +126,27 @@ exception Parse_error of string
 val of_json : string -> t
 (** Parse one line of {!to_json} output back into an event.
     @raise Parse_error on malformed input or unknown event kinds. *)
+
+type parse_result =
+  | Event of t
+  | Unknown_kind of string
+      (** structurally valid line whose ["ev"] names a kind this parser
+          does not know (e.g. a trace written by a newer binary) *)
+  | Malformed of string  (** parse failure with detail *)
+
+val parse_line : string -> parse_result
+(** Non-raising form of {!of_json} for offline trace consumers. *)
+
+type load = {
+  events : t list;  (** every successfully parsed event, in file order *)
+  warnings : (int * string) list;  (** (1-based line number, message) *)
+  unknown_kinds : int;  (** lines skipped for an unrecognized kind *)
+}
+
+val load_jsonl : string -> load
+(** Load a [--trace] JSONL file tolerantly: unknown event kinds become
+    counted warnings carrying the line number, and a truncated final line
+    (crash mid-write) becomes a clean warning instead of an exception.
+    Raises [Sys_error] only if the file cannot be opened. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,15 +1,18 @@
 (* Coherence-backend equivalence.
 
-   Both backends implement the same memory model for data-race-free
+   All four backends implement the same memory model for data-race-free
    programs, so every application must produce byte-identical shared
-   memory under homeless LRC and home-based LRC: each app x {1,2,4,8}
-   processors x every applicable optimization level is run under both
-   backends and the {!Tmk.digest} of the final shared state compared.
-   Additional suites cover: digest equality across the three home
-   assignment policies, determinism of each backend (same run twice,
-   same digest and clocks), hlrc runs through the trace invariant
-   checker, the new-style [Tmk.alloc], and the hlrc statistics
-   counters. *)
+   memory under homeless LRC, home-based LRC, the single-writer
+   invalidate protocol and the adaptive switcher: each app x {1,2,4,8}
+   processors x optimization levels is run under the backends and the
+   {!Tmk.digest} of the final shared state compared. Additional suites
+   cover: digest equality across the three home assignment policies,
+   determinism of each backend (same run twice, same digest and clocks —
+   including the adaptive backend's per-page switch decisions), every
+   backend's runs through the trace invariant checker, the first-touch
+   home-assignment regression (tracing must not perturb the
+   assignments), the new-style [Tmk.alloc], and the per-protocol
+   statistics counters. *)
 
 module Config = Dsm_sim.Config
 module Stats = Dsm_sim.Stats
@@ -170,22 +173,57 @@ let determinism backend () =
     s2.Stats.messages;
   Alcotest.(check int) "bytes identical" s1.Stats.bytes s2.Stats.bytes
 
-(* {1 hlrc under the invariant checker} *)
+(* {1 The full family: inval and adaptive match lrc, bit for bit} *)
 
 let last l = List.fold_left (fun _ x -> x) (List.hd l) l
 
-let hlrc_checker_clean case () =
+let new_backend_equivalence case () =
+  let levels =
+    List.sort_uniq compare [ List.hd case.levels; last case.levels ]
+  in
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun level ->
+          let name =
+            Printf.sprintf "%s %s p%d" case.app (opt_level_name level) nprocs
+          in
+          let digest_of backend =
+            let r =
+              case.run ~digest:true (cfg backend nprocs) ~level ~async:true
+            in
+            Alcotest.(check (float 1e-6))
+              (Printf.sprintf "%s %s verified" name
+                 (Config.backend_name backend))
+              0.0 r.max_err;
+            r.digest
+          in
+          let d_lrc = digest_of Config.Lrc in
+          Alcotest.(check string)
+            (name ^ ": inval = lrc")
+            d_lrc (digest_of Config.Inval);
+          Alcotest.(check string)
+            (name ^ ": adaptive = lrc")
+            d_lrc
+            (digest_of Config.Adaptive))
+        levels)
+    [ 1; 2; 4; 8 ]
+
+(* {1 Every backend under the invariant checker} *)
+
+let checker_clean backend case () =
   List.iter
     (fun nprocs ->
       List.iter
         (fun level ->
           let sink = Sink.create ~nprocs () in
           let r =
-            case.run ~trace:sink (cfg Config.Hlrc nprocs) ~level ~async:true
+            case.run ~trace:sink (cfg backend nprocs) ~level ~async:true
           in
           let name =
-            Printf.sprintf "%s hlrc %s p%d" case.app (opt_level_name level)
-              nprocs
+            Printf.sprintf "%s %s %s p%d" case.app
+              (Config.backend_name backend)
+              (opt_level_name level) nprocs
           in
           Alcotest.(check (float 1e-6)) (name ^ ": verified") 0.0 r.max_err;
           Alcotest.(check int) (name ^ ": no dropped events") 0
@@ -197,6 +235,53 @@ let hlrc_checker_clean case () =
                 (List.length vs) Check.pp_violation (List.hd vs))
         [ List.hd case.levels; last case.levels ])
     [ 1; 2; 4; 8 ]
+
+(* {1 Adaptive switch decisions are deterministic} *)
+
+let switch_determinism () =
+  let case = List.hd cases in
+  let switches () =
+    let sink = Sink.create ~nprocs:4 () in
+    let r =
+      case.run ~trace:sink (cfg Config.Adaptive 4) ~level:Base ~async:false
+    in
+    Alcotest.(check (float 1e-6)) "verified" 0.0 r.max_err;
+    List.filter_map
+      (fun (e : Dsm_trace.Event.t) ->
+        match e.Dsm_trace.Event.kind with
+        | Dsm_trace.Event.Proto_switch { page; proto; owner; epoch } ->
+            Some
+              (Printf.sprintf "page %d -> %s owner %d epoch %d" page proto
+                 owner epoch)
+        | _ -> None)
+      (Sink.events sink)
+  in
+  let s1 = switches () in
+  let s2 = switches () in
+  Alcotest.(check bool) "some switches happened" true (s1 <> []);
+  Alcotest.(check (list string)) "identical switch decisions" s1 s2
+
+(* {1 First-touch home assignment is oblivious to tracing} *)
+
+let first_touch_homes case () =
+  let nprocs = 4 in
+  let level = last case.levels in
+  let run trace =
+    let sink = if trace then Some (Sink.create ~nprocs ()) else None in
+    let r =
+      case.run ?trace:sink
+        (cfg ~policy:Config.Home_first_touch Config.Hlrc nprocs)
+        ~level ~async:true
+    in
+    Alcotest.(check (float 1e-6)) (case.app ^ ": verified") 0.0 r.max_err;
+    r.homes
+  in
+  let off = run false in
+  let on = run true in
+  Alcotest.(check bool) (case.app ^ ": some homes assigned") true (off <> []);
+  Alcotest.(check (list (pair int int)))
+    (case.app ^ ": homes trace-on = trace-off")
+    off on
 
 (* {1 hlrc statistics} *)
 
@@ -213,6 +298,24 @@ let hlrc_stats () =
   let sl = r_lrc.stats in
   Alcotest.(check int) "lrc has no home flushes" 0 sl.Stats.home_flushes;
   Alcotest.(check int) "lrc has no home fetches" 0 sl.Stats.home_fetches
+
+(* {1 invalidate / adaptive statistics} *)
+
+let inval_stats () =
+  let case = List.hd cases in
+  let r_inval = case.run (cfg Config.Inval 4) ~level:Base ~async:false in
+  let r_adapt = case.run (cfg Config.Adaptive 4) ~level:Base ~async:false in
+  let r_lrc = case.run (cfg Config.Lrc 4) ~level:Base ~async:false in
+  let si = r_inval.stats in
+  Alcotest.(check bool) "invalidations counted" true (si.Stats.invals > 0);
+  Alcotest.(check bool) "downgrades counted" true (si.Stats.downgrades > 0);
+  Alcotest.(check int) "inval makes no diffs" 0 si.Stats.diffs_created;
+  let sa = r_adapt.stats in
+  Alcotest.(check bool) "switches counted" true (sa.Stats.proto_switches > 0);
+  let sl = r_lrc.stats in
+  Alcotest.(check int) "lrc has no invalidations" 0 sl.Stats.invals;
+  Alcotest.(check int) "lrc has no downgrades" 0 sl.Stats.downgrades;
+  Alcotest.(check int) "lrc has no switches" 0 sl.Stats.proto_switches
 
 (* {1 new-style alloc} *)
 
@@ -245,16 +348,39 @@ let tests =
           (case.app ^ ": lrc = hlrc digests")
           `Slow (equivalence case);
         Alcotest.test_case
+          (case.app ^ ": inval/adaptive = lrc digests")
+          `Slow
+          (new_backend_equivalence case);
+        Alcotest.test_case
           (case.app ^ ": home policies agree")
           `Slow (home_policies case);
         Alcotest.test_case
           (case.app ^ ": hlrc checker clean")
-          `Slow (hlrc_checker_clean case);
+          `Slow
+          (checker_clean Config.Hlrc case);
+        Alcotest.test_case
+          (case.app ^ ": inval checker clean")
+          `Slow
+          (checker_clean Config.Inval case);
+        Alcotest.test_case
+          (case.app ^ ": adaptive checker clean")
+          `Slow
+          (checker_clean Config.Adaptive case);
+        Alcotest.test_case
+          (case.app ^ ": first-touch homes ignore tracing")
+          `Slow (first_touch_homes case);
       ])
     cases
   @ [
       Alcotest.test_case "lrc deterministic" `Quick (determinism Config.Lrc);
       Alcotest.test_case "hlrc deterministic" `Quick (determinism Config.Hlrc);
+      Alcotest.test_case "inval deterministic" `Quick
+        (determinism Config.Inval);
+      Alcotest.test_case "adaptive deterministic" `Quick
+        (determinism Config.Adaptive);
+      Alcotest.test_case "adaptive switch decisions deterministic" `Quick
+        switch_determinism;
       Alcotest.test_case "hlrc stats counters" `Quick hlrc_stats;
+      Alcotest.test_case "inval/adaptive stats counters" `Quick inval_stats;
       Alcotest.test_case "alloc API" `Quick alloc_api;
     ]

@@ -277,6 +277,154 @@ let test_home_events_json_roundtrip () =
       Event.Home_fetch { page = 0; home = 0; bytes = 0 };
     ]
 
+(* {2 Invalidate / adaptive events} *)
+
+let test_inval_events_json_roundtrip () =
+  List.iter
+    (fun kind ->
+      let e = ev 7 1 3.25 [| 2; 5 |] kind in
+      let e' = Event.of_json (Event.to_json e) in
+      Alcotest.(check bool)
+        (Event.kind_name kind ^ " round-trips")
+        true (e' = e))
+    [
+      Event.Inval_send { page = 12; dst = 3 };
+      Event.Inval_ack { page = 12; writer = 0 };
+      Event.Downgrade { page = 4095; reader = 7 };
+      Event.Proto_switch { page = 3; proto = "hlrc"; owner = 2; epoch = 11 };
+      Event.Proto_switch { page = 0; proto = "lrc"; owner = -1; epoch = 0 };
+    ]
+
+let test_checker_catches_redundant_inval () =
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |] (Event.Inval_send { page = 2; dst = 1 });
+        ev 1 1 2.0 [| 0; 0 |] (Event.Inval_ack { page = 2; writer = 0 });
+        ev 2 0 3.0 [| 0; 0 |] (Event.Inval_send { page = 2; dst = 1 });
+      ]
+  in
+  Alcotest.(check bool) "inval-redundant flagged" true
+    (List.mem "inval-redundant" (rules vs))
+
+let test_checker_catches_unrequested_ack () =
+  let vs =
+    Check.run ~nprocs:2
+      [ ev 0 1 1.0 [| 0; 0 |] (Event.Inval_ack { page = 2; writer = 0 }) ]
+  in
+  Alcotest.(check bool) "inval-ack-unrequested flagged" true
+    (List.mem "inval-ack-unrequested" (rules vs))
+
+let test_checker_catches_unacked_inval () =
+  let vs =
+    Check.run ~nprocs:2
+      [ ev 0 0 1.0 [| 0; 0 |] (Event.Inval_send { page = 2; dst = 1 }) ]
+  in
+  Alcotest.(check bool) "inval-unacked flagged" true
+    (List.mem "inval-unacked" (rules vs))
+
+let test_checker_catches_stale_writer () =
+  (* exclusivity granted to p1 whose own copy was invalidated and never
+     refetched *)
+  let vs =
+    Check.run ~nprocs:2
+      [
+        ev 0 0 1.0 [| 0; 0 |] (Event.Inval_send { page = 2; dst = 1 });
+        ev 1 1 2.0 [| 0; 0 |] (Event.Inval_ack { page = 2; writer = 0 });
+        ev 2 0 3.0 [| 0; 0 |] (Event.Inval_send { page = 2; dst = 0 });
+        ev 3 0 4.0 [| 0; 0 |] (Event.Inval_ack { page = 2; writer = 1 });
+      ]
+  in
+  Alcotest.(check bool) "inval-writer-stale flagged" true
+    (List.mem "inval-writer-stale" (rules vs))
+
+(* {2 Tolerant line parsing and file loading} *)
+
+let good_line =
+  Event.to_json (ev 0 1 1.5 [| 0; 1 |] (Event.Inval_send { page = 1; dst = 0 }))
+
+(* a structurally valid line whose kind this parser does not know, as a
+   trace written by some future binary would contain *)
+let unknown_line =
+  {|{"id":9,"proc":0,"time":2.000,"vc":[0,0],"ev":"warp_speculate","page":3}|}
+
+let test_parse_line_variants () =
+  (match Event.parse_line good_line with
+  | Event.Event e ->
+      Alcotest.(check string)
+        "kind preserved" "inval_send"
+        (Event.kind_name e.Event.kind)
+  | Event.Unknown_kind _ | Event.Malformed _ ->
+      Alcotest.fail "valid line must parse");
+  (match Event.parse_line unknown_line with
+  | Event.Unknown_kind k ->
+      Alcotest.(check string) "kind name reported" "warp_speculate" k
+  | Event.Event _ | Event.Malformed _ ->
+      Alcotest.fail "unknown kind must be classified, not rejected");
+  match Event.parse_line (String.sub good_line 0 (String.length good_line / 2)) with
+  | Event.Malformed _ -> ()
+  | Event.Event _ | Event.Unknown_kind _ ->
+      Alcotest.fail "torn line must be malformed"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let write_tmp contents =
+  let path = Filename.temp_file "dsm_trace_test" ".jsonl" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let load_tmp contents =
+  let path = write_tmp contents in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> Event.load_jsonl path)
+
+let test_load_jsonl_unknown_kind () =
+  let l = load_tmp (good_line ^ "\n" ^ unknown_line ^ "\n" ^ good_line ^ "\n") in
+  Alcotest.(check int) "known events kept" 2 (List.length l.Event.events);
+  Alcotest.(check int) "one unknown kind" 1 l.Event.unknown_kinds;
+  match l.Event.warnings with
+  | [ (line, msg) ] ->
+      Alcotest.(check int) "warning on line 2" 2 line;
+      Alcotest.(check bool)
+        "warning names the kind" true
+        (contains ~sub:"warp_speculate" msg)
+  | ws -> Alcotest.failf "expected exactly one warning, got %d" (List.length ws)
+
+let test_load_jsonl_truncated () =
+  (* a crash mid-write leaves a torn final line with no newline *)
+  let torn = String.sub good_line 0 (String.length good_line - 7) in
+  let l = load_tmp (good_line ^ "\n" ^ good_line ^ "\n" ^ torn) in
+  Alcotest.(check int) "whole lines kept" 2 (List.length l.Event.events);
+  Alcotest.(check int) "no unknown kinds" 0 l.Event.unknown_kinds;
+  match l.Event.warnings with
+  | [ (line, msg) ] ->
+      Alcotest.(check int) "warning on the final line" 3 line;
+      Alcotest.(check bool)
+        "reported as truncation" true
+        (contains ~sub:"truncated final line" msg)
+  | ws -> Alcotest.failf "expected exactly one warning, got %d" (List.length ws)
+
+let test_load_jsonl_roundtrip () =
+  let evs =
+    [
+      ev 0 0 1.0 [| 1; 0 |] (Event.Notice_send { seq = 1; pages = [ 2 ] });
+      ev 1 1 2.0 [| 0; 1 |] (Event.Downgrade { page = 2; reader = 0 });
+      ev 2 0 3.0 [| 1; 1 |]
+        (Event.Proto_switch { page = 2; proto = "inval"; owner = 1; epoch = 4 });
+    ]
+  in
+  let l =
+    load_tmp (String.concat "\n" (List.map Event.to_json evs) ^ "\n")
+  in
+  Alcotest.(check int) "no warnings" 0 (List.length l.Event.warnings);
+  Alcotest.(check bool) "events round-trip" true (l.Event.events = evs)
+
 let test_checker_catches_moving_home () =
   let vs =
     Check.run ~nprocs:3
@@ -626,6 +774,24 @@ let tests =
       test_checker_accepts_clean_trace;
     Alcotest.test_case "home events: json round-trip" `Quick
       test_home_events_json_roundtrip;
+    Alcotest.test_case "inval events: json round-trip" `Quick
+      test_inval_events_json_roundtrip;
+    Alcotest.test_case "parse_line classifies lines" `Quick
+      test_parse_line_variants;
+    Alcotest.test_case "load_jsonl skips unknown kinds" `Quick
+      test_load_jsonl_unknown_kind;
+    Alcotest.test_case "load_jsonl tolerates torn final line" `Quick
+      test_load_jsonl_truncated;
+    Alcotest.test_case "load_jsonl round-trips clean files" `Quick
+      test_load_jsonl_roundtrip;
+    Alcotest.test_case "checker catches redundant invalidation" `Quick
+      test_checker_catches_redundant_inval;
+    Alcotest.test_case "checker catches unrequested inval ack" `Quick
+      test_checker_catches_unrequested_ack;
+    Alcotest.test_case "checker catches unacked invalidation" `Quick
+      test_checker_catches_unacked_inval;
+    Alcotest.test_case "checker catches stale exclusive writer" `Quick
+      test_checker_catches_stale_writer;
     Alcotest.test_case "checker catches moving home" `Quick
       test_checker_catches_moving_home;
     Alcotest.test_case "checker catches self flush" `Quick
