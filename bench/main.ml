@@ -44,6 +44,7 @@ let run_one = function
   | "scale" | "scaling" -> Experiments.scaling ppf Dsm_sim.Config.default
   | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
   | "faults" -> Experiments.faults ppf Dsm_sim.Config.default
+  | "availability" -> Experiments.availability ppf Dsm_sim.Config.default
   | "backends" -> Experiments.backends ppf Dsm_sim.Config.default
   | "protocols" | "matrix" ->
       Experiments.protocol_matrix ppf Dsm_sim.Config.default
@@ -60,6 +61,7 @@ let run_all () =
   Experiments.scaling ppf Dsm_sim.Config.default;
   Experiments.ablation ppf Dsm_sim.Config.default;
   Experiments.faults ppf Dsm_sim.Config.default;
+  Experiments.availability ppf Dsm_sim.Config.default;
   Experiments.backends ppf Dsm_sim.Config.default;
   Experiments.protocol_matrix ppf Dsm_sim.Config.default
 
@@ -226,6 +228,8 @@ let json_mode args =
     m "scaling" (fun ppf -> Experiments.scaling ppf Dsm_sim.Config.default);
     m "ablation" (fun ppf -> Experiments.ablation ppf Dsm_sim.Config.default);
     m "faults" (fun ppf -> Experiments.faults ppf Dsm_sim.Config.default);
+    m "availability" (fun ppf ->
+        Experiments.availability ppf Dsm_sim.Config.default);
     m "backends" (fun ppf ->
         Experiments.backends ppf Dsm_sim.Config.default);
     m "protocols" (fun ppf ->

@@ -31,7 +31,7 @@ module Cli = Core.Harness.Cli
    Malformed input degrades to warnings: unknown event kinds are skipped
    with a count (trace written by a newer build), and a torn final line
    (crash mid-write) is reported but does not fail the load. *)
-let recheck_file ~nprocs file =
+let recheck_file ~nprocs ~strict file =
   match Core.Trace.Event.load_jsonl file with
   | exception Sys_error msg -> `Error (false, "cannot read trace: " ^ msg)
   | { Core.Trace.Event.events; warnings; unknown_kinds } -> (
@@ -42,7 +42,16 @@ let recheck_file ~nprocs file =
       if unknown_kinds > 0 then
         Format.eprintf "%s: skipped %d events of unknown kind@." file
           unknown_kinds;
+      (* unknown kinds are already in [warnings] — no double count *)
+      let nwarnings = List.length warnings in
       match Core.Trace.Check.run ~nprocs events with
+      | [] when strict && nwarnings > 0 ->
+          Format.printf "%s: %d events, 0 violations, %d warnings@." file
+            (List.length events) nwarnings;
+          `Error
+            ( false,
+              "trace loaded with warnings (tolerated without \
+               --strict-recheck)" )
       | [] ->
           Format.printf "%s: %d events, 0 violations@." file
             (List.length events);
@@ -54,8 +63,8 @@ let recheck_file ~nprocs file =
             vs;
           `Error (false, "protocol invariant violations found"))
 
-let run app version level size procs common sync trace_file check recheck prof
-    list =
+let run app version level size procs common sync trace_file check recheck
+    strict_recheck digest prof list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -70,7 +79,7 @@ let run app version level size procs common sync trace_file check recheck prof
   end
   else
     match recheck with
-    | Some file -> recheck_file ~nprocs:procs file
+    | Some file -> recheck_file ~nprocs:procs ~strict:strict_recheck file
     | None -> (
     match Cli.find_app app with
     | None -> `Error (false, "unknown application: " ^ app)
@@ -94,7 +103,7 @@ let run app version level size procs common sync trace_file check recheck prof
               match Cli.find_level level with
               | None -> Error ("unknown level: " ^ level)
               | Some l ->
-                  Ok (App.run_tmk ?trace:sink cfg params ~level:l
+                  Ok (App.run_tmk ?trace:sink ~digest cfg params ~level:l
                         ~async:(not sync)))
           | "pvm" -> Ok (App.run_pvm cfg params)
           | "xhpf" -> (
@@ -121,6 +130,8 @@ let run app version level size procs common sync trace_file check recheck prof
             Format.printf "  verification:      max error %g %s@." r.A.max_err
               (if r.A.max_err <= 1e-6 then "(correct)" else "(WRONG)");
             Format.printf "  %a@." Core.Stats.pp r.A.stats;
+            if digest && r.A.digest <> "" then
+              Format.printf "  digest:            %s@." r.A.digest;
             if prof then
               Format.printf "@[<v>  host-cost profile:@,%a@]@." Core.Prof.pp_table
                 ();
@@ -216,6 +227,26 @@ let cmd =
              match the recorded run). Unknown event kinds and a truncated \
              final line are reported as warnings and skipped.")
   in
+  let strict_recheck =
+    Arg.(
+      value & flag
+      & info [ "strict-recheck" ]
+          ~doc:
+            "With $(b,--recheck): exit non-zero when the trace loaded with \
+             any warnings (unknown event kinds, torn final line), not only \
+             on invariant violations — for CI, where a silently truncated \
+             trace must not pass as checked.")
+  in
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Print a content digest of the final shared state, read through \
+             the protocol after the run (tmk versions only). Two runs that \
+             print the same digest ended with bit-identical shared memory — \
+             the basis of the crash-recovery equivalence check in CI.")
+  in
   let prof =
     Arg.(
       value & flag
@@ -232,7 +263,7 @@ let cmd =
     Term.(
       ret
         (const run $ Cli.app_t $ version $ Cli.level_t ~default:"push" $ size
-       $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ recheck $ prof
-       $ list))
+       $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ recheck
+       $ strict_recheck $ digest $ prof $ list))
 
 let () = exit (Cmd.eval cmd)

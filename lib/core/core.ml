@@ -44,6 +44,11 @@ end
 module Mp = Dsm_mp.Mp
 module Hpf = Dsm_hpf.Hpf
 
+module Ft = struct
+  module Schedule = Dsm_ft.Schedule
+  module State = Dsm_ft.Ft
+end
+
 module Compiler = struct
   module Lin = Dsm_compiler.Lin
   module Sym_rsd = Dsm_compiler.Sym_rsd

@@ -73,6 +73,9 @@ type t = {
   net_dup : float;
   net_jitter_us : float;
   net_seed : int;
+  replicas : int;
+  ckpt_every : int;
+  crash : (int * float * float) list;
 }
 
 (* Both enum flags parse through {!Config.normalize_enum} (so
@@ -156,11 +159,68 @@ let term =
             "Seed of the deterministic fault-injection PRNG: the same \
              configuration and seed replay the same faulty run exactly.")
   in
-  let make backend home_policy net_drop net_dup net_jitter_us net_seed =
-    { backend; home_policy; net_drop; net_dup; net_jitter_us; net_seed }
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:
+            "Fault tolerance (hlrc backend): replicate every page's home \
+             over $(docv) consecutive processors; release-time flushes \
+             become quorum writes and misses quorum reads. $(b,1) (the \
+             default) is the plain single-home protocol.")
+  in
+  let ckpt_every =
+    Arg.(
+      value & opt int 0
+      & info [ "ckpt-every" ] ~docv:"N"
+          ~doc:
+            "Fault tolerance: checkpoint each processor's vector clock and \
+             per-page watermarks every $(docv) barrier epochs ($(b,0): only \
+             the implicit initial checkpoint).")
+  in
+  let crash_conv =
+    let parse s =
+      match Dsm_ft.Schedule.parse s with
+      | Ok c -> Ok c
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt c =
+      Format.pp_print_string fmt
+        (String.concat ","
+           (List.map
+              (fun (p, at, down) -> Printf.sprintf "%d@%g+%g" p at down)
+              c))
+    in
+    Arg.conv (parse, print)
+  in
+  let crash =
+    Arg.(
+      value & opt crash_conv []
+      & info [ "crash" ] ~docv:"SCHED"
+          ~doc:
+            "Deterministic crash schedule $(b,P\\@T+D[,P\\@T+D...]): \
+             processor $(b,P) fail-stops at its first barrier arrival at or \
+             after virtual time $(b,T) us and rejoins from its last \
+             checkpoint after $(b,D) us of downtime. Requires the hlrc \
+             backend with $(b,--replicas) >= 3.")
+  in
+  let make backend home_policy net_drop net_dup net_jitter_us net_seed
+      replicas ckpt_every crash =
+    {
+      backend;
+      home_policy;
+      net_drop;
+      net_dup;
+      net_jitter_us;
+      net_seed;
+      replicas;
+      ckpt_every;
+      crash;
+    }
   in
   Term.(
-    const make $ backend $ home_policy $ drop $ dup $ jitter $ net_seed)
+    const make $ backend $ home_policy $ drop $ dup $ jitter $ net_seed
+    $ replicas $ ckpt_every $ crash)
 
 let config ?procs c =
   let cfg =
@@ -176,11 +236,17 @@ let config ?procs c =
       net_dup = c.net_dup;
       net_jitter_us = c.net_jitter_us;
       net_seed = c.net_seed;
+      replicas = c.replicas;
+      ckpt_every = c.ckpt_every;
+      crash = c.crash;
     }
   in
   match Dsm_net.Plan.validate (Dsm_net.Plan.of_config cfg) with
-  | Ok _ -> Ok cfg
   | Error e -> Error ("invalid fault parameters: " ^ e)
+  | Ok _ -> (
+      match Dsm_ft.Schedule.of_config cfg with
+      | Error e -> Error ("invalid fault parameters: " ^ e)
+      | Ok _ -> Ok cfg)
 
 (* {1 Per-executable terms with shared help text} *)
 

@@ -38,17 +38,21 @@ type t = {
   net_dup : float;
   net_jitter_us : float;
   net_seed : int;
+  replicas : int;
+  ckpt_every : int;
+  crash : (int * float * float) list;
 }
 (** Arguments common to every executable that builds a
     {!Dsm_sim.Config.t}. *)
 
 val term : t Cmdliner.Term.t
-(** [--backend/-b], [--home-policy], [--drop], [--dup], [--jitter] and
-    [--net-seed]. *)
+(** [--backend/-b], [--home-policy], [--drop], [--dup], [--jitter],
+    [--net-seed], [--replicas], [--ckpt-every] and [--crash]. *)
 
 val config : ?procs:int -> t -> (Dsm_sim.Config.t, string) result
 (** Specialize {!Dsm_sim.Config.default} with the parsed arguments and
-    validate the resulting network fault plan. *)
+    validate the resulting network fault plan and crash schedule (both
+    error paths share the {!Dsm_net.Plan.field_error} message format). *)
 
 (** {1 Per-executable terms with shared help text} *)
 

@@ -377,6 +377,80 @@ let faults ppf cfg =
     apps;
   rule ppf 78
 
+(* Availability vs overhead: what k-replicated homes cost when nothing
+   fails, and what a crash plus recovery costs on top. Every row's final
+   shared memory must be bit-identical to the unreplicated baseline —
+   the table would be meaningless if fault tolerance changed results. *)
+let availability ppf cfg =
+  Format.fprintf ppf
+    "@.Availability: replicated homes and crash recovery (hlrc, 8 \
+     processors, small sets, best level; crash rows: p1 down at 20ms for \
+     10ms, checkpoints every 2 epochs)@.";
+  rule ppf 100;
+  Format.fprintf ppf "%-12s %-10s %12s %6s %9s %12s %6s %6s %6s %7s@."
+    "Application" "config" "time(us)" "slow" "msgs" "bytes" "qwrite"
+    "qread" "ckpt" "digest";
+  rule ppf 100;
+  let apps : (string * (module A.APP)) list =
+    [
+      ("Jacobi", (module Dsm_apps.Jacobi));
+      ("3D-FFT", (module Dsm_apps.Fft3d));
+      ("Gauss", (module Dsm_apps.Gauss));
+      ("IS", (module Dsm_apps.Is));
+    ]
+  in
+  let crash = [ (1, 20000.0, 10000.0) ] in
+  let rows =
+    [
+      ("k=1", 1, 0, []);
+      ("k=3", 3, 2, []);
+      ("k=3+crash", 3, 2, crash);
+      ("k=5+crash", 5, 2, crash);
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let module App = (val m : A.APP) in
+      let params = App.small in
+      let best = List.fold_left (fun _ l -> l) A.Base App.levels in
+      let baseline = ref None in
+      List.iter
+        (fun (label, replicas, ckpt_every, crash) ->
+          let c =
+            {
+              cfg with
+              Dsm_sim.Config.nprocs = 8;
+              backend = Dsm_sim.Config.Hlrc;
+              replicas;
+              ckpt_every;
+              crash;
+            }
+          in
+          let r = App.run_tmk ~digest:true c params ~level:best ~async:true in
+          if r.A.max_err > 1e-6 then
+            failwith (name ^ ": wrong result under " ^ label);
+          let base_time, base_digest =
+            match !baseline with
+            | None ->
+                baseline := Some (r.A.time_us, r.A.digest);
+                (r.A.time_us, r.A.digest)
+            | Some b -> b
+          in
+          if r.A.digest <> base_digest then
+            failwith (name ^ ": digest diverged under " ^ label);
+          if crash <> [] && r.A.stats.Stats.crashes = 0 then
+            failwith (name ^ ": scheduled crash never executed");
+          let s = r.A.stats in
+          Format.fprintf ppf
+            "%-12s %-10s %12.0f %6.2f %9d %12d %6d %6d %6d %7s@." name label
+            r.A.time_us
+            (r.A.time_us /. base_time)
+            s.Stats.messages s.Stats.bytes s.Stats.quorum_writes
+            s.Stats.quorum_reads s.Stats.ckpts "=")
+        rows)
+    apps;
+  rule ppf 100
+
 (* {1 Platform microbenchmarks (Section 5)} *)
 
 let micro ppf cfg =

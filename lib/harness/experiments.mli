@@ -62,6 +62,14 @@ val faults : Format.formatter -> Dsm_sim.Config.t -> unit
     the reliable-delivery layer recovers every loss — so the table reports
     only the time and the fault counters. *)
 
+val availability : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: the cost of fault tolerance on the hlrc backend —
+    k-replicated homes at k=1/3/5 with and without a mid-run crash and
+    recovery, on four applications at 8 processors. Reports time,
+    messages, bytes and the quorum/checkpoint counters; every
+    configuration's final memory digest must be bit-identical to the
+    unreplicated baseline (the run aborts otherwise). *)
+
 val micro : Format.formatter -> Dsm_sim.Config.t -> unit
 (** Section 5's platform microbenchmarks: minimum roundtrip, free-lock
     acquisition, 8-processor barrier, and the memory-management cost curve,

@@ -43,21 +43,40 @@ let of_config (c : Config.t) =
 
 let is_passthrough t = t.drop = 0.0 && t.dup = 0.0 && t.jitter_us = 0.0
 
+(* One format for every out-of-range configuration value, shared with the
+   crash-schedule validation in [Dsm_ft.Schedule]: name the field, show the
+   offending value and state the accepted range, so a CLI error pinpoints
+   which flag to fix. *)
+let field_error ~field ~value ~range =
+  Printf.sprintf "%s: %s outside accepted range %s" field value range
+
 (* The [not (x >= lo && x <= hi)] form also rejects NaN. *)
 let validate t =
   if not (t.drop >= 0.0 && t.drop <= 1.0) then
-    Error (Printf.sprintf "drop rate %g outside [0,1]" t.drop)
+    Error
+      (field_error ~field:"drop" ~value:(Printf.sprintf "%g" t.drop)
+         ~range:"[0, 1]")
   else if not (t.dup >= 0.0 && t.dup <= 1.0) then
-    Error (Printf.sprintf "duplication rate %g outside [0,1]" t.dup)
+    Error
+      (field_error ~field:"dup" ~value:(Printf.sprintf "%g" t.dup)
+         ~range:"[0, 1]")
   else if not (t.jitter_us >= 0.0) then
-    Error (Printf.sprintf "jitter %g us is negative" t.jitter_us)
+    Error
+      (field_error ~field:"jitter_us"
+         ~value:(Printf.sprintf "%g" t.jitter_us)
+         ~range:"[0, inf)")
   else if t.seed < 0 then
-    Error (Printf.sprintf "net seed %d is negative" t.seed)
+    Error
+      (field_error ~field:"net_seed" ~value:(string_of_int t.seed)
+         ~range:"[0, max_int]")
   else if not (t.rto_us > 0.0) then
-    Error (Printf.sprintf "retransmission timeout %g us must be positive"
-             t.rto_us)
+    Error
+      (field_error ~field:"rto_us" ~value:(Printf.sprintf "%g" t.rto_us)
+         ~range:"(0, inf)")
   else if t.max_attempts < 1 then
-    Error (Printf.sprintf "max attempts %d must be at least 1" t.max_attempts)
+    Error
+      (field_error ~field:"max_attempts" ~value:(string_of_int t.max_attempts)
+         ~range:"[1, max_int]")
   else Ok t
 
 let pp ppf t =

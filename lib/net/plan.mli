@@ -32,6 +32,12 @@ val default : t
     [rto_us] and [max_attempts] keep sane values so a plan built by
     updating only the rates still validates. *)
 
+val default_max_attempts : int
+(** The delivery-attempt cap of {!default}; also the number of unanswered
+    retransmissions after which a peer inside a scheduled down window is
+    suspected ([Dsm_tmk.Recover] charges [rto_us * default_max_attempts]
+    for the detection). *)
+
 val of_config : Dsm_sim.Config.t -> t
 (** Read the plan from the [net_*] fields of a cluster configuration. *)
 
@@ -39,8 +45,14 @@ val is_passthrough : t -> bool
 (** No drop, duplication or jitter: the transport must behave bit-identically
     to the raw {!Dsm_sim.Cluster} cost functions. *)
 
+val field_error : field:string -> value:string -> range:string -> string
+(** ["field: value outside accepted range range"] — the one error format
+    every fault-configuration validator uses ({!validate} here, the crash
+    schedule in [Dsm_ft.Schedule]), so a rejected flag names the field and
+    its accepted range. *)
+
 val validate : t -> (t, string) result
 (** Reject rates outside [0,1], negative jitter or seed, and non-positive
-    timeouts (NaN included). *)
+    timeouts (NaN included). Error messages follow {!field_error}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -69,6 +69,18 @@ type t = {
   adapt_window : int;
       (* adaptive backend: number of barrier epochs observed before a page's
          sharing pattern is (re)classified and its protocol may switch *)
+  replicas : int;
+      (* fault tolerance: size k of each page's home replica group (hlrc
+         only); 1 = the plain single-home protocol, bit-identical to the
+         pre-replication runtime *)
+  ckpt_every : int;
+      (* fault tolerance: barrier epochs between checkpoints of the vector
+         clocks and per-page watermarks; 0 = only the implicit initial
+         checkpoint *)
+  crash : (int * float * float) list;
+      (* fault tolerance: deterministic crash schedule [(proc, at_us,
+         down_us)]; the processor fail-stops at its first release point at
+         or after [at_us] and rejoins after [down_us] of virtual downtime *)
 }
 
 (* Calibration (see config.mli): solving the roundtrip, lock and barrier
@@ -104,6 +116,9 @@ let default =
     backend = Lrc;
     home_policy = Home_block;
     adapt_window = 2;
+    replicas = 1;
+    ckpt_every = 0;
+    crash = [];
   }
 
 let with_procs cfg n = { cfg with nprocs = n }

@@ -104,6 +104,24 @@ type t = {
   adapt_window : int;
       (** adaptive backend: barrier epochs observed per classification
           window; a page's protocol can switch once per window *)
+  replicas : int;
+      (** fault tolerance: size [k] of each page's home replica group under
+          the hlrc backend. Release-time flushes become quorum writes (acked
+          by ⌈(k+1)/2⌉ members) and misses quorum reads. [1] (the default)
+          keeps the plain single-home protocol bit-identical to the
+          pre-replication runtime. *)
+  ckpt_every : int;
+      (** fault tolerance: barrier epochs between checkpoints of each
+          processor's vector clock and per-page watermarks; [0] = only the
+          implicit (empty) initial checkpoint, so recovery re-pulls the full
+          notice history *)
+  crash : (int * float * float) list;
+      (** fault tolerance: deterministic crash-stop schedule
+          [(proc, at_us, down_us)]. The processor fail-stops at its first
+          release point (barrier arrival) at or after [at_us], loses all
+          page state, and rejoins from its last checkpoint plus replica
+          state after [down_us] of virtual downtime. Requires the hlrc
+          backend with [replicas >= 3]. *)
 }
 
 val default : t

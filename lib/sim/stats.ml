@@ -23,6 +23,12 @@ type t = {
   mutable invals : int;
   mutable downgrades : int;
   mutable proto_switches : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable suspects : int;
+  mutable quorum_writes : int;
+  mutable quorum_reads : int;
+  mutable ckpts : int;
 }
 
 let create () =
@@ -51,6 +57,12 @@ let create () =
     invals = 0;
     downgrades = 0;
     proto_switches = 0;
+    crashes = 0;
+    restarts = 0;
+    suspects = 0;
+    quorum_writes = 0;
+    quorum_reads = 0;
+    ckpts = 0;
   }
 
 let reset t =
@@ -77,7 +89,13 @@ let reset t =
   t.home_fetch_bytes <- 0;
   t.invals <- 0;
   t.downgrades <- 0;
-  t.proto_switches <- 0
+  t.proto_switches <- 0;
+  t.crashes <- 0;
+  t.restarts <- 0;
+  t.suspects <- 0;
+  t.quorum_writes <- 0;
+  t.quorum_reads <- 0;
+  t.ckpts <- 0
 
 let add acc x =
   acc.messages <- acc.messages + x.messages;
@@ -103,7 +121,13 @@ let add acc x =
   acc.home_fetch_bytes <- acc.home_fetch_bytes + x.home_fetch_bytes;
   acc.invals <- acc.invals + x.invals;
   acc.downgrades <- acc.downgrades + x.downgrades;
-  acc.proto_switches <- acc.proto_switches + x.proto_switches
+  acc.proto_switches <- acc.proto_switches + x.proto_switches;
+  acc.crashes <- acc.crashes + x.crashes;
+  acc.restarts <- acc.restarts + x.restarts;
+  acc.suspects <- acc.suspects + x.suspects;
+  acc.quorum_writes <- acc.quorum_writes + x.quorum_writes;
+  acc.quorum_reads <- acc.quorum_reads + x.quorum_reads;
+  acc.ckpts <- acc.ckpts + x.ckpts
 
 let total arr =
   let acc = create () in
@@ -126,4 +150,13 @@ let pp ppf t =
   (* likewise for the invalidate/adaptive counters *)
   if t.invals <> 0 || t.downgrades <> 0 || t.proto_switches <> 0 then
     Format.fprintf ppf "@[<v> inval=%d downgrade=%d switch=%d@]" t.invals
-      t.downgrades t.proto_switches
+      t.downgrades t.proto_switches;
+  (* and for the fault-tolerance counters: fault-free single-home runs keep
+     byte-identical output *)
+  if
+    t.crashes <> 0 || t.suspects <> 0 || t.quorum_writes <> 0
+    || t.quorum_reads <> 0 || t.ckpts <> 0
+  then
+    Format.fprintf ppf
+      "@[<v> crash=%d restart=%d suspect=%d qwrite=%d qread=%d ckpt=%d@]"
+      t.crashes t.restarts t.suspects t.quorum_writes t.quorum_reads t.ckpts

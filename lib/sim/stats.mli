@@ -36,6 +36,16 @@ type t = {
       (** invalidate backend: exclusive copies downgraded to shared *)
   mutable proto_switches : int;
       (** adaptive backend: per-page protocol switches at barriers *)
+  mutable crashes : int;  (** fault tolerance: crash-stop failures executed *)
+  mutable restarts : int;
+      (** fault tolerance: rejoins from the last checkpoint *)
+  mutable suspects : int;
+      (** fault tolerance: peers declared crashed after RTO exhaustion *)
+  mutable quorum_writes : int;
+      (** hlrc-r: release-time flushes acknowledged by a replica quorum *)
+  mutable quorum_reads : int;
+      (** hlrc-r: misses served by a quorum read from a replica group *)
+  mutable ckpts : int;  (** fault tolerance: checkpoints taken *)
 }
 
 val create : unit -> t

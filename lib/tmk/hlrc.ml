@@ -32,28 +32,108 @@ let name = "hlrc"
 (* {1 Home assignment} *)
 
 (* Static policy, resolved lazily and memoized in [sys.homes] so every
-   backend path (flush, fetch, wsync scan) agrees on the same map. Under
-   [Home_first_touch] the first processor to flush or query the page
-   becomes its home — the engine's deterministic interleaving makes the
-   assignment reproducible. *)
-let home_of sys ~toucher page =
-  match Hashtbl.find_opt sys.homes page with
-  | Some h -> h
-  | None ->
-      let h =
-        match sys.cluster.Cluster.cfg.Config.home_policy with
-        | Config.Home_cyclic -> page mod sys.nprocs
-        | Config.Home_first_touch -> toucher
-        | Config.Home_block ->
-            (* contiguous blocks of the allocated heap, one per processor *)
-            let npages = max 1 (Dsm_mem.Addr_space.n_pages sys.space) in
-            let per = (npages + sys.nprocs - 1) / sys.nprocs in
-            min (page / per) (sys.nprocs - 1)
-      in
-      Hashtbl.replace sys.homes page h;
-      h
+   backend path (flush, fetch, wsync scan) agrees on the same map. Lives
+   in {!Recover} (the replica-group map wraps the same base policy); the
+   single-home protocol below is unchanged by the move. *)
+let home_of = Recover.home_of
+
+module Ft = Dsm_ft.Ft
 
 (* {1 Release: eager diff flush to the homes} *)
+
+(* Replicated variant of the flush ([replicas > 1]): the closed interval's
+   diffs go to every live member of each page's replica group, and the
+   release is only sound if at least a quorum of the group acknowledged —
+   a crash of any minority of the group can then never lose an
+   acknowledged write. Members filter stale units by their applied
+   watermark, which makes a re-flush after a writer crash (the writer's
+   [home_flushed] restarts at 0, so it re-fetches already-delivered units
+   from the store) idempotent. *)
+let flush_pages_replicated sys p ~seq pages =
+  let st = sys.states.(p) in
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let quorum = sys.ft.Ft.quorum in
+  List.iter
+    (fun page ->
+      let m = Protocol.meta st ~nprocs:sys.nprocs page in
+      let c = Protocol.materialize sys ~writer:p ~page in
+      if c > 0.0 then Cluster.charge sys.cluster p c;
+      let r =
+        Diff_store.fetch sys.store ~writer:p ~page ~after:m.home_flushed
+          ~upto:seq
+      in
+      let high =
+        List.fold_left
+          (fun acc u -> max acc u.Diff_store.upto_seq)
+          seq r.Diff_store.units
+      in
+      let payload = r.Diff_store.charge_bytes in
+      let sorted =
+        List.sort
+          (fun a b -> compare a.Diff_store.order b.Diff_store.order)
+          r.Diff_store.units
+      in
+      let live =
+        Recover.live_members sys p (Recover.group_of sys ~toucher:p page)
+      in
+      List.iter
+        (fun member ->
+          if member = p then begin
+            (* my copy is current by construction; only the watermark moves *)
+            if high > m.applied.(p) then m.applied.(p) <- high;
+            if m.known.(p) < m.applied.(p) then m.known.(p) <- m.applied.(p);
+            Diff_store.note_applied sys.store ~writer:p ~page ~by:p
+              ~seq:m.applied.(p)
+          end
+          else begin
+            let hst = sys.states.(member) in
+            let arrival =
+              Net.send sys.net ~src:p ~dst:member ~bytes:(payload + 16)
+            in
+            let service =
+              cfg.Config.interrupt_us +. cfg.Config.msg_overhead_us
+              +. (cfg.Config.diff_apply_per_byte_us *. float_of_int payload)
+            in
+            Cluster.charge sys.cluster member service;
+            ignore
+              (Cluster.occupy sys.cluster member ~arrival
+                 ~handler_time:service);
+            let hm = Protocol.meta hst ~nprocs:sys.nprocs page in
+            let hpg = Page_table.get hst.pt page in
+            List.iter
+              (fun u ->
+                if u.Diff_store.upto_seq > hm.applied.(p) then begin
+                  Diff.apply u.Diff_store.payload hpg.Page_table.data;
+                  match hpg.Page_table.twin with
+                  | Some twin -> Diff.apply u.Diff_store.payload twin
+                  | None -> ()
+                end)
+              sorted;
+            if high > hm.applied.(p) then hm.applied.(p) <- high;
+            if hm.known.(p) < hm.applied.(p) then
+              hm.known.(p) <- hm.applied.(p);
+            Diff_store.note_applied sys.store ~writer:p ~page ~by:member
+              ~seq:hm.applied.(p);
+            Ft.clear_lost sys.ft member page;
+            pstats.Stats.home_flushes <- pstats.Stats.home_flushes + 1;
+            pstats.Stats.home_flush_bytes <-
+              pstats.Stats.home_flush_bytes + payload
+          end)
+        live;
+      if List.length live < quorum then
+        failwith
+          (Printf.sprintf
+             "hlrc-r: flush of page %d reached only %d/%d replicas (more \
+              concurrent failures than the group tolerates)"
+             page (List.length live) quorum);
+      if high > m.home_flushed then m.home_flushed <- high;
+      pstats.Stats.quorum_writes <- pstats.Stats.quorum_writes + 1;
+      if sys.trace <> None then
+        Protocol.emit sys p
+          (Dsm_trace.Event.Quorum_write
+             { page; seq = high; acks = live; needed = quorum }))
+    pages
 
 (* Push a closed interval's diffs for [pages] into the home copies. One
    message per home aggregates all of the release's pages homed there.
@@ -161,7 +241,8 @@ let release sys p =
   match Protocol.release sys p with
   | None -> None
   | Some (seq, pages) as entry ->
-      flush_pages sys p ~seq pages;
+      if Ft.replicated sys.ft then flush_pages_replicated sys p ~seq pages
+      else flush_pages sys p ~seq pages;
       entry
 
 (* {1 Access misses: full-page fetch from the home} *)
@@ -239,10 +320,120 @@ let install_home_copy sys p page ~home =
     Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:m.applied.(q)
   done
 
+(* Replicated variant of the miss path ([replicas > 1]): each stale or
+   lost page is read from the live group member whose applied watermarks
+   dominate everything the reader knows (the quorum-read source — cf.
+   ABD's read phase adapted to HLRC: watermark dominance replaces the
+   highest-timestamp rule), and the read is then imposed on the other
+   live members with small confirm messages so a subsequent reader after
+   further failures still finds a current copy acknowledged. *)
+let quorum_fetch_pages sys p pages ~mode =
+  Prof.enter Prof.Protocol;
+  let cfg = sys.cluster.Cluster.cfg in
+  let pstats = sys.cluster.Cluster.stats.(p) in
+  let st = sys.states.(p) in
+  let quorum = sys.ft.Ft.quorum in
+  let by_src = Array.make sys.nprocs [] in
+  List.iter
+    (fun page ->
+      if stale st ~nprocs:sys.nprocs p page || Ft.is_lost sys.ft p page
+      then begin
+        let live =
+          Recover.live_members sys p (Recover.group_of sys ~toucher:p page)
+        in
+        match Recover.pick_source sys p page ~live with
+        | Some c -> by_src.(c) <- (page, live) :: by_src.(c)
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "hlrc-r: no live replica of page %d holds a copy current \
+                  enough for processor %d (more concurrent failures than \
+                  the group tolerates)"
+                 page p)
+      end
+      else if sys.trace <> None then
+        (* already current — typically a cold fault on a page the restart
+           repair resynchronized but left protected; the trivially
+           complete fetch still closes the checker's fault window *)
+        Protocol.emit sys p
+          (Dsm_trace.Event.Fetch_done { page; full = true }))
+    (List.sort_uniq compare pages);
+  for src = 0 to sys.nprocs - 1 do
+    match by_src.(src) with
+    | [] -> ()
+    | rev_entries ->
+        let entries = List.rev rev_entries in
+        let npages = List.length entries in
+        let payload = npages * sys.page_size in
+        let resp_bytes = payload + (16 * npages) in
+        (match mode with
+        | Protocol.Rpc ->
+            Net.rpc sys.net ~src:p ~dst:src ~req_bytes:(16 * npages)
+              ~resp_bytes ~service:cfg.Config.diff_service_us
+        | Protocol.Prepaid -> ()
+        | Protocol.Piggyback at ->
+            let hstats = sys.cluster.Cluster.stats.(src) in
+            hstats.Stats.messages <- hstats.Stats.messages + 1;
+            hstats.Stats.bytes <- hstats.Stats.bytes + resp_bytes;
+            Cluster.charge sys.cluster src
+              (cfg.Config.msg_overhead_us
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes));
+            Cluster.sync_clock sys.cluster p
+              (at
+              +. (cfg.Config.per_byte_us *. float_of_int resp_bytes)
+              +. cfg.Config.wire_latency_us +. cfg.Config.msg_overhead_us));
+        List.iter
+          (fun (page, live) ->
+            install_home_copy sys p page ~home:src;
+            (* the source's copy can be ahead of the reader's notices
+               (e.g. right after the reader restarted from an old
+               checkpoint); adopt its watermarks so the install is not
+               immediately re-judged stale *)
+            let m = Protocol.meta st ~nprocs:sys.nprocs page in
+            let cm =
+              Protocol.meta sys.states.(src) ~nprocs:sys.nprocs page
+            in
+            for q = 0 to sys.nprocs - 1 do
+              if cm.applied.(q) > m.applied.(q) then begin
+                m.applied.(q) <- cm.applied.(q);
+                if m.known.(q) < m.applied.(q) then
+                  m.known.(q) <- m.applied.(q);
+                Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+                  ~seq:m.applied.(q)
+              end
+            done;
+            Ft.clear_lost sys.ft p page;
+            (* read-impose: confirm the observed watermark with the other
+               live members (16-byte control roundtrips) *)
+            List.iter
+              (fun o ->
+                if o <> src && o <> p then
+                  Net.rpc sys.net ~src:p ~dst:o ~req_bytes:16 ~resp_bytes:16
+                    ~service:cfg.Config.diff_service_us)
+              live;
+            pstats.Stats.home_fetches <- pstats.Stats.home_fetches + 1;
+            pstats.Stats.home_fetch_bytes <-
+              pstats.Stats.home_fetch_bytes + sys.page_size;
+            pstats.Stats.diff_bytes_applied <-
+              pstats.Stats.diff_bytes_applied + sys.page_size;
+            pstats.Stats.quorum_reads <- pstats.Stats.quorum_reads + 1;
+            if sys.trace <> None then begin
+              Protocol.emit sys p
+                (Dsm_trace.Event.Quorum_read
+                   { page; from = src; acks = live; needed = quorum });
+              Protocol.emit sys p
+                (Dsm_trace.Event.Fetch_done { page; full = true })
+            end)
+          entries;
+        Cluster.charge sys.cluster p
+          (cfg.Config.diff_apply_per_byte_us *. float_of_int payload)
+  done;
+  Prof.exit Prof.Protocol
+
 (* Fetch and install the home copies of every stale page, one aggregated
    request per home; paid for according to [mode] exactly like the
    homeless protocol's diff fetches. *)
-let fetch_pages sys p pages ~mode =
+let fetch_pages_single sys p pages ~mode =
   Prof.enter Prof.Protocol;
   let cfg = sys.cluster.Cluster.cfg in
   let pstats = sys.cluster.Cluster.stats.(p) in
@@ -304,10 +495,17 @@ let fetch_pages sys p pages ~mode =
       (List.sort_uniq compare pages);
   Prof.exit Prof.Protocol
 
+let fetch_pages sys p pages ~mode =
+  if Ft.replicated sys.ft then quorum_fetch_pages sys p pages ~mode
+  else fetch_pages_single sys p pages ~mode
+
 (* Asynchronous variant: send the page requests to the homes and record
    the response arrival times; the fault handler installs the copies
-   (Section 3.2.3 of the paper applies unchanged). *)
-let async_fetch sys p pages =
+   (Section 3.2.3 of the paper applies unchanged). Under replication the
+   asynchronous overlap is given up: a quorum read must settle its source
+   before the watermarks move, so the request degenerates to the
+   synchronous quorum fetch. *)
+let async_fetch_single sys p pages =
   Prof.enter Prof.Protocol;
   let st = sys.states.(p) in
   let cfg = sys.cluster.Cluster.cfg in
@@ -357,6 +555,11 @@ let async_fetch sys p pages =
           hpages
   done;
   Prof.exit Prof.Protocol
+
+let async_fetch sys p pages =
+  if Ft.replicated sys.ft then
+    quorum_fetch_pages sys p pages ~mode:Protocol.Rpc
+  else async_fetch_single sys p pages
 
 let make_consistent sys p page =
   let st = sys.states.(p) in
@@ -453,7 +656,9 @@ let handle_wsync sys p ~epoch ~departure_clock ~my_reqs =
   List.iter
     (fun req ->
       let pages = Range.pages ~page_size:sys.page_size req.wr_ranges in
-      if req.wr_async then begin
+      (* under replication the asynchronous variant falls through to the
+         synchronous quorum fetch below, like {!async_fetch} *)
+      if req.wr_async && not (Ft.replicated sys.ft) then begin
         let st = sys.states.(p) in
         let by_home = Array.make sys.nprocs [] in
         List.iter

@@ -296,6 +296,12 @@ let barrier_with ~release ~plan_bcast ~handle_wsync t =
   let pstats = sys.cluster.Cluster.stats.(p) in
   pstats.Stats.barriers <- pstats.Stats.barriers + 1;
   ignore (release sys p);
+  (* fault-tolerance hook: checkpoints and scheduled crashes execute at
+     barrier arrival, right after the interval closed (and, under hlrc,
+     its diffs reached the replica homes) — the fail-stop point where an
+     acknowledged write can no longer be lost. A single cheap test when
+     the subsystem is idle. *)
+  Recover.at_barrier_arrival t;
   let my_epoch = st.barrier_epoch in
   st.barrier_epoch <- my_epoch + 1;
   let my_reqs = st.pending_wsync in

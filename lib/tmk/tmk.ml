@@ -66,6 +66,7 @@ let make cfg =
     iv_dir = Hashtbl.create 64;
     adapt = Hashtbl.create 64;
     adapt_tick = 0;
+    ft = Dsm_ft.Ft.create cfg;
     bops =
       (match cfg.Config.backend with
       | Config.Lrc -> Backend.ops (module Backend_lrc)
@@ -150,6 +151,9 @@ let cluster sys = sys.Types.cluster
    calling this, as the digest run advances the simulated clocks. *)
 let digest sys =
   let buf = Buffer.create 4096 in
+  (* the verification read pass observes the (possibly recovered) final
+     state; it must not trigger crash events still pending in the schedule *)
+  Dsm_ft.Ft.disarm sys.Types.ft;
   run sys (fun t ->
       if t.Types.p = 0 then
         List.iter

@@ -174,6 +174,11 @@ type system = {
       (* adaptive only: per-page protocol mode + sharing observations *)
   mutable adapt_tick : int;
       (* adaptive only: barrier epochs since the last classification *)
+  ft : Dsm_ft.Ft.t;
+      (* crash-stop fault-tolerance state: crash queues, down windows,
+         lost-page sets and checkpoints ({!Recover} interprets them).
+         Inert — every hook a single test — unless the configuration sets
+         [replicas > 1] or a crash schedule *)
   bops : backend_ops;
       (* the coherence backend driving this system; selected once in
          {!Tmk.make} from [Config.backend] and never changed afterwards *)

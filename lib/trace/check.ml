@@ -65,6 +65,8 @@ type proc_state = {
   mutable pending_fetch : int option;  (* faulting page awaiting Fetch_done *)
   mutable in_barrier : bool;
   mutable epoch : int;  (* barriers departed *)
+  mutable crashed : bool;  (* between a [Crash] and its [Restart] *)
+  mutable ckpt_epoch_hi : int;  (* newest checkpointed barrier epoch *)
   pages : (int, page_state) Hashtbl.t;
 }
 
@@ -132,6 +134,8 @@ let create ~nprocs =
             pending_fetch = None;
             in_barrier = false;
             epoch = 0;
+            crashed = false;
+            ckpt_epoch_hi = 0;
             pages = Hashtbl.create 256;
           });
     msgs = Hashtbl.create 256;
@@ -549,6 +553,108 @@ let step st (e : Event.t) =
           s.applied.(q) <- max s.applied.(q) s.known.(q)
         done;
         s.batch_order <- min_int
+    (* {2 Fault-tolerance rules}
+
+       Replica copies are tracked through the members' own page states: a
+       [Quorum_write] advances the writer's watermark in every
+       acknowledging member's state (like [Home_flush] does for the single
+       home), a [Crash] wipes the crashed processor's states, and a
+       [Quorum_read] — both the miss path and the restart repair — must
+       name a source whose copy covers everything the reader knows. Chained
+       together these prove the headline guarantee: a write acknowledged by
+       a quorum survives any crash of a minority, because some surviving
+       member's state still carries its watermark and the read rule
+       rejects any source without it. *)
+    | Crash { epoch = _ } ->
+        if ps.crashed then
+          fail st e "crash-alternate" "second crash without a restart";
+        ps.crashed <- true;
+        (* all volatile state is gone: watermarks restart from zero (the
+           restore/repair events rebuild them) and the vector clock may
+           regress to the checkpointed value *)
+        Hashtbl.reset ps.pages;
+        ps.pending_fetch <- None;
+        ps.last_vc <- None
+    | Restart { epoch = _; ckpt } ->
+        if not ps.crashed then
+          fail st e "crash-alternate" "restart without a crash";
+        ps.crashed <- false;
+        if ckpt < 0 then
+          fail st e "restart-ckpt" "restart from negative checkpoint %d" ckpt
+    | Suspect { peer; attempts } ->
+        if peer < 0 || peer >= st.nprocs then
+          fail st e "suspect-range" "suspected peer p%d out of range" peer;
+        if peer = p then fail st e "suspect-range" "p%d suspected itself" p;
+        if attempts < 1 then
+          fail st e "suspect-attempts"
+            "suspicion after %d delivery attempts" attempts
+    | Quorum_write { page; seq; acks; needed } ->
+        if needed < 1 then
+          fail st e "quorum-write-under" "write quorum of %d" needed;
+        if List.length acks < needed then
+          fail st e "quorum-write-under"
+            "flush of page %d acknowledged by %d replicas, quorum is %d" page
+            (List.length acks) needed;
+        if seq > ps.own then
+          fail st e "quorum-write-future"
+            "flushed through interval %d but only %d released" seq ps.own;
+        if List.sort_uniq compare acks <> List.sort compare acks then
+          fail st e "quorum-write-acks"
+            "replica acknowledged the flush of page %d twice" page;
+        List.iter
+          (fun a ->
+            if a < 0 || a >= st.nprocs then
+              fail st e "quorum-write-acks" "acknowledging replica p%d out \
+                                             of range" a
+            else begin
+              let s = page_state st a page in
+              s.applied.(p) <- max s.applied.(p) seq;
+              s.known.(p) <- max s.known.(p) s.applied.(p)
+            end)
+          acks
+    | Quorum_read { page; from; acks; needed } ->
+        if needed < 1 then
+          fail st e "quorum-read-under" "read quorum of %d" needed;
+        if List.length acks < needed then
+          fail st e "quorum-read-under"
+            "read of page %d chose among %d live replicas, quorum is %d" page
+            (List.length acks) needed;
+        if from < 0 || from >= st.nprocs then
+          fail st e "quorum-read-source" "source replica p%d out of range"
+            from
+        else begin
+          if not (List.mem from acks) then
+            fail st e "quorum-read-source"
+              "page %d read from p%d, which is not among the live replicas"
+              page from;
+          (* the fault-tolerant analog of home-fetch-current: the chosen
+             copy must dominate everything the reader knows — this is the
+             rule a lost acknowledged write trips after a crash *)
+          let s = page_state st p page in
+          let sf = page_state st from page in
+          for q = 0 to st.nprocs - 1 do
+            if s.known.(q) > sf.applied.(q) then
+              fail st e "quorum-read-current"
+                "page %d: reader knows p%d interval %d but replica p%d only \
+                 has %d"
+                page q s.known.(q) from sf.applied.(q)
+          done;
+          (* the install adopts the source's copy and watermarks *)
+          for q = 0 to st.nprocs - 1 do
+            s.applied.(q) <- max s.applied.(q) (max s.known.(q) sf.applied.(q));
+            s.known.(q) <- max s.known.(q) s.applied.(q)
+          done;
+          s.batch_order <- min_int
+        end
+    | Ckpt { id; ckpt_epoch } ->
+        if id < 1 then
+          fail st e "ckpt-id" "checkpoint id %d (0 is the implicit initial \
+                               checkpoint)" id;
+        if ckpt_epoch <= ps.ckpt_epoch_hi then
+          fail st e "ckpt-monotone"
+            "checkpoint at epoch %d after one at epoch %d" ckpt_epoch
+            ps.ckpt_epoch_hi
+        else ps.ckpt_epoch_hi <- ckpt_epoch
     (* {2 Reliable-transport rules} *)
     | Msg_drop { msg; src; dst; attempt } ->
         let ms = msg_state st e ~msg ~src ~dst in
@@ -643,6 +749,14 @@ let finish st =
             rule = "barrier-alternate";
             detail = Printf.sprintf "p%d arrived at epoch %d and never departed"
                 p ps.epoch;
+          }
+          :: st.violations;
+      if ps.crashed then
+        st.violations <-
+          {
+            event = None;
+            rule = "crash-alternate";
+            detail = Printf.sprintf "p%d crashed and never restarted" p;
           }
           :: st.violations)
     st.procs;

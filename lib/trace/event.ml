@@ -73,6 +73,29 @@ type kind =
       (* adaptive backend: at barrier [epoch] the page moved to protocol
          [proto] ("lrc", "hlrc" or "inval") with designated [owner]
          (home under hlrc, current holder under inval, -1 under lrc) *)
+  (* Fault-tolerance events (lib/ft + Dsm_tmk.Recover). Crash-stop node
+     failures execute at release points; homes are k-replica groups whose
+     flushes are quorum writes and whose misses are quorum reads. *)
+  | Crash of { epoch : int }
+      (* the emitting processor fail-stopped at barrier epoch [epoch],
+         wiping all page state; its vc snapshot is taken pre-wipe *)
+  | Restart of { epoch : int; ckpt : int }
+      (* the processor rejoined from checkpoint [ckpt] (plus replica
+         state); its vc snapshot shows the restored (possibly regressed
+         in foreign components) clock *)
+  | Suspect of { peer : int; attempts : int }
+      (* the emitting processor's reliable layer exhausted [attempts]
+         delivery attempts against [peer] and declared it suspected *)
+  | Quorum_write of { page : int; seq : int; acks : int list; needed : int }
+      (* release-time flush of the writer's intervals up to [seq] into
+         [page]'s replica group; [acks] are the members that applied it
+         (|acks| >= [needed] or the write would not be acknowledged) *)
+  | Quorum_read of { page : int; from : int; acks : int list; needed : int }
+      (* miss serviced by the replica group: the full copy came from
+         [from], the highest-watermark member among [acks] *)
+  | Ckpt of { id : int; ckpt_epoch : int }
+      (* barrier-quiesced checkpoint [id] of the emitting processor's
+         vector clock and per-page watermarks, at epoch [ckpt_epoch] *)
   (* Transport-level events of the unreliable-network model (lib/net).
      [msg] is the global message id of the reliable-delivery layer; each
      event names the flow endpoints so the checker can reason per message
@@ -125,6 +148,12 @@ let kind_name = function
   | Inval_ack _ -> "inval_ack"
   | Downgrade _ -> "downgrade"
   | Proto_switch _ -> "proto_switch"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+  | Suspect _ -> "suspect"
+  | Quorum_write _ -> "quorum_write"
+  | Quorum_read _ -> "quorum_read"
+  | Ckpt _ -> "ckpt"
   | Msg_drop _ -> "msg_drop"
   | Msg_dup _ -> "msg_dup"
   | Retransmit _ -> "retransmit"
@@ -190,6 +219,19 @@ let kind_fields = function
   | Proto_switch { page; proto; owner; epoch } ->
       Printf.sprintf "\"page\":%d,\"proto\":%S,\"owner\":%d,\"epoch\":%d" page
         proto owner epoch
+  | Crash { epoch } -> Printf.sprintf "\"epoch\":%d" epoch
+  | Restart { epoch; ckpt } ->
+      Printf.sprintf "\"epoch\":%d,\"ckpt\":%d" epoch ckpt
+  | Suspect { peer; attempts } ->
+      Printf.sprintf "\"peer\":%d,\"attempts\":%d" peer attempts
+  | Quorum_write { page; seq; acks; needed } ->
+      Printf.sprintf "\"page\":%d,\"seq\":%d,\"acks\":%s,\"needed\":%d" page
+        seq (json_int_list acks) needed
+  | Quorum_read { page; from; acks; needed } ->
+      Printf.sprintf "\"page\":%d,\"from\":%d,\"acks\":%s,\"needed\":%d" page
+        from (json_int_list acks) needed
+  | Ckpt { id; ckpt_epoch } ->
+      Printf.sprintf "\"ckpt_id\":%d,\"epoch\":%d" id ckpt_epoch
   | Msg_drop { msg; src; dst; attempt } ->
       Printf.sprintf "\"msg\":%d,\"src\":%d,\"dst\":%d,\"attempt\":%d" msg src
         dst attempt
@@ -468,6 +510,26 @@ let parse_exn line =
             owner = int "owner";
             epoch = int "epoch";
           }
+    | "crash" -> Crash { epoch = int "epoch" }
+    | "restart" -> Restart { epoch = int "epoch"; ckpt = int "ckpt" }
+    | "suspect" -> Suspect { peer = int "peer"; attempts = int "attempts" }
+    | "quorum_write" ->
+        Quorum_write
+          {
+            page = int "page";
+            seq = int "seq";
+            acks = ints "acks";
+            needed = int "needed";
+          }
+    | "quorum_read" ->
+        Quorum_read
+          {
+            page = int "page";
+            from = int "from";
+            acks = ints "acks";
+            needed = int "needed";
+          }
+    | "ckpt" -> Ckpt { id = int "ckpt_id"; ckpt_epoch = int "epoch" }
     | "msg_drop" ->
         Msg_drop
           {

@@ -92,6 +92,25 @@ type kind =
       (** adaptive backend: at barrier [epoch], [page] switched to
           protocol [proto] ("lrc", "hlrc" or "inval") with designated
           [owner] (home under hlrc, holder under inval, -1 under lrc) *)
+  | Crash of { epoch : int }
+      (** fault tolerance: the emitting processor fail-stopped at barrier
+          [epoch], losing all volatile state *)
+  | Restart of { epoch : int; ckpt : int }
+      (** fault tolerance: the processor rejoined at barrier [epoch] from
+          checkpoint [ckpt] (0 = the implicit initial checkpoint) *)
+  | Suspect of { peer : int; attempts : int }
+      (** fault tolerance: the emitter declared [peer] crashed after
+          [attempts] unanswered retransmissions *)
+  | Quorum_write of { page : int; seq : int; acks : int list; needed : int }
+      (** hlrc-r: the release-time flush of [page] up to interval [seq]
+          was applied by replica members [acks]; sound iff
+          [List.length acks >= needed] *)
+  | Quorum_read of { page : int; from : int; acks : int list; needed : int }
+      (** hlrc-r: a miss on [page] was served from replica [from], chosen
+          among live members [acks] by watermark dominance *)
+  | Ckpt of { id : int; ckpt_epoch : int }
+      (** fault tolerance: the emitter checkpointed its vector clock and
+          per-page watermarks at barrier [ckpt_epoch] *)
   | Msg_drop of { msg : int; src : int; dst : int; attempt : int }
       (** a delivery attempt of reliable-layer message [msg] was lost *)
   | Msg_dup of { msg : int; src : int; dst : int }

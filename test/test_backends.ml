@@ -238,13 +238,18 @@ let checker_clean backend case () =
 
 (* {1 Adaptive switch decisions are deterministic} *)
 
-let switch_determinism () =
+let switch_determinism ?(jitter = 0.0) () =
   let case = List.hd cases in
   let switches () =
     let sink = Sink.create ~nprocs:4 () in
-    let r =
-      case.run ~trace:sink (cfg Config.Adaptive 4) ~level:Base ~async:false
+    let c =
+      {
+        (cfg Config.Adaptive 4) with
+        Config.net_jitter_us = jitter;
+        net_seed = 11;
+      }
     in
+    let r = case.run ~trace:sink c ~level:Base ~async:false in
     Alcotest.(check (float 1e-6)) "verified" 0.0 r.max_err;
     List.filter_map
       (fun (e : Dsm_trace.Event.t) ->
@@ -379,7 +384,10 @@ let tests =
       Alcotest.test_case "adaptive deterministic" `Quick
         (determinism Config.Adaptive);
       Alcotest.test_case "adaptive switch decisions deterministic" `Quick
-        switch_determinism;
+        (switch_determinism ?jitter:None);
+      Alcotest.test_case "adaptive switch decisions deterministic (jitter)"
+        `Quick
+        (switch_determinism ~jitter:50.0);
       Alcotest.test_case "hlrc stats counters" `Quick hlrc_stats;
       Alcotest.test_case "inval/adaptive stats counters" `Quick inval_stats;
       Alcotest.test_case "alloc API" `Quick alloc_api;

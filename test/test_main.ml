@@ -19,6 +19,7 @@ let () =
       ("protocol-properties", Test_props.tests);
       ("trace", Test_trace.tests);
       ("net", Test_net.tests);
+      ("ft", Test_ft.tests);
       ("perf-goldens", Test_perf_goldens.tests);
       ("perf-infra", Test_perf_infra.tests);
       ("backends", Test_backends.tests);

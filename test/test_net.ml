@@ -76,7 +76,8 @@ let test_plan_validate () =
   Alcotest.(check bool) "zero attempts rejected" false
     (ok { d with Plan.max_attempts = 0 });
   Alcotest.check_raises "Net.create rejects invalid plan"
-    (Invalid_argument "Net.create: drop rate 2 outside [0,1]") (fun () ->
+    (Invalid_argument "Net.create: drop: 2 outside accepted range [0, 1]")
+    (fun () ->
       ignore
         (Net.create ~plan:{ d with Plan.drop = 2.0 }
            (Cluster.create (cfg_n 2))));
@@ -262,6 +263,31 @@ let test_fault_reproducibility () =
   Alcotest.(check (float 0.0)) "still correct" r0.max_err r2.max_err;
   Alcotest.(check bool) "different seed, different run" true
     (Sink.events sink2 <> e0)
+
+let test_backend_digest_self_identity () =
+  (* every backend, 4 processors, nonzero fault plan: two replays of the
+     same (plan, seed) end with the same shared memory, bit for bit *)
+  let prm = { Dsm_apps.Gauss.small with m = 48 } in
+  List.iter
+    (fun backend ->
+      let name = Config.backend_name backend in
+      let once () =
+        Dsm_apps.Gauss.run_tmk ~digest:true
+          { (faulty_cfg 4) with Config.backend = backend }
+          prm ~level:Sync_merge ~async:true
+      in
+      let r0 = once ()
+      and r1 = once () in
+      Alcotest.(check bool)
+        (name ^ ": digest computed")
+        true (r0.digest <> "");
+      Alcotest.(check string)
+        (name ^ ": replayed digest identical")
+        r0.digest r1.digest;
+      Alcotest.(check (float 0.0))
+        (name ^ ": replayed clock identical")
+        r0.time_us r1.time_us)
+    [ Config.Lrc; Config.Hlrc; Config.Inval; Config.Adaptive ]
 
 (* {1 JSONL round-trip} *)
 
@@ -491,6 +517,8 @@ let tests =
       test_apps_under_faults;
     Alcotest.test_case "fault runs reproducible from (config, seed)" `Quick
       test_fault_reproducibility;
+    Alcotest.test_case "four backends: digest self-identity under faults"
+      `Quick test_backend_digest_self_identity;
     Alcotest.test_case "jsonl round-trip (new kinds)" `Quick
       test_jsonl_roundtrip;
     Alcotest.test_case "jsonl round-trip (full faulty run)" `Quick
