@@ -42,6 +42,8 @@ let run_one = function
   | "fig7" | "figure7" -> with_apps (Experiments.figure7 ppf)
   | "micro" -> Experiments.micro ppf Dsm_sim.Config.default
   | "scale" | "scaling" -> Experiments.scaling ppf Dsm_sim.Config.default
+  | "scale-deep" | "scaling-deep" ->
+      Experiments.scaling_deep ppf Dsm_sim.Config.default
   | "ablation" -> Experiments.ablation ppf Dsm_sim.Config.default
   | "faults" -> Experiments.faults ppf Dsm_sim.Config.default
   | "availability" -> Experiments.availability ppf Dsm_sim.Config.default
@@ -59,6 +61,7 @@ let run_all () =
       Experiments.figure6 ppf apps;
       Experiments.figure7 ppf apps);
   Experiments.scaling ppf Dsm_sim.Config.default;
+  Experiments.scaling_deep ppf Dsm_sim.Config.default;
   Experiments.ablation ppf Dsm_sim.Config.default;
   Experiments.faults ppf Dsm_sim.Config.default;
   Experiments.availability ppf Dsm_sim.Config.default;
@@ -167,7 +170,7 @@ let json_mode args =
     | _ :: tl -> keyed k tl
     | [] -> None
   in
-  let out = Option.value ~default:"BENCH_3.json" (keyed "--out" args) in
+  let out = Option.value ~default:"BENCH_8.json" (keyed "--out" args) in
   let against = keyed "--against" args in
   let tolerance =
     match keyed "--tolerance" args with
@@ -202,7 +205,7 @@ let json_mode args =
   Dsm_prof.Prof.disable ();
   let measure_once round =
     let log =
-      Bench_log.create ~pr:3 ~label:(if quick then "quick" else "full") ~quick
+      Bench_log.create ~pr:8 ~label:(if quick then "quick" else "full") ~quick
     in
     Bench_log.set_prof_invariant log (d_off = d_on);
     Bench_log.set_profile log profile_json;
@@ -226,6 +229,11 @@ let json_mode args =
       m "figure7" (fun ppf -> Experiments.figure7 ppf apps)
     end;
     m "scaling" (fun ppf -> Experiments.scaling ppf Dsm_sim.Config.default);
+    if not quick then
+      (* 256/1024-processor tiers: the barrier write-notice exchange costs
+         the host O(nprocs^2), too slow for the quick CI gate *)
+      m "scaling_deep" (fun ppf ->
+          Experiments.scaling_deep ppf Dsm_sim.Config.default);
     m "ablation" (fun ppf -> Experiments.ablation ppf Dsm_sim.Config.default);
     m "faults" (fun ppf -> Experiments.faults ppf Dsm_sim.Config.default);
     m "availability" (fun ppf ->

@@ -37,6 +37,22 @@ type result = {
 
 let combine_err a b = Float.max a (abs_float b)
 
+(* Memoization of each app's sequential reference solution. One process-
+   wide lock, held across the compute: the tables are tiny (a handful of
+   problem sizes), the compute is deterministic, and the harness fans
+   independent runs out across domains (Fanout), where an unlocked
+   Hashtbl.replace would race. *)
+let memo_lock = Mutex.create ()
+
+let memo tbl key compute =
+  Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt tbl key with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          Hashtbl.replace tbl key v;
+          v)
+
 module type APP = sig
   val name : string
 

@@ -40,6 +40,13 @@ type result = {
 
 val combine_err : float -> float -> float
 
+val memo : ('k, 'v) Hashtbl.t -> 'k -> (unit -> 'v) -> 'v
+(** [memo tbl key compute] returns the cached value for [key], computing
+    and caching it under a process-wide lock otherwise. Used for the
+    apps' sequential reference solutions, which are shared across runs —
+    including runs the harness fans out over several domains, where an
+    unlocked table would race. *)
+
 module type APP = sig
   val name : string
 

@@ -184,12 +184,7 @@ let seq_arrays { n; iters; _ } =
 let seq_memo : (int * int, float array) Hashtbl.t = Hashtbl.create 4
 
 let reference prm =
-  match Hashtbl.find_opt seq_memo (prm.n, prm.iters) with
-  | Some x -> x
-  | None ->
-      let x = seq_arrays prm in
-      Hashtbl.replace seq_memo (prm.n, prm.iters) x;
-      x
+  memo seq_memo (prm.n, prm.iters) (fun () -> seq_arrays prm)
 
 (* virtual-time charges per iteration, per processor slab of width w *)
 let fft_phase_cost bf n cols =

@@ -81,13 +81,7 @@ let seq_arrays { m; _ } =
 
 let seq_memo : (int, float array array) Hashtbl.t = Hashtbl.create 4
 
-let reference p =
-  match Hashtbl.find_opt seq_memo p.m with
-  | Some a -> a
-  | None ->
-      let a = seq_arrays p in
-      Hashtbl.replace seq_memo p.m a;
-      a
+let reference p = memo seq_memo p.m (fun () -> seq_arrays p)
 
 let seq_time_us { m; update_cost = u } =
   let t = ref 0.0 in

@@ -77,13 +77,9 @@ let seq_ranks { n_keys; n_buckets; _ } ~nprocs =
 let seq_memo : (int * int * int, int array) Hashtbl.t = Hashtbl.create 4
 
 let reference prm ~nprocs =
-  let k = (prm.n_keys, prm.n_buckets, nprocs) in
-  match Hashtbl.find_opt seq_memo k with
-  | Some r -> r
-  | None ->
-      let r = seq_ranks prm ~nprocs in
-      Hashtbl.replace seq_memo k r;
-      r
+  memo seq_memo
+    (prm.n_keys, prm.n_buckets, nprocs)
+    (fun () -> seq_ranks prm ~nprocs)
 
 let seq_time_us { n_keys; n_buckets; reps; key_cost; bucket_cost } =
   float_of_int reps

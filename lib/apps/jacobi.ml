@@ -28,11 +28,14 @@ let levels = [ Base; Comm_aggr; Cons_elim; Sync_merge; Push_opt ]
 
 let init_value i j = float_of_int (((i * 31) + (j * 17)) mod 1000) /. 100.0
 
-(* block partition of the interior columns [1 .. m-2] *)
+(* Block partition of the interior columns [1 .. m-2]. With more
+   processors than interior columns the tail processors get an empty range
+   (hi = lo - 1); [lo] is clamped so the range stays within the array and
+   the last processor still owns the static boundary column. *)
 let bounds m nprocs p =
   let count = m - 2 in
   let w = (count + nprocs - 1) / nprocs in
-  let lo = 1 + (p * w) in
+  let lo = min (m - 1) (1 + (p * w)) in
   let hi = min (m - 2) (lo + w - 1) in
   (lo, hi)
 
@@ -62,13 +65,7 @@ let seq_arrays { m; iters; _ } =
 
 let seq_memo : (int * int, float array) Hashtbl.t = Hashtbl.create 4
 
-let reference p =
-  match Hashtbl.find_opt seq_memo (p.m, p.iters) with
-  | Some b -> b
-  | None ->
-      let b = seq_arrays p in
-      Hashtbl.replace seq_memo (p.m, p.iters) b;
-      b
+let reference p = memo seq_memo (p.m, p.iters) (fun () -> seq_arrays p)
 
 let seq_time_us { m; iters; update_cost; copy_cost } =
   let interior = float_of_int ((m - 2) * (m - 2)) in
@@ -182,6 +179,8 @@ let mp_body ~exchange ~charge t { m; iters; update_cost; copy_cost } =
   and np = Mp.nprocs t in
   let lo, hi = bounds m np p in
   let width = hi - lo + 1 in
+  if width = 0 then
+    invalid_arg "jacobi mp: more processors than interior columns";
   (* local columns lo-1 .. hi+1 *)
   let col j = Array.init m (fun i -> init_value i j) in
   let b = Array.init (width + 2) (fun k -> col (lo - 1 + k)) in

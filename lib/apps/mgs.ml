@@ -60,13 +60,7 @@ let seq_arrays { m; n; _ } =
 
 let seq_memo : (int * int, float array array) Hashtbl.t = Hashtbl.create 4
 
-let reference p =
-  match Hashtbl.find_opt seq_memo (p.m, p.n) with
-  | Some q -> q
-  | None ->
-      let q = seq_arrays p in
-      Hashtbl.replace seq_memo (p.m, p.n) q;
-      q
+let reference p = memo seq_memo (p.m, p.n) (fun () -> seq_arrays p)
 
 let seq_time_us { m; n; dot_cost } =
   let t = ref 0.0 in

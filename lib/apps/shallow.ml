@@ -202,13 +202,7 @@ let seq_arrays { m; n; steps; _ } =
 let seq_memo : (int * int * int, float array array) Hashtbl.t = Hashtbl.create 4
 
 let reference prm =
-  let k = (prm.m, prm.n, prm.steps) in
-  match Hashtbl.find_opt seq_memo k with
-  | Some d -> d
-  | None ->
-      let d = seq_arrays prm in
-      Hashtbl.replace seq_memo k d;
-      d
+  memo seq_memo (prm.m, prm.n, prm.steps) (fun () -> seq_arrays prm)
 
 let seq_time_us { m; n; steps; point_cost } =
   float_of_int steps *. 3.0 *. float_of_int (m * n) *. point_cost

@@ -15,10 +15,10 @@ type ckpt = {
   ck_id : int;
   ck_epoch : int;
   ck_vc : int array;  (* vector clock at the checkpoint barrier *)
-  ck_known : (int, int array) Hashtbl.t;
-      (* page -> per-writer known watermark; restoring [known] without
-         [applied] is what forces a refetch of every page the node had
-         heard of *)
+  ck_known : (int, (int * int) list) Hashtbl.t;
+      (* page -> sparse (writer, seq) known watermarks, ascending by writer;
+         restoring [known] without [applied] is what forces a refetch of
+         every page the node had heard of *)
 }
 
 type t = {

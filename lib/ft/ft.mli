@@ -7,7 +7,7 @@ type ckpt = {
   ck_id : int;
   ck_epoch : int;  (** barrier epoch the checkpoint was taken at *)
   ck_vc : int array;
-  ck_known : (int, int array) Hashtbl.t;
+  ck_known : (int, (int * int) list) Hashtbl.t;
       (** page -> per-writer known watermark at the checkpoint *)
 }
 
@@ -62,7 +62,7 @@ val ckpt_due : t -> epoch:int -> bool
 
 val push_ckpt :
   t -> int -> epoch:int -> vc:int array ->
-  known:(int, int array) Hashtbl.t -> ckpt
+  known:(int, (int * int) list) Hashtbl.t -> ckpt
 
 val latest_ckpt : t -> int -> ckpt
 (** Newest checkpoint of the processor; the implicit empty initial

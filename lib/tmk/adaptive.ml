@@ -47,8 +47,8 @@ let ap sys page =
       let a =
         {
           ap_proto = P_lrc;
-          ap_read_mask = 0;
-          ap_write_mask = 0;
+          ap_readers = Pset.empty;
+          ap_writers = Pset.empty;
           ap_last_writer = -1;
           ap_migrations = 0;
         }
@@ -63,11 +63,11 @@ let proto_of sys page =
 
 let observe_read sys p page =
   let a = ap sys page in
-  a.ap_read_mask <- a.ap_read_mask lor (1 lsl p)
+  a.ap_readers <- Pset.add p a.ap_readers
 
 let observe_write sys p page =
   let a = ap sys page in
-  a.ap_write_mask <- a.ap_write_mask lor (1 lsl p)
+  a.ap_writers <- Pset.add p a.ap_writers
 
 let observe sys p access page =
   match access with
@@ -106,12 +106,6 @@ let release sys p =
 
 (* {1 Classification and switching} *)
 
-let popcount m =
-  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
-  go 0 m
-
-let rec lowbit m i = if m land 1 = 1 then i else lowbit (m lsr 1) (i + 1)
-
 (* A page may only change protocol when no processor holds transitional
    state for it: an outstanding asynchronous fetch, a partially pushed
    copy awaiting its barrier rollback, an open write interval, or a live
@@ -136,10 +130,13 @@ let switchable sys page =
    current by a switch. *)
 let mark_current sys q page =
   let m = Protocol.meta sys.states.(q) ~nprocs:sys.nprocs page in
-  for w = 0 to sys.nprocs - 1 do
-    if m.known.(w) > m.applied.(w) then m.applied.(w) <- m.known.(w);
-    Diff_store.note_applied sys.store ~writer:w ~page ~by:q ~seq:m.applied.(w)
-  done
+  List.iter
+    (fun w ->
+      let kv = Wmap.get m.known w in
+      if kv > Wmap.get m.applied w then Wmap.set m.applied w kv;
+      Diff_store.note_applied sys.store ~writer:w ~page ~by:q
+        ~seq:(Wmap.get m.applied w))
+    (Wmap.union_keys m.known m.applied)
 
 let switch sys page a ~to_ ~owner:o ~epoch =
   (* 1. Bring the owner current through the ordinary traced protocol
@@ -232,24 +229,25 @@ let reclassify sys ~epoch =
   List.iter
     (fun page ->
       let a = Hashtbl.find sys.adapt page in
-      let readers = a.ap_read_mask
-      and writers = a.ap_write_mask in
-      let users = readers lor writers in
-      let nw = popcount writers in
+      let readers = a.ap_readers
+      and writers = a.ap_writers in
+      let users = Pset.union readers writers in
+      let nw = Pset.cardinal writers in
       let decision =
-        if users = 0 || nw = 0 then None (* untouched / read-only window *)
-        else if nw = 1 && users = writers then Some (P_inval, lowbit writers 0)
-        else if nw = 1 then Some (P_hlrc, lowbit writers 0)
+        if nw = 0 then None (* untouched / read-only window *)
+        else if nw = 1 && Pset.equal users writers then
+          Some (P_inval, Pset.min_elt writers)
+        else if nw = 1 then Some (P_hlrc, Pset.min_elt writers)
         else Some (P_lrc, if a.ap_last_writer >= 0 then a.ap_last_writer else 0)
       in
       if nw = 1 then begin
-        let w = lowbit writers 0 in
+        let w = Pset.min_elt writers in
         if a.ap_last_writer >= 0 && a.ap_last_writer <> w then
           a.ap_migrations <- a.ap_migrations + 1;
         a.ap_last_writer <- w
       end;
-      a.ap_read_mask <- 0;
-      a.ap_write_mask <- 0;
+      a.ap_readers <- Pset.empty;
+      a.ap_writers <- Pset.empty;
       match decision with
       | Some (np, o) when np <> a.ap_proto && switchable sys page ->
           switch sys page a ~to_:np ~owner:o ~epoch

@@ -24,9 +24,10 @@ type t = {
   nprocs : int;
   page_size : int;
   cells : (int * int, cell) Hashtbl.t;  (* (writer, page) *)
-  page_writers : (int, int) Hashtbl.t;
-      (* page -> bitmask of writers with a cell: O(1) membership and
-         single-writer tests however many writers a page accumulates *)
+  page_writers : (int, Pset.t) Hashtbl.t;
+      (* page -> set of writers with a cell: cheap membership and
+         single-writer tests however many writers a page accumulates,
+         with no bitmask cap on the processor count *)
 }
 
 type unit_to_apply = {
@@ -43,8 +44,6 @@ type fetch_result = {
 }
 
 let create ~nprocs ~page_size =
-  if nprocs > Sys.int_size - 1 then
-    invalid_arg "Diff_store.create: too many processors for a writer bitmask";
   {
     nprocs;
     page_size;
@@ -71,22 +70,21 @@ let get_cell t ~writer ~page =
         }
       in
       Hashtbl.replace t.cells (writer, page) c;
-      let mask =
-        Option.value ~default:0 (Hashtbl.find_opt t.page_writers page)
+      let ws =
+        Option.value ~default:Pset.empty (Hashtbl.find_opt t.page_writers page)
       in
-      Hashtbl.replace t.page_writers page (mask lor (1 lsl writer));
+      Hashtbl.replace t.page_writers page (Pset.add writer ws);
       c
 
 let writers_of_page t ~page =
-  let mask = Option.value ~default:0 (Hashtbl.find_opt t.page_writers page) in
-  let acc = ref [] in
-  for w = t.nprocs - 1 downto 0 do
-    if mask land (1 lsl w) <> 0 then acc := w :: !acc
-  done;
-  !acc
+  match Hashtbl.find_opt t.page_writers page with
+  | None -> []
+  | Some ws -> Pset.to_list ws
 
 let single_writer t ~page ~writer =
-  Hashtbl.find_opt t.page_writers page = Some (1 lsl writer)
+  match Hashtbl.find_opt t.page_writers page with
+  | None -> false
+  | Some ws -> Pset.equal ws (Pset.singleton writer)
 
 (* Merge into [base] every entry payload that can no longer differ from
    applying the individual diffs in order: entries applied by everyone, or

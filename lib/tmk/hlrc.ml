@@ -81,10 +81,11 @@ let flush_pages_replicated sys p ~seq pages =
         (fun member ->
           if member = p then begin
             (* my copy is current by construction; only the watermark moves *)
-            if high > m.applied.(p) then m.applied.(p) <- high;
-            if m.known.(p) < m.applied.(p) then m.known.(p) <- m.applied.(p);
+            if high > Wmap.get m.applied p then Wmap.set m.applied p high;
+            if Wmap.get m.known p < Wmap.get m.applied p then
+              Wmap.set m.known p (Wmap.get m.applied p);
             Diff_store.note_applied sys.store ~writer:p ~page ~by:p
-              ~seq:m.applied.(p)
+              ~seq:(Wmap.get m.applied p)
           end
           else begin
             let hst = sys.states.(member) in
@@ -103,18 +104,18 @@ let flush_pages_replicated sys p ~seq pages =
             let hpg = Page_table.get hst.pt page in
             List.iter
               (fun u ->
-                if u.Diff_store.upto_seq > hm.applied.(p) then begin
+                if u.Diff_store.upto_seq > Wmap.get hm.applied p then begin
                   Diff.apply u.Diff_store.payload hpg.Page_table.data;
                   match hpg.Page_table.twin with
                   | Some twin -> Diff.apply u.Diff_store.payload twin
                   | None -> ()
                 end)
               sorted;
-            if high > hm.applied.(p) then hm.applied.(p) <- high;
-            if hm.known.(p) < hm.applied.(p) then
-              hm.known.(p) <- hm.applied.(p);
+            if high > Wmap.get hm.applied p then Wmap.set hm.applied p high;
+            if Wmap.get hm.known p < Wmap.get hm.applied p then
+              Wmap.set hm.known p (Wmap.get hm.applied p);
             Diff_store.note_applied sys.store ~writer:p ~page ~by:member
-              ~seq:hm.applied.(p);
+              ~seq:(Wmap.get hm.applied p);
             Ft.clear_lost sys.ft member page;
             pstats.Stats.home_flushes <- pstats.Stats.home_flushes + 1;
             pstats.Stats.home_flush_bytes <-
@@ -214,11 +215,11 @@ let flush_pages sys p ~seq pages =
                     | None -> ())
                   sorted;
                 let hm = Protocol.meta hst ~nprocs:sys.nprocs page in
-                if high > hm.applied.(p) then hm.applied.(p) <- high;
-                if hm.known.(p) < hm.applied.(p) then
-                  hm.known.(p) <- hm.applied.(p);
+                if high > Wmap.get hm.applied p then Wmap.set hm.applied p high;
+                if Wmap.get hm.known p < Wmap.get hm.applied p then
+                  Wmap.set hm.known p (Wmap.get hm.applied p);
                 Diff_store.note_applied sys.store ~writer:p ~page ~by:home
-                  ~seq:hm.applied.(p);
+                  ~seq:(Wmap.get hm.applied p);
                 if high > m.home_flushed then m.home_flushed <- high;
                 if sys.trace <> None then
                   Protocol.emit sys p
@@ -251,11 +252,7 @@ let release sys p =
    watermark. Pages already consistent need no data movement. *)
 let stale st ~nprocs p page =
   let m = Protocol.meta st ~nprocs page in
-  let s = ref false in
-  for q = 0 to nprocs - 1 do
-    if q <> p && m.known.(q) > m.applied.(q) then s := true
-  done;
-  !s
+  Wmap.exists (fun q kv -> q <> p && kv > Wmap.get m.applied q) m.known
 
 (* The home's own copy needs no message: flushes landed in it eagerly, so
    it only has to advance its watermarks (this happens after a partial-push
@@ -263,13 +260,13 @@ let stale st ~nprocs p page =
 let revalidate_local sys p page =
   let st = sys.states.(p) in
   let m = Protocol.meta st ~nprocs:sys.nprocs page in
-  for q = 0 to sys.nprocs - 1 do
-    if m.known.(q) > m.applied.(q) then begin
-      m.applied.(q) <- m.known.(q);
-      Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-        ~seq:m.applied.(q)
-    end
-  done;
+  Wmap.iter
+    (fun q kv ->
+      if kv > Wmap.get m.applied q then begin
+        Wmap.set m.applied q kv;
+        Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:kv
+      end)
+    m.known;
   if sys.trace <> None then begin
     Protocol.emit sys p
       (Dsm_trace.Event.Home_fetch { page; home = p; bytes = 0 });
@@ -315,10 +312,15 @@ let install_home_copy sys p page ~home =
     (fun (off, buf) ->
       Bytes.blit buf 0 pg.Page_table.data off (Bytes.length buf))
     !saved;
-  for q = 0 to sys.nprocs - 1 do
-    if m.known.(q) > m.applied.(q) then m.applied.(q) <- m.known.(q);
-    Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:m.applied.(q)
-  done
+  (* every writer with any watermark: raise applied to known, then restate
+     the applied seq to the diff store (a 0 seq is a no-op there) *)
+  List.iter
+    (fun q ->
+      let kv = Wmap.get m.known q in
+      if kv > Wmap.get m.applied q then Wmap.set m.applied q kv;
+      Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+        ~seq:(Wmap.get m.applied q))
+    (Wmap.union_keys m.known m.applied)
 
 (* Replicated variant of the miss path ([replicas > 1]): each stale or
    lost page is read from the live group member whose applied watermarks
@@ -393,15 +395,15 @@ let quorum_fetch_pages sys p pages ~mode =
             let cm =
               Protocol.meta sys.states.(src) ~nprocs:sys.nprocs page
             in
-            for q = 0 to sys.nprocs - 1 do
-              if cm.applied.(q) > m.applied.(q) then begin
-                m.applied.(q) <- cm.applied.(q);
-                if m.known.(q) < m.applied.(q) then
-                  m.known.(q) <- m.applied.(q);
-                Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-                  ~seq:m.applied.(q)
-              end
-            done;
+            Wmap.iter
+              (fun q cv ->
+                if cv > Wmap.get m.applied q then begin
+                  Wmap.set m.applied q cv;
+                  if Wmap.get m.known q < cv then Wmap.set m.known q cv;
+                  Diff_store.note_applied sys.store ~writer:q ~page ~by:p
+                    ~seq:cv
+                end)
+              cm.applied;
             Ft.clear_lost sys.ft p page;
             (* read-impose: confirm the observed watermark with the other
                live members (16-byte control roundtrips) *)

@@ -61,13 +61,13 @@ let entry sys page =
    backend, where no write notices ever flow. *)
 let mark_current sys p page =
   let m = Protocol.meta sys.states.(p) ~nprocs:sys.nprocs page in
-  for q = 0 to sys.nprocs - 1 do
-    if m.known.(q) > m.applied.(q) then begin
-      m.applied.(q) <- m.known.(q);
-      Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-        ~seq:m.applied.(q)
-    end
-  done
+  Wmap.iter
+    (fun q kv ->
+      if kv > Wmap.get m.applied q then begin
+        Wmap.set m.applied q kv;
+        Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:kv
+      end)
+    m.known
 
 (* Install the authoritative copy held by [src] into [p]'s frame, paying
    one data roundtrip (plus a control roundtrip to a remote directory node

@@ -35,14 +35,14 @@ let in_dirty st page = Hashtbl.mem st.dirty page
 let mark_dirty st page =
   if not (Hashtbl.mem st.dirty page) then Hashtbl.replace st.dirty page ()
 
-let meta st ~nprocs page =
+let meta st ~nprocs:_ page =
   match Hashtbl.find_opt st.meta page with
   | Some m -> m
   | None ->
       let m =
         {
-          applied = Array.make nprocs 0;
-          known = Array.make nprocs 0;
+          applied = Wmap.create ();
+          known = Wmap.create ();
           write_all = Range.empty;
           lazy_hi = 0;
           lazy_vcsum = 0;
@@ -103,8 +103,8 @@ let release_pages sys p =
              larger. *)
           if m.lazy_hi = 0 then m.lazy_vcsum <- vcsum;
           m.lazy_hi <- seq;
-          m.applied.(p) <- seq;
-          m.known.(p) <- seq;
+          Wmap.set m.applied p seq;
+          Wmap.set m.known p seq;
           let pg = Page_table.get st.pt page in
           if pg.Page_table.prot = Page_table.Read_write then
             pg.Page_table.prot <- Page_table.Read_only)
@@ -229,8 +229,8 @@ let apply_notice sys p ~writer ~seq ~pages =
     List.iter
       (fun page ->
         let m = meta st ~nprocs:sys.nprocs page in
-        if seq > m.known.(writer) then m.known.(writer) <- seq;
-        if m.known.(writer) > m.applied.(writer) then begin
+        if seq > Wmap.get m.known writer then Wmap.set m.known writer seq;
+        if Wmap.get m.known writer > Wmap.get m.applied writer then begin
           if m.lazy_hi > 0 then
             Cluster.charge sys.cluster p (materialize sys ~writer:p ~page);
           let pg = Page_table.get st.pt page in
@@ -296,20 +296,27 @@ let gather_needs sys p pages ?only_via () =
     (fun page ->
       let m = meta st ~nprocs:sys.nprocs page in
       let needed = ref [] in
-      for q = sys.nprocs - 1 downto 0 do
-        if q <> p && m.known.(q) > m.applied.(q) then begin
-          let keep =
-            match only_via with
-            | None -> true
-            | Some r ->
-                q = r
-                || Dsm_mem.Page_table.find sys.states.(r).pt page <> None
-                   && (meta sys.states.(r) ~nprocs:sys.nprocs page).applied.(q)
-                      >= m.known.(q)
-          in
-          if keep then needed := q :: !needed
-        end
-      done;
+      (* ascending scan of the known watermarks, accumulated in reverse:
+         [needed] ends up ascending, exactly like the dense loop it
+         replaces (a writer with no known entry cannot be stale) *)
+      Wmap.iter
+        (fun q kv ->
+          if q <> p && kv > Wmap.get m.applied q then begin
+            let keep =
+              match only_via with
+              | None -> true
+              | Some r ->
+                  q = r
+                  || Dsm_mem.Page_table.find sys.states.(r).pt page <> None
+                     && Wmap.get
+                          (meta sys.states.(r) ~nprocs:sys.nprocs page).applied
+                          q
+                        >= kv
+            in
+            if keep then needed := q :: !needed
+          end)
+        m.known;
+      needed := List.rev !needed;
       if !needed <> [] then begin
         (* materialize the pending lazy diffs; the cost is charged as
            request service time at each writer *)
@@ -363,12 +370,12 @@ let gather_needs sys p pages ?only_via () =
                              {
                                writer = q;
                                page;
-                               after = m.applied.(q);
-                               upto = m.known.(q);
+                               after = Wmap.get m.applied q;
+                               upto = Wmap.get m.known q;
                              });
-                      m.applied.(q) <- m.known.(q);
+                      Wmap.set m.applied q (Wmap.get m.known q);
                       Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-                        ~seq:m.applied.(q)
+                        ~seq:(Wmap.get m.applied q)
                     end)
                   !needed;
                 [ qstar ]
@@ -381,16 +388,18 @@ let gather_needs sys p pages ?only_via () =
             (String.concat "," (List.map string_of_int !needed))
             (String.concat "," (List.map string_of_int chosen))
             (String.concat ","
-               (List.map (fun q -> Printf.sprintf "%d:%d" q m.applied.(q))
+               (List.map
+                  (fun q -> Printf.sprintf "%d:%d" q (Wmap.get m.applied q))
                   !needed))
             (String.concat ","
-               (List.map (fun q -> Printf.sprintf "%d:%d" q m.known.(q))
+               (List.map
+                  (fun q -> Printf.sprintf "%d:%d" q (Wmap.get m.known q))
                   !needed));
         List.iter
           (fun q ->
             let prev = Option.value ~default:[] (Hashtbl.find_opt by_writer q) in
             Hashtbl.replace by_writer q
-              ((page, m.applied.(q), m.known.(q)) :: prev))
+              ((page, Wmap.get m.applied q, Wmap.get m.known q) :: prev))
           chosen
       end)
     (List.sort_uniq compare pages);
@@ -439,9 +448,9 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
           if sys.trace <> None then
             emit sys p
               (Dsm_trace.Event.Diff_fetch { writer = q; page; after; upto = high });
-          m.applied.(q) <- max m.applied.(q) high;
+          Wmap.set m.applied q (max (Wmap.get m.applied q) high);
           Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-            ~seq:m.applied.(q))
+            ~seq:(Wmap.get m.applied q))
         reqs;
       applied_bytes := !applied_bytes + !total_bytes;
       pstats.Stats.diffs_applied <- pstats.Stats.diffs_applied + !total_ndiffs;

@@ -117,8 +117,7 @@ let pick_source sys p page ~live =
   let m = Protocol.meta sys.states.(p) ~nprocs:sys.nprocs page in
   let dominates c =
     let cm = Protocol.meta sys.states.(c) ~nprocs:sys.nprocs page in
-    (not (Ft.is_lost sys.ft c page))
-    && Array.for_all2 (fun a k -> a >= k) cm.applied m.known
+    (not (Ft.is_lost sys.ft c page)) && Wmap.dominates cm.applied m.known
   in
   List.find_opt (fun c -> c <> p && dominates c) live
 
@@ -130,7 +129,8 @@ let take_ckpt sys p ~epoch =
   let known = Hashtbl.create (Hashtbl.length st.meta) in
   Hashtbl.iter
     (fun page (m : page_meta) ->
-      Hashtbl.replace known page (Array.copy m.known))
+      (* Wmap snapshots are immutable pair lists: O(1), safely shared *)
+      Hashtbl.replace known page (Wmap.to_pairs m.known))
     st.meta;
   let ck =
     Ft.push_ckpt sys.ft p ~epoch ~vc:(Vc.copy st.vc) ~known
@@ -187,8 +187,8 @@ let restore sys p =
   Hashtbl.iter
     (fun page known ->
       let m = Protocol.meta st ~nprocs:sys.nprocs page in
-      Array.iteri
-        (fun q v -> if v > m.known.(q) then m.known.(q) <- v)
+      List.iter
+        (fun (q, v) -> if v > Wmap.get m.known q then Wmap.set m.known q v)
         known)
     ck.Ft.ck_known;
   ck
@@ -227,8 +227,8 @@ let repair_homed sys p =
                 let cm = Protocol.meta sys.states.(c) ~nprocs:sys.nprocs page in
                 let bm = Protocol.meta sys.states.(b) ~nprocs:sys.nprocs page in
                 if
-                  Array.exists2 (fun x y -> x > y) cm.applied bm.applied
-                  && Array.for_all2 (fun x y -> x >= y) cm.applied bm.applied
+                  Wmap.exists_gt cm.applied bm.applied
+                  && Wmap.dominates cm.applied bm.applied
                 then Some c
                 else acc)
           None live
@@ -241,13 +241,14 @@ let repair_homed sys p =
           let pg = Page_table.get st.pt page in
           Bytes.blit cpg.Page_table.data 0 pg.Page_table.data 0 sys.page_size;
           let m = Protocol.meta st ~nprocs:sys.nprocs page in
-          for q = 0 to sys.nprocs - 1 do
-            if cm.applied.(q) > m.applied.(q) then
-              m.applied.(q) <- cm.applied.(q);
-            if m.known.(q) < m.applied.(q) then m.known.(q) <- m.applied.(q);
-            Diff_store.note_applied sys.store ~writer:q ~page ~by:p
-              ~seq:m.applied.(q)
-          done;
+          List.iter
+            (fun q ->
+              let cv = Wmap.get cm.applied q in
+              if cv > Wmap.get m.applied q then Wmap.set m.applied q cv;
+              let av = Wmap.get m.applied q in
+              if Wmap.get m.known q < av then Wmap.set m.known q av;
+              Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:av)
+            (Wmap.union_keys cm.applied m.applied);
           Ft.clear_lost sys.ft p page;
           pstats.Stats.quorum_reads <- pstats.Stats.quorum_reads + 1;
           Protocol.emit sys p

@@ -85,8 +85,8 @@ let detect_bcast sys ~epoch ~departure_clock entries =
                     for q = 0 to sys.nprocs - 1 do
                       if
                         q <> r
-                        && (m.applied.(q) < m.known.(q)
-                           || m.applied.(q) < pending_seq q page r)
+                        && (Wmap.get m.applied q < Wmap.get m.known q
+                           || Wmap.get m.applied q < pending_seq q page r)
                         && not (List.mem q !writers)
                       then writers := q :: !writers
                     done)
@@ -108,7 +108,7 @@ let detect_bcast sys ~epoch ~departure_clock entries =
                               Protocol.meta sys.states.(r) ~nprocs:sys.nprocs
                                 page
                             in
-                            min acc m.applied.(q))
+                            min acc (Wmap.get m.applied q))
                           max_int entries
                       in
                       let f =
@@ -374,11 +374,11 @@ let barrier_with ~release ~plan_bcast ~handle_wsync t =
   List.iter
     (fun (page, writer, seq) ->
       let m = Protocol.meta st ~nprocs:sys.nprocs page in
-      if m.applied.(writer) = seq then begin
+      if Wmap.get m.applied writer = seq then begin
         if sys.trace <> None then
           Protocol.emit sys p
             (Dsm_trace.Event.Push_rollback { page; writer; seq });
-        m.applied.(writer) <- seq - 1;
+        Wmap.set m.applied writer (seq - 1);
         let pg = Dsm_mem.Page_table.get st.pt page in
         if pg.Dsm_mem.Page_table.prot <> Dsm_mem.Page_table.No_access then begin
           pg.Dsm_mem.Page_table.prot <- Dsm_mem.Page_table.No_access;

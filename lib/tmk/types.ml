@@ -19,10 +19,12 @@ let access_to_string = function
   | Write_all -> "WRITE_ALL"
   | Read_write_all -> "READ&WRITE_ALL"
 
-(* Per-page protocol metadata of one processor. *)
+(* Per-page protocol metadata of one processor. The watermark maps are
+   sparse ({!Wmap}): dense per-writer arrays would cost O(nprocs) words
+   per (processor, page) pair, which forbids 1024-processor clusters. *)
 type page_meta = {
-  applied : int array;  (* per-writer interval seq applied into my copy *)
-  known : int array;  (* per-writer highest interval seq noticed *)
+  applied : Wmap.t;  (* per-writer interval seq applied into my copy *)
+  known : Wmap.t;  (* per-writer highest interval seq noticed *)
   mutable write_all : Dsm_rsd.Range.t;
       (* byte ranges (absolute) validated WRITE_ALL; sticky until the page's
          diff is materialized *)
@@ -135,12 +137,13 @@ let page_proto_name = function
   | P_inval -> "inval"
 
 (* Per-page sharing-pattern observations of the adaptive backend, reset at
-   each classification window. Masks are processor bitmasks (the simulated
-   clusters stay far below 62 processors). *)
+   each classification window. Populations are {!Pset} processor sets so
+   the cluster size is not capped by a bitmask (scaling runs reach 1024
+   simulated processors). *)
 type adapt_page = {
   mutable ap_proto : page_proto;
-  mutable ap_read_mask : int;  (* procs that read-faulted/validated *)
-  mutable ap_write_mask : int;  (* procs that write-faulted/validated *)
+  mutable ap_readers : Pset.t;  (* procs that read-faulted/validated *)
+  mutable ap_writers : Pset.t;  (* procs that write-faulted/validated *)
   mutable ap_last_writer : int;  (* previous window's single writer, -1 *)
   mutable ap_migrations : int;  (* windows in which the writer changed *)
 }

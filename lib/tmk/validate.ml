@@ -212,9 +212,10 @@ let push_with ~release ?(is_inval = fun _ -> false)
                      ~hi:((page + 1) * sys.page_size))
             else begin
             let m = Protocol.meta st ~nprocs:sys.nprocs page in
-            if msg.pm_seq > m.applied.(i) then begin
-              m.applied.(i) <- msg.pm_seq;
-              if msg.pm_seq > m.known.(i) then m.known.(i) <- msg.pm_seq;
+            if msg.pm_seq > Wmap.get m.applied i then begin
+              Wmap.set m.applied i msg.pm_seq;
+              if msg.pm_seq > Wmap.get m.known i then
+                Wmap.set m.known i msg.pm_seq;
               Diff_store.note_applied sys.store ~writer:i ~page ~by:p
                 ~seq:msg.pm_seq;
               if
@@ -228,11 +229,12 @@ let push_with ~release ?(is_inval = fun _ -> false)
             end;
             let pg = Page_table.get st.pt page in
             if pg.Page_table.prot = Page_table.No_access then begin
-              let stale = ref false in
-              for q = 0 to sys.nprocs - 1 do
-                if q <> p && m.known.(q) > m.applied.(q) then stale := true
-              done;
-              if not !stale then begin
+              let stale =
+                Wmap.exists
+                  (fun q kv -> q <> p && kv > Wmap.get m.applied q)
+                  m.known
+              in
+              if not stale then begin
                 pg.Page_table.prot <- Page_table.Read_only;
                 revalidated := page :: !revalidated
               end

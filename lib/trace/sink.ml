@@ -5,7 +5,16 @@
    comparison and allocates nothing. When enabled, emission appends to the
    emitting processor's ring (dropping the oldest events past [capacity])
    and never touches the simulated clocks or statistics, so tracing cannot
-   perturb the cost model. *)
+   perturb the cost model.
+
+   Domain safety under the sharded engine: each ring and its count are
+   written only by the processor that owns them — i.e. only by the one
+   domain that owns the processor's shard — so the rings need no locks.
+   The only cross-shard cell is the global sequence [next_id], which is
+   atomic; since the ordered engine serializes slices in the sequential
+   pass order, ids are assigned in the same order as the sequential run
+   and the ascending-id merge in [events] reproduces the exact
+   sequential event stream, bit for bit. *)
 
 type t = {
   nprocs : int;
@@ -13,7 +22,7 @@ type t = {
   mask : int;  (* capacity - 1 when a power of two, -1 otherwise *)
   rings : Event.t option array array;
   count : int array;  (* total emitted per processor *)
-  mutable next_id : int;
+  next_id : int Atomic.t;
 }
 
 let default_capacity = 1 lsl 18
@@ -26,7 +35,7 @@ let create ?(capacity = default_capacity) ~nprocs () =
     mask = (if capacity land (capacity - 1) = 0 then capacity - 1 else -1);
     rings = Array.init nprocs (fun _ -> Array.make capacity None);
     count = Array.make nprocs 0;
-    next_id = 0;
+    next_id = Atomic.make 0;
   }
 
 let nprocs t = t.nprocs
@@ -34,8 +43,7 @@ let capacity t = t.capacity
 
 let emit t ~proc ~time ~vc kind =
   Dsm_prof.Prof.tick Dsm_prof.Prof.Trace;
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  let id = Atomic.fetch_and_add t.next_id 1 in
   let ring = t.rings.(proc) in
   let c = t.count.(proc) in
   let slot = if t.mask >= 0 then c land t.mask else c mod t.capacity in
@@ -73,7 +81,7 @@ let events t =
 let clear t =
   Array.iter (fun ring -> Array.fill ring 0 t.capacity None) t.rings;
   Array.fill t.count 0 t.nprocs 0;
-  t.next_id <- 0
+  Atomic.set t.next_id 0
 
 let write_jsonl oc t =
   List.iter

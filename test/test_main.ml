@@ -23,4 +23,5 @@ let () =
       ("perf-goldens", Test_perf_goldens.tests);
       ("perf-infra", Test_perf_infra.tests);
       ("backends", Test_backends.tests);
+      ("engine-par", Test_engine_par.tests);
     ]
