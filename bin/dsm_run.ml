@@ -64,7 +64,7 @@ let recheck_file ~nprocs ~strict file =
           `Error (false, "protocol invariant violations found"))
 
 let run app version level size procs common sync trace_file check recheck
-    strict_recheck digest prof list =
+    strict_recheck digest proto_plan prof list =
   if list then begin
     List.iter
       (fun (name, m) ->
@@ -102,10 +102,21 @@ let run app version level size procs common sync trace_file check recheck
           | "tmk" -> (
               match Cli.find_level level with
               | None -> Error ("unknown level: " ^ level)
-              | Some l ->
-                  Ok (App.run_tmk ?trace:sink ~digest cfg params ~level:l
-                        ~async:(not sync)))
-          | "pvm" -> Ok (App.run_pvm cfg params)
+              | Some l -> (
+                  (* a plan whose geometry disagrees with the run (procs,
+                     page size, program) is rejected by Tmk.make *)
+                  match
+                    App.run_tmk ?trace:sink ~digest ?plan:proto_plan cfg
+                      params ~level:l ~async:(not sync)
+                  with
+                  | r -> Ok r
+                  | exception Invalid_argument e ->
+                      Error ("plan rejected: " ^ e)))
+          | "pvm" ->
+              if proto_plan <> None then
+                Format.eprintf
+                  "note: --plan applies to the tmk version only@.";
+              Ok (App.run_pvm cfg params)
           | "xhpf" -> (
               match App.run_xhpf with
               | Some f -> Ok (f cfg params)
@@ -264,6 +275,6 @@ let cmd =
       ret
         (const run $ Cli.app_t $ version $ Cli.level_t ~default:"push" $ size
        $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ recheck
-       $ strict_recheck $ digest $ prof $ list))
+       $ strict_recheck $ digest $ Cli.plan_t $ prof $ list))
 
 let () = exit (Cmd.eval cmd)

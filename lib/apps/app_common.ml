@@ -33,6 +33,12 @@ type result = {
          snapshotted before the digest pass; [[]] for non-tmk versions
          and for backends that assign none. The first-touch determinism
          regression compares these across traced and untraced runs. *)
+  classes : (int * string * int) list;
+      (* final per-page (page, protocol, owner) classification of the
+         adaptive backend ({!Dsm_tmk.Tmk.adapt_classes}), snapshotted with
+         [homes]; [[]] for non-tmk versions and other backends. The static
+         plan grading compares these against the compile-time
+         predictions. *)
 }
 
 let combine_err a b = Float.max a (abs_float b)
@@ -66,11 +72,15 @@ module type APP = sig
   val run_tmk :
     ?trace:Dsm_trace.Sink.t ->
     ?digest:bool ->
+    ?plan:Dsm_tmk.Proto_plan.t ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
   (** [trace] records the compute run's protocol events (the untimed
       verification pass stays untraced). [digest] (default false) adds
       a protocol-level read pass over the final shared state and
-      records its content digest in the result. *)
+      records its content digest in the result. [plan] seeds the
+      adaptive/hlrc backend's per-page protocol state from a static
+      protocol-placement plan before the first access
+      ({!Dsm_tmk.Tmk.make}). *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
   val run_xhpf : (Dsm_sim.Config.t -> params -> result) option

@@ -36,6 +36,11 @@ type result = {
           versions and for backends that assign none. The first-touch
           determinism regression compares these across traced and
           untraced runs. *)
+  classes : (int * string * int) list;
+      (** final per-page (page, protocol, owner) classification of the
+          adaptive backend ({!Dsm_tmk.Tmk.adapt_classes}), snapshotted
+          with [homes]; [[]] elsewhere. Compared against the static
+          sharing-pattern predictions by the plan grading. *)
 }
 
 val combine_err : float -> float -> float
@@ -61,11 +66,14 @@ module type APP = sig
   val run_tmk :
     ?trace:Dsm_trace.Sink.t ->
     ?digest:bool ->
+    ?plan:Dsm_tmk.Proto_plan.t ->
     Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
   (** [trace] records the compute run's protocol events (the untimed
       verification pass stays untraced). [digest] (default false) adds
       a protocol-level read pass over the final shared state and
-      records its content digest in the result. *)
+      records its content digest in the result. [plan] seeds the
+      adaptive/hlrc backend's initial per-page protocol state from a
+      static protocol-placement plan ({!Dsm_tmk.Tmk.make}). *)
 
   val run_pvm : Dsm_sim.Config.t -> params -> result
 

@@ -202,8 +202,8 @@ let seq_time_us { n; iters; bf_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace ?(digest = false) cfg ({ n; iters; bf_cost } as prm) ~level ~async =
-  let sys = Tmk.make cfg in
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ n; iters; bf_cost } as prm) ~level ~async =
+  let sys = Tmk.make ?plan cfg in
   let x = Tmk.alloc sys "x" Tmk.F64 ~dims:[ (2 * n); n; n ] in
   let y = Tmk.alloc sys "y" Tmk.F64 ~dims:[ (2 * n); n; n ] in
   let np = cfg.Dsm_sim.Config.nprocs in
@@ -386,8 +386,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ n; iters; bf_cost } as prm) ~level ~
           done
         done);
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Message-passing versions}
 
@@ -541,7 +542,7 @@ let run_mp ~pack cfg ({ n; iters; bf_cost } as prm) =
         done
       done)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

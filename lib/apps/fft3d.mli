@@ -9,4 +9,9 @@
 type params = { n : int; iters : int; bf_cost : float }
 (** Cube edge, iteration count and calibrated per-butterfly cost (us). Exposed so callers can size custom runs. *)
 
+val bounds : int -> int -> int -> int * int
+(** [bounds n nprocs p] — the inclusive slab [(lo, hi)] along one
+    dimension that processor [p] owns. Exposed for the static
+    sharing-pattern models ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

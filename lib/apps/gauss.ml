@@ -97,9 +97,9 @@ let seq_time_us { m; update_cost = u } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace ?(digest = false) cfg ({ m; update_cost = u } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; update_cost = u } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
-  let sys = Tmk.make cfg in
+  let sys = Tmk.make ?plan cfg in
   let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ m; m ] in
   (* work(k+1) = pivot row (as float); work(k+1+d) = multiplier l(k+d) *)
   let work = Tmk.alloc sys "work" Tmk.F64 ~dims:[ (m + 1) ] in
@@ -213,8 +213,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; update_cost = u } as prm) ~level 
           done
         done);
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Message-passing versions} *)
 
@@ -289,7 +290,7 @@ let run_mp ~bcast cfg ({ m; update_cost = u } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm

@@ -8,4 +8,8 @@
 type params = { m : int; update_cost : float }
 (** Matrix edge and calibrated per-element elimination cost (us). Exposed so callers can size custom runs. *)
 
+val page_size : params -> int
+(** The page size the tmk run forces for this problem size. Exposed for
+    the static sharing-pattern models ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

@@ -88,7 +88,12 @@ let seq_time_us { n_keys; n_buckets; reps; key_cost; bucket_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace ?(digest = false) cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
+(* keep the paper's geometry: a bucket section is a whole number of
+   pages (2^19 4-byte buckets over 8 sections were page multiples) *)
+let run_page_size ~nprocs ~page_size { n_buckets; _ } =
+  min page_size (n_buckets / nprocs * 8)
+
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm)
     ~level ~async =
   (* Our buckets stand in for 16x the paper's (2^19 vs 2^15, 2^15 vs 2^11):
      scale the per-page cost of matching piggy-backed section requests
@@ -101,14 +106,12 @@ let run_tmk ?trace ?(digest = false) cfg ({ n_keys; n_buckets; reps; key_cost; b
       Dsm_sim.Config.wsync_scan_per_page_us =
         cfg.Dsm_sim.Config.wsync_scan_per_page_us *. 16.0;
       per_byte_us = cfg.Dsm_sim.Config.per_byte_us *. 16.0;
-      (* keep the paper's geometry: a bucket section is a whole number of
-         pages (2^19 4-byte buckets over 8 sections were page multiples) *)
       page_size =
-        min cfg.Dsm_sim.Config.page_size
-          (n_buckets / cfg.Dsm_sim.Config.nprocs * 8);
+        run_page_size ~nprocs:cfg.Dsm_sim.Config.nprocs
+          ~page_size:cfg.Dsm_sim.Config.page_size prm;
     }
   in
-  let sys = Tmk.make cfg in
+  let sys = Tmk.make ?plan cfg in
   let bucket = Tmk.alloc sys "bucket" Tmk.I64 ~dims:[ n_buckets ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let chunk = n_keys / np in
@@ -191,8 +194,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ n_keys; n_buckets; reps; key_cost; b
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Hand-coded message passing}
 
@@ -284,6 +288,6 @@ let run_pvm cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm) =
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
 
 let run_xhpf = None

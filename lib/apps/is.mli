@@ -14,4 +14,9 @@ type params = {
 }
 (** Key/bucket counts, repetitions and calibrated per-item costs (us). Exposed so callers can size custom runs. *)
 
+val run_page_size : nprocs:int -> page_size:int -> params -> int
+(** The page size the tmk run actually uses: the configured size capped
+    so a bucket section is a whole number of pages. Exposed for the
+    static sharing-pattern models ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

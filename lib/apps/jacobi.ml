@@ -75,8 +75,8 @@ let seq_time_us { m; iters; update_cost; copy_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace ?(digest = false) cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
-  let sys = Tmk.make cfg in
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
+  let sys = Tmk.make ?plan cfg in
   let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ m; m ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let read_sections =
@@ -166,8 +166,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; iters; update_cost; copy_cost } a
           done
         done);
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Message-passing versions}
 
@@ -238,6 +239,7 @@ let run_mp ~exchange cfg prm =
     max_err = mp_err prm results;
     digest = "";
     homes = [];
+    classes = [];
   }
 
 let run_pvm cfg prm =

@@ -10,4 +10,9 @@ type params = { m : int; iters : int; update_cost : float; copy_cost : float }
     record is exposed so callers can size custom runs, e.g.
     [{ small with m = 128; iters = 3 }]. *)
 
+val bounds : int -> int -> int -> int * int
+(** [bounds m nprocs p] — the inclusive interior-column block
+    [(lo, hi)] that processor [p] owns. Exposed for the static
+    sharing-pattern models ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

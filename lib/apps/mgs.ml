@@ -72,9 +72,9 @@ let seq_time_us { m; n; dot_cost } =
 
 (* {1 TreadMarks versions} *)
 
-let run_tmk ?trace ?(digest = false) cfg ({ m; n; dot_cost } as prm) ~level ~async =
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; n; dot_cost } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
-  let sys = Tmk.make cfg in
+  let sys = Tmk.make ?plan cfg in
   let q = Tmk.alloc sys "q" Tmk.F64 ~dims:[ m; n ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
@@ -160,8 +160,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; n; dot_cost } as prm) ~level ~asy
           done
         done);
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Message-passing versions} *)
 
@@ -222,7 +223,7 @@ let run_mp ~bcast cfg ({ m; n; dot_cost } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm

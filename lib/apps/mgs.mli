@@ -7,4 +7,8 @@
 type params = { m : int; n : int; dot_cost : float }
 (** Vector length, vector count and calibrated per-element cost (us). Exposed so callers can size custom runs. *)
 
+val page_size : params -> int
+(** The page size the tmk run forces for this problem size. Exposed for
+    the static sharing-pattern models ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

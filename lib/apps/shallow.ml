@@ -214,8 +214,8 @@ let bounds n nprocs p =
   let w = (n + nprocs - 1) / nprocs in
   (p * w, min (n - 1) (((p + 1) * w) - 1))
 
-let run_tmk ?trace ?(digest = false) cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
-  let sys = Tmk.make cfg in
+let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; n; steps; point_cost } as prm) ~level ~async =
+  let sys = Tmk.make ?plan cfg in
   let names =
     [| "u"; "v"; "p"; "unew"; "vnew"; "pnew"; "uold"; "vold"; "pold";
        "cu"; "cv"; "z"; "h" |]
@@ -302,8 +302,9 @@ let run_tmk ?trace ?(digest = false) cfg ({ m; n; steps; point_cost } as prm) ~l
             done)
           [ iu; iv; ip ]);
   let homes = Tmk.homes sys in
+  let classes = Tmk.adapt_classes sys in
   { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes }
+    digest = (if digest then Tmk.digest sys else ""); homes; classes }
 
 (* {1 Message-passing versions}
 
@@ -387,7 +388,7 @@ let run_mp ~pack cfg ({ m; n; steps; point_cost } as prm) =
           done)
         [ iu; iv; ip ])
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = [] }
+  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 

@@ -9,4 +9,9 @@
 type params = { m : int; n : int; steps : int; point_cost : float }
 (** Grid dimensions, time steps and calibrated per-point cost (us). Exposed so callers can size custom runs. *)
 
+val bounds : int -> int -> int -> int * int
+(** [bounds n nprocs p] — the inclusive column block [(jlo, jhi)] that
+    processor [p] owns. Exposed for the static sharing-pattern models
+    ({!Dsm_lint.App_models}). *)
+
 include App_common.APP with type params := params

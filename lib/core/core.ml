@@ -24,6 +24,7 @@ module Diff = Dsm_mem.Diff
 module Addr_space = Dsm_mem.Addr_space
 module Page_table = Dsm_mem.Page_table
 module Tmk = Dsm_tmk.Tmk
+module Proto_plan = Dsm_tmk.Proto_plan
 module Shm = Dsm_tmk.Shm
 module Vc = Dsm_tmk.Vc
 module Prof = Dsm_prof.Prof
@@ -40,6 +41,8 @@ module Lint = struct
   module Race = Dsm_lint.Race
   module Verify = Dsm_lint.Verify
   module Differential = Dsm_lint.Differential
+  module Classify = Dsm_lint.Classify
+  module App_models = Dsm_lint.App_models
 end
 module Mp = Dsm_mp.Mp
 module Hpf = Dsm_hpf.Hpf

@@ -264,6 +264,33 @@ let config ?procs c =
       | Error e -> Error ("invalid fault parameters: " ^ e)
       | Ok _ -> Ok cfg)
 
+(* Protocol-placement plan files parse (and validate) at argument-parse
+   time, so a malformed plan is a usage error naming the file and the
+   offending field in {!Dsm_net.Plan.field_error}'s field/value/range
+   format — the same shape as the fault-plan and crash-schedule
+   errors. *)
+let plan_conv =
+  let parse file =
+    match Dsm_tmk.Proto_plan.load file with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg (Printf.sprintf "plan file %s: %s" file e))
+  in
+  let print fmt (p : Dsm_tmk.Proto_plan.t) =
+    Format.fprintf fmt "<plan %s/%d>" p.Dsm_tmk.Proto_plan.program
+      p.Dsm_tmk.Proto_plan.nprocs
+  in
+  Arg.conv (parse, print)
+
+let plan_t =
+  Arg.(
+    value
+    & opt (some plan_conv) None
+    & info [ "plan" ] ~docv:"FILE"
+        ~doc:
+          "Protocol-placement plan ($(b,dsm_lint plan) output) seeding \
+           the adaptive backend's initial per-page protocol and the \
+           HLRC home map.")
+
 (* {1 Per-executable terms with shared help text} *)
 
 let app_t =

@@ -56,6 +56,15 @@ val config : ?procs:int -> t -> (Dsm_sim.Config.t, string) result
     validate the resulting network fault plan and crash schedule (both
     error paths share the {!Dsm_net.Plan.field_error} message format). *)
 
+val plan_conv : Dsm_tmk.Proto_plan.t Cmdliner.Arg.conv
+(** Loads and validates a protocol-placement plan file at parse time;
+    schema violations surface as usage errors in
+    {!Dsm_net.Plan.field_error}'s field/value/range format. *)
+
+val plan_t : Dsm_tmk.Proto_plan.t option Cmdliner.Term.t
+(** [--plan FILE] for [dsm_run]: seed the adaptive/hlrc backend from a
+    static protocol-placement plan. *)
+
 (** {1 Per-executable terms with shared help text} *)
 
 val app_t : string Cmdliner.Term.t

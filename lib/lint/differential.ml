@@ -6,6 +6,7 @@ type proc_stat = {
   static_pages : int;
   dynamic_pages : int;
   covered_pages : int;
+  dropped : int;
 }
 
 type report = {
@@ -65,6 +66,7 @@ let check ~program ~page_size ~nprocs ~static ?page_owner accesses =
                            (Range.of_interval (page * page_size)
                               ((page + 1) * page_size)))))
                  dyn);
+          dropped = 0;
         })
   in
   { nprocs; per_proc; dropped = 0; diags = List.rev !diags }
@@ -135,4 +137,122 @@ let run ?(opts = Transform.all) ?cfg (prog : Ir.program) ~nprocs =
       ~page_size:cfg.Dsm_sim.Config.page_size ~nprocs ~static ~page_owner
       accesses
   in
-  { report with dropped = Dsm_trace.Sink.dropped sink }
+  let per_proc =
+    Array.mapi
+      (fun p (st : proc_stat) ->
+        { st with dropped = Dsm_trace.Sink.dropped_of sink p })
+      report.per_proc
+  in
+  { report with per_proc; dropped = Dsm_trace.Sink.dropped sink }
+
+(* {1 Static protocol-plan grading} *)
+
+module Plan = Dsm_tmk.Proto_plan
+
+type misprediction = {
+  mp_page : int;
+  mp_array : string;
+  mp_expected : string * int;
+  mp_got : (string * int) option;
+  mp_switched : bool;
+}
+
+type class_stat = {
+  cs_proto : string;
+  cs_confidence : Plan.confidence;
+  cs_pages : int;
+  cs_agreed : int;
+}
+
+type grading = {
+  exact_pages : int;
+  exact_agreed : int;
+  inexact_pages : int;
+  inexact_agreed : int;
+  by_class : class_stat list;
+  mispredictions : misprediction list;  (** exact-confidence pages only *)
+}
+
+let grade ~(plan : Plan.t) ~classes ~events =
+  let dyn = Hashtbl.create 64 in
+  List.iter (fun (page, proto, owner) -> Hashtbl.replace dyn page (proto, owner)) classes;
+  let switches = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Dsm_trace.Event.t) ->
+      match ev.Dsm_trace.Event.kind with
+      | Dsm_trace.Event.Proto_switch { page; proto; owner; _ } ->
+          Hashtbl.replace switches page
+            ((proto, owner)
+            :: Option.value ~default:[] (Hashtbl.find_opt switches page))
+      | _ -> ())
+    events;
+  let stats = Hashtbl.create 8 in
+  let mis = ref [] in
+  let ex = ref 0 and exa = ref 0 and inx = ref 0 and inxa = ref 0 in
+  List.iter
+    (fun (d : Plan.directive) ->
+      let pname = Plan.proto_name d.Plan.proto in
+      let expected = (pname, d.Plan.owner) in
+      for page = d.Plan.lo_page to d.Plan.hi_page do
+        let got = Hashtbl.find_opt dyn page in
+        let agree =
+          match got with
+          | Some (proto, owner) ->
+              proto = pname && (pname = "lrc" || owner = d.Plan.owner)
+          | None ->
+              (* absent from the adaptive table means the page stayed
+                 under the homeless-LRC default *)
+              pname = "lrc"
+        in
+        let switched =
+          d.Plan.confidence = Plan.Exact
+          && List.exists
+               (fun (proto, owner) ->
+                 not (proto = pname && (pname = "lrc" || owner = d.Plan.owner)))
+               (Option.value ~default:[] (Hashtbl.find_opt switches page))
+        in
+        let key = (pname, d.Plan.confidence) in
+        let pages, agreed =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt stats key)
+        in
+        Hashtbl.replace stats key (pages + 1, agreed + if agree then 1 else 0);
+        (match d.Plan.confidence with
+        | Plan.Exact ->
+            incr ex;
+            if agree then incr exa
+        | Plan.Inexact ->
+            incr inx;
+            if agree then incr inxa);
+        if d.Plan.confidence = Plan.Exact && ((not agree) || switched) then
+          mis :=
+            {
+              mp_page = page;
+              mp_array = d.Plan.array;
+              mp_expected = expected;
+              mp_got = got;
+              mp_switched = switched;
+            }
+            :: !mis
+      done)
+    plan.Plan.directives;
+  let by_class =
+    List.sort compare
+      (Hashtbl.fold
+         (fun (proto, conf) (pages, agreed) acc ->
+           {
+             cs_proto = proto;
+             cs_confidence = conf;
+             cs_pages = pages;
+             cs_agreed = agreed;
+           }
+           :: acc)
+         stats [])
+  in
+  {
+    exact_pages = !ex;
+    exact_agreed = !exa;
+    inexact_pages = !inx;
+    inexact_agreed = !inxa;
+    by_class;
+    mispredictions = List.rev !mis;
+  }

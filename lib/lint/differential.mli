@@ -19,6 +19,9 @@ type proc_stat = {
   static_pages : int;  (** pages in the processor's static summary *)
   dynamic_pages : int;  (** distinct pages it touched at run time *)
   covered_pages : int;  (** dynamic pages inside the static summary *)
+  dropped : int;
+      (** trace events this processor lost to ring overflow — its pages
+          are undercounted by up to this many *)
 }
 
 type report = {
@@ -59,4 +62,50 @@ val run :
   report
 (** Transform the program (default {!Dsm_compiler.Transform.all}),
     execute it with tracing, and {!check} the trace against
-    {!static_ranges} of the {e original} program. *)
+    {!static_ranges} of the {e original} program. Per-processor
+    [dropped] counts are filled from the sink's ring statistics. *)
+
+(** {1 Static protocol-plan grading}
+
+    Compares a static protocol-placement plan against what a traced
+    adaptive run actually did: the final per-page classification
+    ({!Dsm_apps.App_common.result}[.classes]) and every [Proto_switch]
+    event. A switch {e away} from an exact-confidence static decision is
+    a misprediction even if the run later converged back. *)
+
+type misprediction = {
+  mp_page : int;
+  mp_array : string;
+  mp_expected : string * int;  (** static (protocol, owner) *)
+  mp_got : (string * int) option;
+      (** final dynamic class; [None] — never left the LRC default *)
+  mp_switched : bool;
+      (** a [Proto_switch] moved the page off the static decision *)
+}
+
+type class_stat = {
+  cs_proto : string;
+  cs_confidence : Dsm_tmk.Proto_plan.confidence;
+  cs_pages : int;
+  cs_agreed : int;
+}
+
+type grading = {
+  exact_pages : int;
+  exact_agreed : int;
+  inexact_pages : int;
+  inexact_agreed : int;
+  by_class : class_stat list;  (** per (protocol, confidence) *)
+  mispredictions : misprediction list;
+      (** exact-confidence pages whose final class disagrees or that
+          switched away mid-run *)
+}
+
+val grade :
+  plan:Dsm_tmk.Proto_plan.t ->
+  classes:(int * string * int) list ->
+  events:Dsm_trace.Event.t list ->
+  grading
+(** Inexact pages never yield mispredictions — the plan marked them as
+    hints. A page absent from [classes] counts as agreeing only with an
+    [lrc] prediction (the adaptive table only holds observed pages). *)

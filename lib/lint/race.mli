@@ -22,3 +22,26 @@
     Exact overlaps are {!Diag.severity.Error}s. *)
 
 val check : Dsm_compiler.Ir.program -> nprocs:int -> Diag.t list
+
+(** {1 Epoch structure} (shared with the sharing-pattern classifier) *)
+
+val protect :
+  (int * Dsm_compiler.Ir.stmt) list ->
+  Dsm_compiler.Access.region ->
+  int option
+(** The lock whose critical section contains the region, if any
+    ([syncs] is {!Dsm_compiler.Access.index_syncs} output). *)
+
+val opens_epoch :
+  (int * Dsm_compiler.Ir.stmt) list -> Dsm_compiler.Access.region -> bool
+(** Whether the region starts a new barrier epoch (it was opened by a
+    barrier, or by the Push that replaced one). *)
+
+val epochs :
+  (int * Dsm_compiler.Ir.stmt) list ->
+  Dsm_compiler.Access.result ->
+  Dsm_compiler.Access.region list list
+(** Regions grouped into barrier epochs, in program order. For cyclic
+    (steady-state) programs the leading lock-opened regions are folded
+    into the last epoch — they are the tail of the previous iteration's
+    final epoch. *)

@@ -1,34 +1,5 @@
-(* Sets of processor ids, kept as strictly ascending int lists.
+(* Re-export of the shared processor-id set. The structure moved to
+   [Dsm_util] so the trace checker (below this library) shares one
+   definition; the run-time keeps referring to it as [Pset]. *)
 
-   These replace the int bitmasks the diff store and the adaptive backend
-   used for per-page writer/reader tracking: a bitmask caps the cluster at
-   [Sys.int_size - 1] processors, and the scaling experiments run clusters
-   of up to 1024. Per-page populations stay small (the writers of one page,
-   the processors that touched one page in one classification window), so
-   ordered lists are both deterministic and cheap. *)
-
-type t = int list
-
-let empty = []
-let is_empty s = s = []
-let singleton p = [ p ]
-let cardinal = List.length
-
-let rec add p s =
-  match s with
-  | [] -> [ p ]
-  | q :: _ when p < q -> p :: s
-  | q :: _ when p = q -> s
-  | q :: tl -> q :: add p tl
-
-let rec union a b =
-  match (a, b) with
-  | [], s | s, [] -> s
-  | x :: xs, y :: ys ->
-      if x < y then x :: union xs b
-      else if y < x then y :: union a ys
-      else x :: union xs ys
-
-let equal (a : t) (b : t) = a = b
-let min_elt = function [] -> invalid_arg "Pset.min_elt: empty" | p :: _ -> p
-let to_list s = s
+include Dsm_util.Pset

@@ -1,31 +1,7 @@
-(** Sets of processor ids with no width limit.
+(** Re-export of {!Dsm_util.Pset} — see there for documentation. The
+    processor-id set moved to [Dsm_util] so the trace checker can share
+    it; run-time code keeps the short [Pset] name. *)
 
-    Stored as strictly ascending int lists. The diff store and the adaptive
-    backend track per-page writer/reader populations with these; int
-    bitmasks would cap the cluster at [Sys.int_size - 1] processors, and
-    the scaling experiments simulate up to 1024. All operations are
-    deterministic: equal sets are structurally equal. *)
-
-type t
-
-val empty : t
-val is_empty : t -> bool
-val singleton : int -> t
-
-val cardinal : t -> int
-(** Number of members — the bitmask popcount. *)
-
-val add : int -> t -> t
-(** [add p s] is [s] with [p]; O(cardinal). *)
-
-val union : t -> t -> t
-(** Ordered merge; O(cardinal a + cardinal b). *)
-
-val equal : t -> t -> bool
-
-val min_elt : t -> int
-(** Smallest member — the bitmask lowbit. Raises [Invalid_argument] on the
-    empty set. *)
-
-val to_list : t -> int list
-(** Members in ascending order. *)
+include module type of struct
+  include Dsm_util.Pset
+end

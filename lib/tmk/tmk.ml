@@ -11,9 +11,26 @@ type access = Types.access =
 module Cluster = Dsm_sim.Cluster
 module Config = Dsm_sim.Config
 module Engine = Dsm_sim.Engine
+module Page_table = Dsm_mem.Page_table
 
-let make cfg =
+let make ?plan cfg =
   let nprocs = cfg.Config.nprocs in
+  (* A plan generated for a different machine shape would seed wrong
+     owners (nprocs) or wrong page numbers (page_size): reject it with
+     the shared field/range error format rather than misapply it. *)
+  (match plan with
+  | None -> ()
+  | Some (pl : Proto_plan.t) ->
+      if pl.Proto_plan.nprocs <> nprocs then
+        invalid_arg
+          (Dsm_net.Plan.field_error ~field:"plan nprocs"
+             ~value:(string_of_int pl.Proto_plan.nprocs)
+             ~range:(Printf.sprintf "{%d}" nprocs));
+      if pl.Proto_plan.page_size <> cfg.Config.page_size then
+        invalid_arg
+          (Dsm_net.Plan.field_error ~field:"plan page_size"
+             ~value:(string_of_int pl.Proto_plan.page_size)
+             ~range:(Printf.sprintf "{%d}" cfg.Config.page_size)));
   let cluster = Cluster.create cfg in
   let net = Dsm_net.Net.create cluster in
   let sys =
@@ -74,6 +91,7 @@ let make cfg =
       | Config.Inval -> Backend.ops (module Invalidate)
       | Config.Adaptive -> Backend.ops (module Adaptive));
     trace = None;
+    pending_plan = plan;
   }
   in
   (* net events carry the emitting processor's protocol vector clock, so
@@ -82,9 +100,90 @@ let make cfg =
       Vc.copy sys.Types.states.(p).Types.vc);
   sys
 
+(* {1 Static plan seeding}
+
+   Apply a protocol-placement plan's exact directives to the pristine
+   system, before any processor runs: set the adaptive backend's initial
+   per-page classification (and the matching invalidate-directory /
+   home-map state), or — under the plain hlrc backend — just the home
+   assignments. Inexact directives are skipped: a widened summary could
+   name the wrong owner, and the online machinery corrects cheap
+   defaults much faster than wrong seeds. Installation mirrors
+   {!Adaptive.switch}'s quiescent-state rewrite, minus the copy
+   distribution: at time zero every copy is the identical zero page. *)
+
+let seed_plan sys (pl : Proto_plan.t) =
+  let npages = Dsm_mem.Addr_space.n_pages sys.Types.space in
+  let backend = sys.Types.bops.Types.b_name in
+  let install_adapt page proto owner =
+    Hashtbl.replace sys.Types.adapt page
+      {
+        Types.ap_proto = proto;
+        ap_readers = Pset.empty;
+        ap_writers = Pset.empty;
+        ap_last_writer = owner;
+        ap_migrations = 0;
+      }
+  in
+  let seed_inval page owner =
+    Hashtbl.remove sys.Types.homes page;
+    Hashtbl.replace sys.Types.iv_dir page
+      { Types.iv_owner = owner; iv_excl = false; iv_sharers = [ owner ] };
+    for q = 0 to sys.Types.nprocs - 1 do
+      let pg = Page_table.get sys.Types.states.(q).Types.pt page in
+      pg.Page_table.prot <-
+        (if q = owner then Page_table.Read_only else Page_table.No_access)
+    done
+  in
+  List.iter
+    (fun (d : Proto_plan.directive) ->
+      let owner = d.Proto_plan.owner in
+      let lo = d.Proto_plan.lo_page
+      and hi = min d.Proto_plan.hi_page (npages - 1) in
+      let apply =
+        match (backend, d.Proto_plan.proto) with
+        | "adaptive", Proto_plan.Inval ->
+            Some
+              (fun page ->
+                install_adapt page Types.P_inval owner;
+                seed_inval page owner)
+        | "adaptive", Proto_plan.Hlrc ->
+            Some
+              (fun page ->
+                install_adapt page Types.P_hlrc owner;
+                Hashtbl.replace sys.Types.homes page owner)
+        | "hlrc", Proto_plan.Hlrc ->
+            Some (fun page -> Hashtbl.replace sys.Types.homes page owner)
+        | _ -> None
+        (* lrc directives confirm the default — nothing to install; other
+           backends have no protocol choice for a plan to make *)
+      in
+      match apply with
+      | Some f when lo <= hi ->
+          for page = lo to hi do
+            f page
+          done;
+          Protocol.emit sys 0
+            (Dsm_trace.Event.Plan_applied
+               {
+                 lo_page = lo;
+                 hi_page = hi;
+                 proto = Proto_plan.proto_name d.Proto_plan.proto;
+                 owner;
+               })
+      | _ -> ())
+    (Proto_plan.exact_directives pl)
+
 let run ?trace sys main =
   sys.Types.trace <- trace;
   Dsm_net.Net.set_trace sys.Types.net trace;
+  (* one-shot: the digest pass re-enters [run] and must observe the run's
+     final protocol state, not a re-seeded one *)
+  (match sys.Types.pending_plan with
+  | Some pl ->
+      sys.Types.pending_plan <- None;
+      seed_plan sys pl
+  | None -> ());
   (* every program ends with an exit barrier, as in TreadMarks: it restores
      full consistency after any trailing Push phases *)
   Fun.protect
@@ -180,6 +279,28 @@ let digest sys =
 let homes sys =
   List.sort compare
     (Hashtbl.fold (fun page home acc -> (page, home) :: acc) sys.Types.homes [])
+
+(* Final adaptive classification, for grading static predictions against
+   what the online classifier converged to. Pages the run never touched
+   (and never seeded) are absent: they stayed under the LRC default. *)
+let adapt_classes sys =
+  Hashtbl.fold
+    (fun page (a : Types.adapt_page) acc ->
+      let owner =
+        match a.Types.ap_proto with
+        | Types.P_inval -> (
+            match Hashtbl.find_opt sys.Types.iv_dir page with
+            | Some e -> e.Types.iv_owner
+            | None -> -1)
+        | Types.P_hlrc -> (
+            match Hashtbl.find_opt sys.Types.homes page with
+            | Some h -> h
+            | None -> -1)
+        | Types.P_lrc -> -1
+      in
+      (page, Types.page_proto_name a.Types.ap_proto, owner) :: acc)
+    sys.Types.adapt []
+  |> List.sort compare
 
 module Shm = Shm
 module Section = Dsm_rsd.Section

@@ -31,10 +31,20 @@ type access = Types.access =
           The first three preserve consistency; the [_all] types disable it
           and require exact compiler analysis. *)
 
-val make : Dsm_sim.Config.t -> system
+val make : ?plan:Proto_plan.t -> Dsm_sim.Config.t -> system
 (** Build a system for [Config.nprocs] processors, driven by the coherence
     backend selected by [Config.backend] (with homes assigned per
-    [Config.home_policy] when home-based). *)
+    [Config.home_policy] when home-based).
+
+    [plan] is a static protocol-placement plan ({!Proto_plan}, the
+    [dsm_run --plan] artifact): its exact-confidence directives seed the
+    adaptive backend's initial per-page classification (and the matching
+    invalidate-directory / home-map state) — or, under the plain hlrc
+    backend, just the home assignments — at the start of the first
+    {!run}, before any processor executes. Each applied directive emits
+    a [Plan_applied] trace event. Raises [Invalid_argument] (in the
+    {!Dsm_net.Plan.field_error} format) when the plan's [nprocs] or
+    [page_size] disagree with [cfg]. *)
 
 val backend_name : system -> string
 (** Name of the selected backend: ["lrc"] or ["hlrc"]. *)
@@ -125,6 +135,14 @@ val homes : system -> (int * int) list
 (** The page-to-home assignments the run made (hlrc backend), sorted by
     page; empty for backends that assign none. Capture before {!digest} —
     the digest run's read pass can itself assign first-touch homes. *)
+
+val adapt_classes : system -> (int * string * int) list
+(** Final per-page classification of the adaptive backend, sorted by
+    page: (page, protocol name, designated owner) — the home under
+    "hlrc", the holder under "inval", -1 under "lrc". Pages the run
+    never touched or seeded are absent (they stayed under the LRC
+    default). Capture before {!digest}, whose read pass updates the
+    sharing observations. *)
 
 (** {1 Raw shared-memory access} *)
 

@@ -189,6 +189,10 @@ type system = {
       (* protocol event sink; [None] (the default) makes every
          instrumentation site a single comparison with no allocation, and
          emission never touches clocks or statistics *)
+  mutable pending_plan : Proto_plan.t option;
+      (* static protocol-placement plan ([dsm_run --plan]) awaiting
+         application; consumed at the start of the first {!Tmk.run} so the
+         later digest pass does not re-seed over the run's final state *)
 }
 
 (* Per-processor handle passed to application code. [st] caches

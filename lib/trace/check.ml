@@ -38,6 +38,9 @@
      count matches the transmissions the trace records, and no message
      is left undelivered at end of trace. *)
 
+module Wmap = Dsm_util.Wmap
+module Pset = Dsm_util.Pset
+
 type violation = { event : Event.t option; rule : string; detail : string }
 
 let pp_violation ppf v =
@@ -50,13 +53,26 @@ let pp_violation ppf v =
   | None -> ());
   Format.fprintf ppf "[%s] %s" v.rule v.detail
 
+(* Sparse per-writer tables (see Dsm_util.Wmap): a page has few writers,
+   and the dense [int array]s of length [nprocs] this replaces made the
+   checker O(nprocs) per (processor, page) pair — the reason checked runs
+   used to stop at 64 processors. Absent keys read as 0; [last_order]
+   distinguishes "never applied" via {!Wmap.find_opt}. *)
 type page_state = {
-  applied : int array;
-  known : int array;
-  last_order : int array;  (* per writer, last applied diff stamp *)
-  last_upto : int array;  (* per writer, last applied diff end interval *)
+  applied : Wmap.t;
+  known : Wmap.t;
+  last_order : Wmap.t;  (* per writer, last applied diff stamp *)
+  last_upto : Wmap.t;  (* per writer, last applied diff end interval *)
   mutable batch_order : int;  (* max stamp applied since the last fetch *)
 }
+
+(* applied(q) := max applied(q) known(q) for every writer q — the sparse
+   square-up replacing the dense [for q = 0 to nprocs - 1] scans (only
+   explicit [known] entries can raise [applied]). *)
+let raise_applied_to_known s =
+  Wmap.iter
+    (fun q v -> if Wmap.get s.applied q < v then Wmap.set s.applied q v)
+    s.known
 
 type proc_state = {
   mutable last_vc : int array option;
@@ -88,12 +104,24 @@ type msg_state = {
    the current contents from the exclusive owner just before the
    invalidation round that moves ownership to the fetcher. *)
 type iv_state = {
-  iv_invalid : bool array;  (* per proc: copy invalidated, not refetched *)
+  mutable iv_default_invalid : bool;
+      (* validity of processors not listed in [iv_flipped]: false for a
+         lazily-opened page (everyone starts valid), true for a page
+         installed by a protocol switch or plan directive (only the
+         owner's copy is mapped) *)
+  mutable iv_flipped : Pset.t;  (* procs whose validity differs *)
   mutable iv_pending : int list;  (* dsts of unacknowledged Inval_sends *)
   mutable iv_excl : int option;  (* writer holding the only valid copy *)
   mutable iv_transfer : int option;
       (* proc that fetched under exclusivity and must take ownership next *)
 }
+
+(* per proc: copy invalidated, not refetched *)
+let iv_invalid s q = Pset.mem q s.iv_flipped <> s.iv_default_invalid
+
+let iv_set_invalid s q b =
+  if b = s.iv_default_invalid then s.iv_flipped <- Pset.remove q s.iv_flipped
+  else s.iv_flipped <- Pset.add q s.iv_flipped
 
 type state = {
   nprocs : int;
@@ -112,10 +140,10 @@ let page_state st p page =
   | None ->
       let s =
         {
-          applied = Array.make st.nprocs 0;
-          known = Array.make st.nprocs 0;
-          last_order = Array.make st.nprocs min_int;
-          last_upto = Array.make st.nprocs 0;
+          applied = Wmap.create ();
+          known = Wmap.create ();
+          last_order = Wmap.create ();
+          last_upto = Wmap.create ();
           batch_order = min_int;
         }
       in
@@ -151,7 +179,8 @@ let iv_state st page =
   | None ->
       let s =
         {
-          iv_invalid = Array.make st.nprocs false;
+          iv_default_invalid = false;
+          iv_flipped = Pset.empty;
           iv_pending = [];
           iv_excl = None;
           iv_transfer = None;
@@ -274,8 +303,8 @@ let step st (e : Event.t) =
         List.iter
           (fun page ->
             let s = page_state st p page in
-            s.known.(p) <- max s.known.(p) seq;
-            s.applied.(p) <- max s.applied.(p) seq)
+            Wmap.set s.known p (max (Wmap.get s.known p) seq);
+            Wmap.set s.applied p (max (Wmap.get s.applied p) seq))
           pages
     | Notice_apply { writer; seq; page; invalidated } ->
         if writer = p then
@@ -286,11 +315,13 @@ let step st (e : Event.t) =
             "notice for p%d interval %d but only %d released" writer seq
             st.procs.(writer).own;
         let s = page_state st p page in
-        s.known.(writer) <- max s.known.(writer) seq;
-        if s.known.(writer) > s.applied.(writer) && not invalidated then
+        Wmap.set s.known writer (max (Wmap.get s.known writer) seq);
+        if Wmap.get s.known writer > Wmap.get s.applied writer
+           && not invalidated
+        then
           fail st e "notice-invalidate"
             "page %d has unapplied interval %d of p%d but stayed readable"
-            page s.known.(writer) writer
+            page (Wmap.get s.known writer) writer
     | Diff_create { seq; _ } ->
         if seq > ps.own then
           fail st e "diff-future"
@@ -301,33 +332,37 @@ let step st (e : Event.t) =
         if upto < after then
           fail st e "fetch-window" "empty window after=%d upto=%d" after upto;
         let s = page_state st p page in
-        if after > s.applied.(writer) then
+        if after > Wmap.get s.applied writer then
           fail st e "fetch-window"
             "request after=%d beyond mirrored applied=%d for p%d page %d"
-            after s.applied.(writer) writer page;
-        s.applied.(writer) <- max s.applied.(writer) upto;
+            after (Wmap.get s.applied writer) writer page;
+        Wmap.set s.applied writer (max (Wmap.get s.applied writer) upto);
         (* an accumulated span past the requested watermark implies the
            spanned notices *)
-        s.known.(writer) <- max s.known.(writer) s.applied.(writer)
+        Wmap.set s.known writer
+          (max (Wmap.get s.known writer) (Wmap.get s.applied writer))
     | Diff_apply { writer; page; order; upto_seq; bytes = _ } ->
         let s = page_state st p page in
-        if order < s.last_order.(writer) then
-          fail st e "apply-order-writer"
-            "p%d's diff for page %d applied with stamp %d after %d" writer
-            page order s.last_order.(writer);
-        if upto_seq < s.last_upto.(writer) then
+        (match Wmap.find_opt s.last_order writer with
+        | Some prev when order < prev ->
+            fail st e "apply-order-writer"
+              "p%d's diff for page %d applied with stamp %d after %d" writer
+              page order prev
+        | _ -> ());
+        if upto_seq < Wmap.get s.last_upto writer then
           fail st e "apply-order-writer"
             "p%d's diff for page %d covers up to %d after %d" writer page
-            upto_seq s.last_upto.(writer);
+            upto_seq (Wmap.get s.last_upto writer);
         if order < s.batch_order then
           fail st e "apply-order-page"
             "page %d: stamp %d applied after %d within one fetch batch" page
             order s.batch_order;
-        s.last_order.(writer) <- order;
-        s.last_upto.(writer) <- max s.last_upto.(writer) upto_seq;
+        Wmap.set s.last_order writer order;
+        Wmap.set s.last_upto writer (max (Wmap.get s.last_upto writer) upto_seq);
         s.batch_order <- max s.batch_order order;
-        s.applied.(writer) <- max s.applied.(writer) upto_seq;
-        s.known.(writer) <- max s.known.(writer) s.applied.(writer)
+        Wmap.set s.applied writer (max (Wmap.get s.applied writer) upto_seq);
+        Wmap.set s.known writer
+          (max (Wmap.get s.known writer) (Wmap.get s.applied writer))
     | Fetch_done { page; full } ->
         let s = page_state st p page in
         s.batch_order <- min_int;
@@ -339,9 +374,7 @@ let step st (e : Event.t) =
             (* the page is governed by the invalidate protocol: a full
                fetch installs the owner's current copy, which covers
                everything anyone knows of the page (like [Home_fetch]) *)
-            for q = 0 to st.nprocs - 1 do
-              s.applied.(q) <- max s.applied.(q) s.known.(q)
-            done;
+            raise_applied_to_known s;
             (match iv.iv_transfer with
             | Some q when q <> p ->
                 fail st e "inval-single-writer"
@@ -350,7 +383,7 @@ let step st (e : Event.t) =
                   p page q;
                 iv.iv_transfer <- None
             | _ -> ());
-            iv.iv_invalid.(p) <- false;
+            iv_set_invalid iv p false;
             (match iv.iv_excl with
             | Some w when w <> p ->
                 (* only legal as the data leg of an ownership transfer:
@@ -359,13 +392,14 @@ let step st (e : Event.t) =
             | _ -> ())
         | None ->
             if full then
-              for q = 0 to st.nprocs - 1 do
-                if q <> p && s.applied.(q) < s.known.(q) then
-                  fail st e "fetch-complete"
-                    "page %d left with p%d applied=%d < known=%d after an \
-                     unrestricted fetch"
-                    page q s.applied.(q) s.known.(q)
-              done)
+              Wmap.iter
+                (fun q v ->
+                  if q <> p && Wmap.get s.applied q < v then
+                    fail st e "fetch-complete"
+                      "page %d left with p%d applied=%d < known=%d after an \
+                       unrestricted fetch"
+                      page q (Wmap.get s.applied q) v)
+                s.known)
     | Page_fault { page; fetch; _ } ->
         if fetch then ps.pending_fetch <- Some page
     | Twin _ -> ()
@@ -399,16 +433,16 @@ let step st (e : Event.t) =
         List.iter
           (fun page ->
             let s = page_state st p page in
-            s.known.(src) <- max s.known.(src) seq;
-            s.applied.(src) <- max s.applied.(src) seq)
+            Wmap.set s.known src (max (Wmap.get s.known src) seq);
+            Wmap.set s.applied src (max (Wmap.get s.applied src) seq))
           pages
     | Push_rollback { page; writer; seq } ->
         let s = page_state st p page in
-        if s.applied.(writer) <> seq then
+        if Wmap.get s.applied writer <> seq then
           fail st e "push-rollback"
             "rollback of p%d on page %d from %d but applied=%d" writer page
-            seq s.applied.(writer);
-        s.applied.(writer) <- seq - 1
+            seq (Wmap.get s.applied writer);
+        Wmap.set s.applied writer (seq - 1)
     | Broadcast _ -> ()
     (* {2 Single-writer invalidate rules} *)
     | Inval_send { page; dst } ->
@@ -416,7 +450,7 @@ let step st (e : Event.t) =
         if dst < 0 || dst >= st.nprocs then
           fail st e "inval-dst-range" "invalidation target p%d out of range"
             dst
-        else if s.iv_invalid.(dst) then
+        else if iv_invalid s dst then
           fail st e "inval-redundant"
             "invalidation of page %d sent to p%d whose copy is already \
              invalid"
@@ -430,7 +464,7 @@ let step st (e : Event.t) =
              to it"
             p page
         else s.iv_pending <- remove_one p s.iv_pending;
-        if s.iv_invalid.(p) then
+        if iv_invalid s p then
           fail st e "inval-ack-stale"
             "p%d acknowledged an invalidation of page %d while already \
              invalid (it held a copy the directory did not track)"
@@ -441,7 +475,7 @@ let step st (e : Event.t) =
           (* the soundness rule of the write path: exclusivity may only be
              granted over a current copy, so a writer whose own copy was
              invalidated must have completed its fetch first *)
-          if s.iv_invalid.(writer) then
+          if iv_invalid s writer then
             fail st e "inval-writer-stale"
               "page %d granted exclusively to p%d whose copy is invalid"
               page writer;
@@ -455,10 +489,10 @@ let step st (e : Event.t) =
           s.iv_transfer <- None;
           s.iv_excl <- Some writer
         end;
-        s.iv_invalid.(p) <- true
+        iv_set_invalid s p true
     | Downgrade { page; reader = _ } ->
         let s = iv_state st page in
-        if s.iv_invalid.(p) then
+        if iv_invalid s p then
           fail st e "inval-downgrade-stale"
             "p%d downgraded page %d but its copy is invalid" p page;
         (match s.iv_transfer with
@@ -489,7 +523,8 @@ let step st (e : Event.t) =
              distributed their data) *)
           let s =
             {
-              iv_invalid = Array.init st.nprocs (fun q -> q <> owner);
+              iv_default_invalid = true;
+              iv_flipped = Pset.singleton owner;
               iv_pending = [];
               iv_excl = None;
               iv_transfer = None;
@@ -497,13 +532,44 @@ let step st (e : Event.t) =
           in
           Hashtbl.replace st.iv page s
         end;
-        for q = 0 to st.nprocs - 1 do
-          let s = page_state st q page in
-          for w = 0 to st.nprocs - 1 do
-            s.applied.(w) <- max s.applied.(w) s.known.(w)
-          done;
-          s.batch_order <- min_int
-        done
+        (* square up only the processors that have state for the page:
+           absent page states are all-zero and trivially squared *)
+        Array.iter
+          (fun qs ->
+            match Hashtbl.find_opt qs.pages page with
+            | Some s ->
+                raise_applied_to_known s;
+                s.batch_order <- min_int
+            | None -> ())
+          st.procs
+    | Plan_applied { lo_page; hi_page; proto; owner } ->
+        (* a static placement directive seeded pages [lo..hi] before the
+           first access: install the same per-protocol tracking a
+           [Proto_switch] would, so the seeded state is judged by the
+           right rules from the first event on. At start of run all
+           watermarks are zero, so there is nothing to square up. *)
+        if lo_page < 0 || hi_page < lo_page then
+          fail st e "plan-page-range" "empty directive range [%d, %d]" lo_page
+            hi_page;
+        if proto <> "lrc" && proto <> "hlrc" && proto <> "inval" then
+          fail st e "plan-proto" "unknown protocol %S" proto;
+        if proto <> "lrc" && (owner < 0 || owner >= st.nprocs) then
+          fail st e "plan-owner-range" "owner p%d out of range" owner
+        else
+          for page = lo_page to max lo_page hi_page do
+            Hashtbl.remove st.iv page;
+            Hashtbl.remove st.homes page;
+            if proto = "hlrc" then Hashtbl.replace st.homes page owner
+            else if proto = "inval" then
+              Hashtbl.replace st.iv page
+                {
+                  iv_default_invalid = true;
+                  iv_flipped = Pset.singleton owner;
+                  iv_pending = [];
+                  iv_excl = None;
+                  iv_transfer = None;
+                }
+          done
     (* {2 HLRC home rules} *)
     | Home_flush { page; home; seq; bytes = _ } ->
         let home = home_of st e ~page ~home in
@@ -514,13 +580,14 @@ let step st (e : Event.t) =
             "flushed through interval %d but only %d released" seq ps.own;
         if home >= 0 && home < st.nprocs && home <> p then begin
           let s = page_state st home page in
-          if seq <= s.applied.(p) then
+          if seq <= Wmap.get s.applied p then
             fail st e "home-flush-stale"
               "flush of page %d covers up to interval %d but the home copy \
                already has %d"
-              page seq s.applied.(p);
-          s.applied.(p) <- max s.applied.(p) seq;
-          s.known.(p) <- max s.known.(p) s.applied.(p)
+              page seq (Wmap.get s.applied p);
+          Wmap.set s.applied p (max (Wmap.get s.applied p) seq);
+          Wmap.set s.known p
+            (max (Wmap.get s.known p) (Wmap.get s.applied p))
         end
     | Home_fetch { page; home; bytes } ->
         let home = home_of st e ~page ~home in
@@ -540,18 +607,17 @@ let step st (e : Event.t) =
              flushed before its notice can travel, so the home copy must
              already cover everything the fetcher knows of the page *)
           let sh = page_state st home page in
-          for q = 0 to st.nprocs - 1 do
-            if s.known.(q) > sh.applied.(q) then
-              fail st e "home-fetch-current"
-                "page %d: fetcher knows p%d interval %d but the home copy \
-                 only has %d"
-                page q s.known.(q) sh.applied.(q)
-          done
+          Wmap.iter
+            (fun q v ->
+              if v > Wmap.get sh.applied q then
+                fail st e "home-fetch-current"
+                  "page %d: fetcher knows p%d interval %d but the home copy \
+                   only has %d"
+                  page q v (Wmap.get sh.applied q))
+            s.known
         end;
         (* a full-page install leaves nothing known-but-unapplied *)
-        for q = 0 to st.nprocs - 1 do
-          s.applied.(q) <- max s.applied.(q) s.known.(q)
-        done;
+        raise_applied_to_known s;
         s.batch_order <- min_int
     (* {2 Fault-tolerance rules}
 
@@ -608,8 +674,9 @@ let step st (e : Event.t) =
                                              of range" a
             else begin
               let s = page_state st a page in
-              s.applied.(p) <- max s.applied.(p) seq;
-              s.known.(p) <- max s.known.(p) s.applied.(p)
+              Wmap.set s.applied p (max (Wmap.get s.applied p) seq);
+              Wmap.set s.known p
+                (max (Wmap.get s.known p) (Wmap.get s.applied p))
             end)
           acks
     | Quorum_read { page; from; acks; needed } ->
@@ -632,18 +699,25 @@ let step st (e : Event.t) =
              rule a lost acknowledged write trips after a crash *)
           let s = page_state st p page in
           let sf = page_state st from page in
-          for q = 0 to st.nprocs - 1 do
-            if s.known.(q) > sf.applied.(q) then
-              fail st e "quorum-read-current"
-                "page %d: reader knows p%d interval %d but replica p%d only \
-                 has %d"
-                page q s.known.(q) from sf.applied.(q)
-          done;
+          Wmap.iter
+            (fun q v ->
+              if v > Wmap.get sf.applied q then
+                fail st e "quorum-read-current"
+                  "page %d: reader knows p%d interval %d but replica p%d \
+                   only has %d"
+                  page q v from (Wmap.get sf.applied q))
+            s.known;
           (* the install adopts the source's copy and watermarks *)
-          for q = 0 to st.nprocs - 1 do
-            s.applied.(q) <- max s.applied.(q) (max s.known.(q) sf.applied.(q));
-            s.known.(q) <- max s.known.(q) s.applied.(q)
-          done;
+          List.iter
+            (fun q ->
+              let a =
+                max (Wmap.get s.applied q)
+                  (max (Wmap.get s.known q) (Wmap.get sf.applied q))
+              in
+              Wmap.set s.applied q a;
+              if Wmap.get s.known q < a then Wmap.set s.known q a)
+            (List.sort_uniq compare
+               (Wmap.keys s.applied @ Wmap.keys s.known @ Wmap.keys sf.applied));
           s.batch_order <- min_int
         end
     | Ckpt { id; ckpt_epoch } ->
@@ -730,12 +804,12 @@ let step st (e : Event.t) =
       match page with
       | Some page when e.proc >= 0 && e.proc < st.nprocs ->
           let s = page_state st e.proc page in
-          for q = 0 to st.nprocs - 1 do
-            if s.applied.(q) > s.known.(q) then
-              fail st e "watermark"
-                "page %d: applied=%d > known=%d for p%d" page s.applied.(q)
-                s.known.(q) q
-          done
+          Wmap.iter
+            (fun q v ->
+              if v > Wmap.get s.known q then
+                fail st e "watermark" "page %d: applied=%d > known=%d for p%d"
+                  page v (Wmap.get s.known q) q)
+            s.applied
       | _ -> ())
   | _ -> ())
 

@@ -73,6 +73,11 @@ type kind =
       (* adaptive backend: at barrier [epoch] the page moved to protocol
          [proto] ("lrc", "hlrc" or "inval") with designated [owner]
          (home under hlrc, current holder under inval, -1 under lrc) *)
+  | Plan_applied of { lo_page : int; hi_page : int; proto : string; owner : int }
+      (* a static protocol-placement directive ([dsm_run --plan]) seeded
+         pages [lo_page..hi_page] with protocol [proto] and designated
+         [owner] before the program ran — one event per directive, emitted
+         by processor 0 at start of run *)
   (* Fault-tolerance events (lib/ft + Dsm_tmk.Recover). Crash-stop node
      failures execute at release points; homes are k-replica groups whose
      flushes are quorum writes and whose misses are quorum reads. *)
@@ -148,6 +153,7 @@ let kind_name = function
   | Inval_ack _ -> "inval_ack"
   | Downgrade _ -> "downgrade"
   | Proto_switch _ -> "proto_switch"
+  | Plan_applied _ -> "plan_applied"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
   | Suspect _ -> "suspect"
@@ -219,6 +225,10 @@ let kind_fields = function
   | Proto_switch { page; proto; owner; epoch } ->
       Printf.sprintf "\"page\":%d,\"proto\":%S,\"owner\":%d,\"epoch\":%d" page
         proto owner epoch
+  | Plan_applied { lo_page; hi_page; proto; owner } ->
+      Printf.sprintf
+        "\"lo_page\":%d,\"hi_page\":%d,\"proto\":%S,\"owner\":%d" lo_page
+        hi_page proto owner
   | Crash { epoch } -> Printf.sprintf "\"epoch\":%d" epoch
   | Restart { epoch; ckpt } ->
       Printf.sprintf "\"epoch\":%d,\"ckpt\":%d" epoch ckpt
@@ -509,6 +519,14 @@ let parse_exn line =
             proto = str "proto";
             owner = int "owner";
             epoch = int "epoch";
+          }
+    | "plan_applied" ->
+        Plan_applied
+          {
+            lo_page = int "lo_page";
+            hi_page = int "hi_page";
+            proto = str "proto";
+            owner = int "owner";
           }
     | "crash" -> Crash { epoch = int "epoch" }
     | "restart" -> Restart { epoch = int "epoch"; ckpt = int "ckpt" }

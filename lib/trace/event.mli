@@ -92,6 +92,11 @@ type kind =
       (** adaptive backend: at barrier [epoch], [page] switched to
           protocol [proto] ("lrc", "hlrc" or "inval") with designated
           [owner] (home under hlrc, holder under inval, -1 under lrc) *)
+  | Plan_applied of { lo_page : int; hi_page : int; proto : string; owner : int }
+      (** a static protocol-placement directive ([dsm_run --plan]) seeded
+          pages [lo_page..hi_page] with protocol [proto] ("lrc", "hlrc"
+          or "inval") and designated [owner] before the first access —
+          one event per directive, emitted by processor 0 *)
   | Crash of { epoch : int }
       (** fault tolerance: the emitting processor fail-stopped at barrier
           [epoch], losing all volatile state *)

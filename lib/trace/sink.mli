@@ -28,6 +28,11 @@ val emitted : t -> int
 val dropped : t -> int
 (** Events lost to ring overflow (0 means {!events} is the full trace). *)
 
+val dropped_of : t -> int -> int
+(** [dropped_of t p]: events of processor [p] lost to its ring's
+    overflow — lets consumers report drops per processor instead of
+    silently under-counting coverage. *)
+
 val proc_events : t -> int -> Event.t list
 (** Surviving events of one processor, oldest first. *)
 

@@ -1,0 +1,48 @@
+(* Sets of processor ids, kept as strictly ascending int lists.
+
+   These replace the int bitmasks the diff store and the adaptive backend
+   used for per-page writer/reader tracking: a bitmask caps the cluster at
+   [Sys.int_size - 1] processors, and the scaling experiments run clusters
+   of up to 1024. Per-page populations stay small (the writers of one page,
+   the processors that touched one page in one classification window), so
+   ordered lists are both deterministic and cheap.
+
+   Lives in [Dsm_util] so the trace checker (below the run-time in the
+   library order) can track sparse per-page sharer populations too. *)
+
+type t = int list
+
+let empty = []
+let is_empty s = s = []
+let singleton p = [ p ]
+let cardinal = List.length
+
+let rec add p s =
+  match s with
+  | [] -> [ p ]
+  | q :: _ when p < q -> p :: s
+  | q :: _ when p = q -> s
+  | q :: tl -> q :: add p tl
+
+let rec remove p s =
+  match s with
+  | [] -> []
+  | q :: tl when p = q -> tl
+  | q :: _ when p < q -> s
+  | q :: tl -> q :: remove p tl
+
+let mem p s = List.exists (fun q -> q = p) s
+
+let rec union a b =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | x :: xs, y :: ys ->
+      if x < y then x :: union xs b
+      else if y < x then y :: union a ys
+      else x :: union xs ys
+
+let equal (a : t) (b : t) = a = b
+let min_elt = function [] -> invalid_arg "Pset.min_elt: empty" | p :: _ -> p
+let to_list s = s
+let of_list l = List.sort_uniq compare l
+let iter = List.iter

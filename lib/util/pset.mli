@@ -1,0 +1,42 @@
+(** Sets of processor ids with no width limit.
+
+    Stored as strictly ascending int lists. The diff store and the adaptive
+    backend track per-page writer/reader populations with these; int
+    bitmasks would cap the cluster at [Sys.int_size - 1] processors, and
+    the scaling experiments simulate up to 1024. All operations are
+    deterministic: equal sets are structurally equal. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+
+val cardinal : t -> int
+(** Number of members — the bitmask popcount. *)
+
+val add : int -> t -> t
+(** [add p s] is [s] with [p]; O(cardinal). *)
+
+val remove : int -> t -> t
+(** [remove p s] is [s] without [p]; O(cardinal). *)
+
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+(** Ordered merge; O(cardinal a + cardinal b). *)
+
+val equal : t -> t -> bool
+
+val min_elt : t -> int
+(** Smallest member — the bitmask lowbit. Raises [Invalid_argument] on the
+    empty set. *)
+
+val to_list : t -> int list
+(** Members in ascending order. *)
+
+val of_list : int list -> t
+(** Sorted, deduplicated. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)

@@ -1,0 +1,76 @@
+(* Sparse per-writer watermark maps.
+
+   Every page's protocol metadata carries two maps writer -> interval seq
+   (applied and known). As dense [int array]s of length [nprocs] they cost
+   O(nprocs) words per (processor, page) pair — at 1024 simulated
+   processors that is gigabytes of zeroes, and allocating them dominated
+   large-cluster host time. A page is only ever written by a few
+   processors, so the maps are sparse: sorted association lists keyed by
+   writer, absent meaning 0.
+
+   The pair list is immutable (the record holds a mutable pointer), so a
+   checkpoint snapshot ({!to_pairs} / sharing in [Dsm_ft.Ft.ck_known]) is
+   O(1) and can never be mutated behind the checkpoint's back. Iteration
+   is in ascending writer order, matching the [for q = 0 to nprocs - 1]
+   loops this replaces — bit-identical simulated behaviour.
+
+   Lives in [Dsm_util] so both the run-time ([Dsm_tmk]) and the trace
+   checker ([Dsm_trace.Check], which sits below the run-time in the
+   library order) share one definition. *)
+
+type t = { mutable l : (int * int) list }  (* ascending writer; absent = 0 *)
+
+let create () = { l = [] }
+
+let get t k =
+  let rec go = function
+    | [] -> 0
+    | (k', v) :: tl -> if k' < k then go tl else if k' = k then v else 0
+  in
+  go t.l
+
+let find_opt t k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: tl -> if k' < k then go tl else if k' = k then Some v else None
+  in
+  go t.l
+
+let set t k v =
+  let rec go = function
+    | [] -> [ (k, v) ]
+    | ((k', _) as e) :: tl ->
+        if k' < k then e :: go tl
+        else if k' = k then (k, v) :: tl
+        else (k, v) :: e :: tl
+  in
+  t.l <- go t.l
+
+(* Ascending writer order — deterministic, like the dense loops. *)
+let iter f t = List.iter (fun (k, v) -> f k v) t.l
+let exists f t = List.exists (fun (k, v) -> f k v) t.l
+
+let to_pairs t = t.l
+let of_pairs l = { l }
+let keys t = List.map fst t.l
+
+(* Keys present in either map, ascending: the domain over which at least
+   one of two watermark maps is non-zero. *)
+let union_keys a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.map fst rest
+    | (x, _) :: xtl, (y, _) :: ytl ->
+        if x < y then x :: go xtl ys
+        else if y < x then y :: go xs ytl
+        else x :: go xtl ytl
+  in
+  go a.l b.l
+
+(* [dominates a b]: a(k) >= b(k) pointwise (only b's explicit entries can
+   break it — absent entries are 0). *)
+let dominates a b = List.for_all (fun (k, v) -> get a k >= v) b.l
+
+(* [exists_gt a b]: a(k) > b(k) for some k (only a's explicit entries can
+   exceed — absent entries are 0 and b(k) >= 0). *)
+let exists_gt a b = List.exists (fun (k, v) -> v > get b k) a.l

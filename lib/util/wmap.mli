@@ -1,0 +1,47 @@
+(** Sparse writer -> interval-seq watermark maps.
+
+    The per-page [applied]/[known] protocol watermarks, stored as sorted
+    association lists instead of [nprocs]-sized arrays: a page has few
+    writers, and dense arrays cost O(nprocs) words per (processor, page)
+    pair — prohibitive at the 1024-processor scaling configurations.
+    Absent keys read as 0. Iteration is in ascending writer order, so
+    replacing a [for q = 0 to nprocs - 1] scan with {!iter} preserves the
+    exact visit order (and therefore bit-identical simulated results).
+
+    Shared by the run-time ([Dsm_tmk], which re-exports it) and the trace
+    checker ([Dsm_trace.Check]). *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> int
+
+val find_opt : t -> int -> int option
+(** [find_opt t k] distinguishes an explicit 0 entry from an absent key —
+    the checker's last-applied-stamp tables default to "never", not 0. *)
+
+val set : t -> int -> int -> unit
+
+val iter : (int -> int -> unit) -> t -> unit
+(** [iter f t] calls [f writer seq] for each explicit entry, ascending by
+    writer. Entries with value 0 are visited too (a rollback can store 0). *)
+
+val exists : (int -> int -> bool) -> t -> bool
+
+val to_pairs : t -> (int * int) list
+(** O(1) immutable snapshot (ascending) — safe to store in a checkpoint. *)
+
+val of_pairs : (int * int) list -> t
+(** Wrap a snapshot back into a map; the list must be ascending by key. *)
+
+val keys : t -> int list
+(** Explicit keys, ascending. *)
+
+val union_keys : t -> t -> int list
+(** Keys explicit in either map, ascending. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [get a k >= get b k] for every key [k]. *)
+
+val exists_gt : t -> t -> bool
+(** [exists_gt a b] iff [get a k > get b k] for some key [k]. *)
