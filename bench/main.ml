@@ -50,6 +50,7 @@ let run_one = function
   | "backends" -> Experiments.backends ppf Dsm_sim.Config.default
   | "protocols" | "matrix" ->
       Experiments.protocol_matrix ppf Dsm_sim.Config.default
+  | "kv" -> Experiments.kv ppf Dsm_sim.Config.default
   | name -> failwith ("unknown experiment: " ^ name)
 
 let run_all () =
@@ -66,7 +67,8 @@ let run_all () =
   Experiments.faults ppf Dsm_sim.Config.default;
   Experiments.availability ppf Dsm_sim.Config.default;
   Experiments.backends ppf Dsm_sim.Config.default;
-  Experiments.protocol_matrix ppf Dsm_sim.Config.default
+  Experiments.protocol_matrix ppf Dsm_sim.Config.default;
+  Experiments.kv ppf Dsm_sim.Config.default
 
 (* Bechamel wall-clock benchmarks: one Test.make per table/figure. Each run
    re-executes the experiment's simulations from scratch (no caching), so
@@ -242,6 +244,7 @@ let json_mode args =
         Experiments.backends ppf Dsm_sim.Config.default);
     m "protocols" (fun ppf ->
         Experiments.protocol_matrix ppf Dsm_sim.Config.default);
+    m "kv" (fun ppf -> Experiments.kv ppf Dsm_sim.Config.default);
     log
   in
   Format.printf "bench json (%s set, best of %d):@."

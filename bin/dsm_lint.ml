@@ -125,8 +125,11 @@ let grade_plan ~cfg ~nprocs ~level (plan : Plan.t)
     (spec : App_models.spec) =
   match (Cli.find_app spec.App_models.name, Cli.find_level level) with
   | None, _ | _, None -> []
-  | Some m, Some l ->
-      let module App = (val m : Core.Apps.Common.APP) in
+  | Some m, Some l -> (
+      let module W = (val m : Core.Apps.Workload.S) in
+      match List.assoc_opt "small" W.sizes with
+      | None -> []
+      | Some size ->
       let cfg =
         match Core.Config.backend_of_string "adaptive" with
         | Some b -> { cfg with Core.Config.backend = b }
@@ -134,7 +137,10 @@ let grade_plan ~cfg ~nprocs ~level (plan : Plan.t)
       in
       let cfg = Core.Config.with_procs cfg nprocs in
       let sink = Core.Trace.Sink.create ~nprocs () in
-      let r = App.run_tmk ~trace:sink cfg App.small ~level:l ~async:true in
+      let r =
+        W.tmk ~trace:sink cfg ~size ~behavior:W.default_behavior ~level:l
+          ~async:true
+      in
       let g =
         Differential.grade ~plan ~classes:r.Core.Apps.Common.classes
           ~events:(Core.Trace.Sink.events sink)
@@ -176,7 +182,7 @@ let grade_plan ~cfg ~nprocs ~level (plan : Plan.t)
                         " (switched away mid-run)"
                       else "");
                }))
-        g.Differential.mispredictions
+        g.Differential.mispredictions)
 
 let run_plan ~cfg ~nprocs ~level ~plan_out ~single ~grade
     (spec : App_models.spec) =

@@ -25,6 +25,7 @@
 
 open Cmdliner
 module A = Core.Apps.Common
+module Workload = Core.Apps.Workload
 module Cli = Core.Harness.Cli
 
 (* Replay a trace file through the checker without running anything.
@@ -64,16 +65,22 @@ let recheck_file ~nprocs ~strict file =
           `Error (false, "protocol invariant violations found"))
 
 let run app version level size procs common sync trace_file check recheck
-    strict_recheck digest proto_plan prof list =
+    strict_recheck digest proto_plan prof list knobs =
   if list then begin
     List.iter
       (fun (name, m) ->
-        let module App = (val m : A.APP) in
-        Format.printf "%-8s large=%-12s small=%-12s levels=%s%s@." name
-          (App.size_name App.large) (App.size_name App.small)
-          (String.concat ","
-             (List.map A.opt_level_name App.levels))
-          (if Option.is_some App.run_xhpf then " (+xhpf)" else ""))
+        let module W = (val m : Workload.S) in
+        Format.printf "%-8s sizes=%-12s levels=%s%s%s@." name
+          (String.concat "," (List.map fst W.sizes))
+          (String.concat "," (List.map A.opt_level_name W.levels))
+          (if Option.is_some W.xhpf then " (+xhpf)" else "")
+          (match W.knob_doc with
+          | [] -> ""
+          | ks ->
+              " knobs=" ^ String.concat "," (List.map fst ks));
+        List.iter
+          (fun (k, doc) -> Format.printf "           --%s: %s@." k doc)
+          W.knob_doc)
       Cli.apps;
     `Ok ()
   end
@@ -84,8 +91,21 @@ let run app version level size procs common sync trace_file check recheck
     match Cli.find_app app with
     | None -> `Error (false, "unknown application: " ^ app)
     | Some m -> (
-        let module App = (val m : A.APP) in
-        let params = if size = "large" then App.large else App.small in
+        let module W = (val m : Workload.S) in
+        match List.assoc_opt size W.sizes with
+        | None ->
+            `Error
+              ( false,
+                Printf.sprintf "unknown size for %s: %s (choices: %s)" app
+                  size
+                  (String.concat ", " (List.map fst W.sizes)) )
+        | Some wsize -> (
+        match
+          Workload.apply_knobs ~with_knob:W.with_knob
+            ~default:W.default_behavior knobs
+        with
+        | Error e -> `Error (false, e)
+        | Ok behavior -> (
         match Cli.config ~procs common with
         | Error e -> `Error (false, e)
         | Ok cfg ->
@@ -106,8 +126,8 @@ let run app version level size procs common sync trace_file check recheck
                   (* a plan whose geometry disagrees with the run (procs,
                      page size, program) is rejected by Tmk.make *)
                   match
-                    App.run_tmk ?trace:sink ~digest ?plan:proto_plan cfg
-                      params ~level:l ~async:(not sync)
+                    W.tmk ?trace:sink ~digest ?plan:proto_plan cfg
+                      ~size:wsize ~behavior ~level:l ~async:(not sync)
                   with
                   | r -> Ok r
                   | exception Invalid_argument e ->
@@ -116,10 +136,10 @@ let run app version level size procs common sync trace_file check recheck
               if proto_plan <> None then
                 Format.eprintf
                   "note: --plan applies to the tmk version only@.";
-              Ok (App.run_pvm cfg params)
+              Ok (W.pvm cfg ~size:wsize ~behavior)
           | "xhpf" -> (
-              match App.run_xhpf with
-              | Some f -> Ok (f cfg params)
+              match W.xhpf with
+              | Some f -> Ok (f cfg ~size:wsize ~behavior)
               | None -> Error "XHPF cannot parallelize this application")
           | v -> Error ("unknown version: " ^ v)
         in
@@ -127,14 +147,14 @@ let run app version level size procs common sync trace_file check recheck
         (match result with
         | Error e -> `Error (false, e)
         | Ok r ->
-            let seq = App.seq_time_us params in
+            let seq = W.seq_time_us wsize in
             let version_name =
               if version = "tmk" then
                 "tmk/" ^ Core.Config.backend_name cfg.Core.Config.backend
               else version
             in
-            Format.printf "%s (%s), %s, %d processors@." App.name
-              (App.size_name params) version_name procs;
+            Format.printf "%s (%s), %s, %d processors@." W.name
+              (W.size_name wsize) version_name procs;
             Format.printf "  uniprocessor time: %12.0f us@." seq;
             Format.printf "  parallel time:     %12.0f us  (speedup %.2f)@."
               r.A.time_us (seq /. r.A.time_us);
@@ -196,7 +216,7 @@ let run app version level size procs common sync trace_file check recheck
                         vs;
                       `Error (false, "LRC invariant violations found")
                 end
-                else `Ok ()))))
+                else `Ok ()))))))
 
 let cmd =
   let version =
@@ -268,6 +288,7 @@ let cmd =
              are unchanged.")
   in
   let list = Arg.(value & flag & info [ "list" ] ~doc:"List applications.") in
+  let knobs = Cli.knobs_t in
   let doc = "run a benchmark application on the simulated DSM" in
   Cmd.v
     (Cmd.info "dsm_run" ~doc)
@@ -275,6 +296,6 @@ let cmd =
       ret
         (const run $ Cli.app_t $ version $ Cli.level_t ~default:"push" $ size
        $ Cli.procs_t $ Cli.term $ sync $ trace_file $ check $ recheck
-       $ strict_recheck $ digest $ Cli.plan_t $ prof $ list))
+       $ strict_recheck $ digest $ Cli.plan_t $ prof $ list $ knobs))
 
 let () = exit (Cmd.eval cmd)

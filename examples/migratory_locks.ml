@@ -19,7 +19,7 @@ let n_slots = 4096 (* 8 pages *)
 let run ~optimized =
   let cfg = Core.Config.default in
   let sys = Tmk.make cfg in
-  let table = Tmk.alloc sys "table" Tmk.I64 ~dims:[ n_slots ] in
+  let table = Tmk.Alloc.array sys "table" Tmk.I64 ~dims:[ n_slots ] in
   let np = cfg.Core.Config.nprocs in
   let sec_len = n_slots / np in
   Tmk.run sys (fun t ->

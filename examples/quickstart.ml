@@ -15,7 +15,7 @@ let () =
   let cfg = Core.Config.default in
   let sys = Tmk.make cfg in
   let n = 1024 in
-  let v = Tmk.alloc sys "v" Tmk.F64 ~dims:[ n ] in
+  let v = Tmk.Alloc.array sys "v" Tmk.F64 ~dims:[ n ] in
   Tmk.run sys (fun t ->
       let p = Tmk.pid t
       and np = Tmk.nprocs t in
@@ -42,7 +42,7 @@ let () =
   (* The same program, letting the compiler-style Validate aggregate the
      reads into one request per writer instead of a fault per page: *)
   let sys2 = Tmk.make cfg in
-  let v2 = Tmk.alloc sys2 "v" Tmk.F64 ~dims:[ n ] in
+  let v2 = Tmk.Alloc.array sys2 "v" Tmk.F64 ~dims:[ n ] in
   Tmk.run sys2 (fun t ->
       let p = Tmk.pid t
       and np = Tmk.nprocs t in

@@ -21,7 +21,7 @@ let bounds nprocs p =
 let run ~push =
   let cfg = Core.Config.default in
   let sys = Tmk.make cfg in
-  let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ m; m ] in
+  let b = Tmk.Alloc.array sys "b" Tmk.F64 ~dims:[ m; m ] in
   let np = cfg.Core.Config.nprocs in
   let read_sections =
     Array.init np (fun q ->

@@ -39,7 +39,22 @@ type result = {
          [homes]; [[]] for non-tmk versions and other backends. The static
          plan grading compares these against the compile-time
          predictions. *)
+  latencies_us : float array option;
+      (* per-operation latencies of a transaction-style workload (KV),
+         sorted ascending; [None] for the kernels, whose unit of work is
+         the whole run. Plain data, like [digest]: memoized results must
+         never pin run-time state. *)
+  nops : int;
+      (* operations completed by a transaction-style workload, the
+         denominator of msgs/op and bytes/op; [0] for the kernels. *)
 }
+
+(* Results are built through this constructor so new optional fields
+   (latencies, op counts) extend the record without touching the six
+   kernels' construction sites again. *)
+let make_result ~time_us ~stats ~max_err ?(digest = "") ?(homes = [])
+    ?(classes = []) ?latencies_us ?(nops = 0) () =
+  { time_us; stats; max_err; digest; homes; classes; latencies_us; nops }
 
 let combine_err a b = Float.max a (abs_float b)
 
@@ -59,30 +74,3 @@ let memo tbl key compute =
           Hashtbl.replace tbl key v;
           v)
 
-module type APP = sig
-  val name : string
-
-  type params
-
-  val large : params
-  val small : params
-  val size_name : params -> string
-  val seq_time_us : params -> float
-
-  val run_tmk :
-    ?trace:Dsm_trace.Sink.t ->
-    ?digest:bool ->
-    ?plan:Dsm_tmk.Proto_plan.t ->
-    Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
-  (** [trace] records the compute run's protocol events (the untimed
-      verification pass stays untraced). [digest] (default false) adds
-      a protocol-level read pass over the final shared state and
-      records its content digest in the result. [plan] seeds the
-      adaptive/hlrc backend's per-page protocol state from a static
-      protocol-placement plan before the first access
-      ({!Dsm_tmk.Tmk.make}). *)
-
-  val run_pvm : Dsm_sim.Config.t -> params -> result
-  val run_xhpf : (Dsm_sim.Config.t -> params -> result) option
-  val levels : opt_level list
-end

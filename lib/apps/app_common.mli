@@ -19,7 +19,8 @@ val opt_level_name : opt_level -> string
 val level_leq : opt_level -> opt_level -> bool
 (** Ordering of the cumulative levels. *)
 
-(** Outcome of one parallel run. *)
+(** Outcome of one parallel run. Built with {!make_result} so optional
+    fields can be added without revisiting every construction site. *)
 type result = {
   time_us : float;  (** parallel virtual execution time *)
   stats : Dsm_sim.Stats.t;  (** aggregate over processors *)
@@ -41,7 +42,29 @@ type result = {
           adaptive backend ({!Dsm_tmk.Tmk.adapt_classes}), snapshotted
           with [homes]; [[]] elsewhere. Compared against the static
           sharing-pattern predictions by the plan grading. *)
+  latencies_us : float array option;
+      (** per-operation latencies of a transaction-style workload (KV),
+          sorted ascending; [None] for the kernels. Plain data — memoized
+          results must never pin run-time state. *)
+  nops : int;
+      (** operations completed by a transaction-style workload, the
+          denominator of msgs/op and bytes/op; [0] for the kernels. *)
 }
+
+val make_result :
+  time_us:float ->
+  stats:Dsm_sim.Stats.t ->
+  max_err:float ->
+  ?digest:string ->
+  ?homes:(int * int) list ->
+  ?classes:(int * string * int) list ->
+  ?latencies_us:float array ->
+  ?nops:int ->
+  unit ->
+  result
+(** Smart constructor with neutral defaults for every optional field
+    ([digest = ""], [homes = []], [classes = []], [latencies_us = None],
+    [nops = 0]). *)
 
 val combine_err : float -> float -> float
 
@@ -52,35 +75,7 @@ val memo : ('k, 'v) Hashtbl.t -> 'k -> (unit -> 'v) -> 'v
     including runs the harness fans out over several domains, where an
     unlocked table would race. *)
 
-module type APP = sig
-  val name : string
-
-  type params
-
-  val large : params
-  val small : params
-  val size_name : params -> string
-  val seq_time_us : params -> float
-  (** Virtual uniprocessor execution time (Table 1 baseline). *)
-
-  val run_tmk :
-    ?trace:Dsm_trace.Sink.t ->
-    ?digest:bool ->
-    ?plan:Dsm_tmk.Proto_plan.t ->
-    Dsm_sim.Config.t -> params -> level:opt_level -> async:bool -> result
-  (** [trace] records the compute run's protocol events (the untimed
-      verification pass stays untraced). [digest] (default false) adds
-      a protocol-level read pass over the final shared state and
-      records its content digest in the result. [plan] seeds the
-      adaptive/hlrc backend's initial per-page protocol state from a
-      static protocol-placement plan ({!Dsm_tmk.Tmk.make}). *)
-
-  val run_pvm : Dsm_sim.Config.t -> params -> result
-
-  val run_xhpf : (Dsm_sim.Config.t -> params -> result) option
-  (** [None] for IS: XHPF cannot parallelize it (indirect accesses). *)
-
-  val levels : opt_level list
-  (** The optimization levels applicable to this application, as reported
-      in Figure 6 of the paper. *)
-end
+(** The informal [APP] module type that used to live here was replaced
+    by the first-class {!Dsm_apps.Workload.S}, which splits [params]
+    into size and behavior knobs; the workloads are enumerated once in
+    {!Dsm_apps.Registry}. *)

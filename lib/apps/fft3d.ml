@@ -204,8 +204,8 @@ let seq_time_us { n; iters; bf_cost } =
 
 let run_tmk ?trace ?(digest = false) ?plan cfg ({ n; iters; bf_cost } as prm) ~level ~async =
   let sys = Tmk.make ?plan cfg in
-  let x = Tmk.alloc sys "x" Tmk.F64 ~dims:[ (2 * n); n; n ] in
-  let y = Tmk.alloc sys "y" Tmk.F64 ~dims:[ (2 * n); n; n ] in
+  let x = Tmk.Alloc.array sys "x" Tmk.F64 ~dims:[ (2 * n); n; n ] in
+  let y = Tmk.Alloc.array sys "y" Tmk.F64 ~dims:[ (2 * n); n; n ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   (* X is slab-distributed along i3 (last dim), Y along i1 (its last dim,
      which holds X's first) *)
@@ -387,8 +387,9 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ n; iters; bf_cost } as prm) ~l
         done);
   let homes = Tmk.homes sys in
   let classes = Tmk.adapt_classes sys in
-  { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes; classes }
+  make_result ~time_us ~stats ~max_err:!err
+    ~digest:(if digest then Tmk.digest sys else "")
+    ~homes ~classes ()
 
 (* {1 Message-passing versions}
 
@@ -542,9 +543,27 @@ let run_mp ~pack cfg ({ n; iters; bf_cost } as prm) =
         done
       done)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
+  make_result ~time_us:(Mp.elapsed sys) ~stats:(Mp.total_stats sys)
+    ~max_err:!err ()
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 
 let run_xhpf =
   Some (fun cfg prm -> run_mp ~pack:(fun t elems -> Hpf.charge_pack t elems) cfg prm)
+
+(* {1 Workload.S instance: sizes are the params records, no behavior
+      knobs} *)
+
+type size = params
+type behavior = unit
+
+let sizes = [ ("large", large); ("small", small) ]
+let default_behavior = ()
+let knob_doc = []
+let with_knob = Workload.no_knobs ~workload:name
+
+let tmk ?trace ?digest ?plan cfg ~size ~behavior:() ~level ~async =
+  run_tmk ?trace ?digest ?plan cfg size ~level ~async
+
+let pvm cfg ~size ~behavior:() = run_pvm cfg size
+let xhpf = Option.map (fun f cfg ~size ~behavior:() -> f cfg size) run_xhpf

@@ -100,9 +100,9 @@ let seq_time_us { m; update_cost = u } =
 let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; update_cost = u } as prm) ~level ~async =
   let cfg = { cfg with Dsm_sim.Config.page_size = page_size prm } in
   let sys = Tmk.make ?plan cfg in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ m; m ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ m; m ] in
   (* work(k+1) = pivot row (as float); work(k+1+d) = multiplier l(k+d) *)
-  let work = Tmk.alloc sys "work" Tmk.F64 ~dims:[ (m + 1) ] in
+  let work = Tmk.Alloc.array sys "work" Tmk.F64 ~dims:[ (m + 1) ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
@@ -214,8 +214,9 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; update_cost = u } as prm) ~
         done);
   let homes = Tmk.homes sys in
   let classes = Tmk.adapt_classes sys in
-  { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes; classes }
+  make_result ~time_us ~stats ~max_err:!err
+    ~digest:(if digest then Tmk.digest sys else "")
+    ~homes ~classes ()
 
 (* {1 Message-passing versions} *)
 
@@ -290,7 +291,8 @@ let run_mp ~bcast cfg ({ m; update_cost = u } as prm) =
           done)
         cols)
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
+  make_result ~time_us:(Mp.elapsed sys) ~stats:(Mp.total_stats sys)
+    ~max_err:!err ()
 
 let run_pvm cfg prm =
   run_mp ~bcast:(fun t ~root ~tag msg -> Mp.bcast_floats t ~root ~tag msg) cfg prm
@@ -301,3 +303,20 @@ let run_xhpf =
       run_mp
         ~bcast:(fun t ~root ~tag msg -> Hpf.bcast_section t ~root ~tag msg)
         cfg prm)
+
+(* {1 Workload.S instance: sizes are the params records, no behavior
+      knobs} *)
+
+type size = params
+type behavior = unit
+
+let sizes = [ ("large", large); ("small", small) ]
+let default_behavior = ()
+let knob_doc = []
+let with_knob = Workload.no_knobs ~workload:name
+
+let tmk ?trace ?digest ?plan cfg ~size ~behavior:() ~level ~async =
+  run_tmk ?trace ?digest ?plan cfg size ~level ~async
+
+let pvm cfg ~size ~behavior:() = run_pvm cfg size
+let xhpf = Option.map (fun f cfg ~size ~behavior:() -> f cfg size) run_xhpf

@@ -112,7 +112,7 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ n_keys; n_buckets; reps; key_c
     }
   in
   let sys = Tmk.make ?plan cfg in
-  let bucket = Tmk.alloc sys "bucket" Tmk.I64 ~dims:[ n_buckets ] in
+  let bucket = Tmk.Alloc.array sys "bucket" Tmk.I64 ~dims:[ n_buckets ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let chunk = n_keys / np in
   let sec_len = n_buckets / np in
@@ -195,8 +195,9 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ n_keys; n_buckets; reps; key_c
   done;
   let homes = Tmk.homes sys in
   let classes = Tmk.adapt_classes sys in
-  { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes; classes }
+  make_result ~time_us ~stats ~max_err:!err
+    ~digest:(if digest then Tmk.digest sys else "")
+    ~homes ~classes ()
 
 (* {1 Hand-coded message passing}
 
@@ -288,6 +289,24 @@ let run_pvm cfg ({ n_keys; n_buckets; reps; key_cost; bucket_cost } as prm) =
   for i = 0 to n_keys - 1 do
     err := combine_err !err (float_of_int (ranks.(i) - rref.(i)))
   done;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
+  make_result ~time_us:(Mp.elapsed sys) ~stats:(Mp.total_stats sys)
+    ~max_err:!err ()
 
 let run_xhpf = None
+
+(* {1 Workload.S instance: sizes are the params records, no behavior
+      knobs} *)
+
+type size = params
+type behavior = unit
+
+let sizes = [ ("large", large); ("small", small) ]
+let default_behavior = ()
+let knob_doc = []
+let with_knob = Workload.no_knobs ~workload:name
+
+let tmk ?trace ?digest ?plan cfg ~size ~behavior:() ~level ~async =
+  run_tmk ?trace ?digest ?plan cfg size ~level ~async
+
+let pvm cfg ~size ~behavior:() = run_pvm cfg size
+let xhpf = Option.map (fun f cfg ~size ~behavior:() -> f cfg size) run_xhpf

@@ -77,7 +77,7 @@ let seq_time_us { m; iters; update_cost; copy_cost } =
 
 let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; iters; update_cost; copy_cost } as prm) ~level ~async =
   let sys = Tmk.make ?plan cfg in
-  let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ m; m ] in
+  let b = Tmk.Alloc.array sys "b" Tmk.F64 ~dims:[ m; m ] in
   let np = cfg.Dsm_sim.Config.nprocs in
   let read_sections =
     Array.init np (fun q ->
@@ -167,8 +167,9 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; iters; update_cost; copy_co
         done);
   let homes = Tmk.homes sys in
   let classes = Tmk.adapt_classes sys in
-  { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes; classes }
+  make_result ~time_us ~stats ~max_err:!err
+    ~digest:(if digest then Tmk.digest sys else "")
+    ~homes ~classes ()
 
 (* {1 Message-passing versions}
 
@@ -233,14 +234,8 @@ let run_mp ~exchange cfg prm =
   in
   Mp.run sys (fun t ->
       results.(Mp.pid t) <- mp_body ~exchange ~charge:Mp.charge t prm);
-  {
-    time_us = Mp.elapsed sys;
-    stats = Mp.total_stats sys;
-    max_err = mp_err prm results;
-    digest = "";
-    homes = [];
-    classes = [];
-  }
+  make_result ~time_us:(Mp.elapsed sys) ~stats:(Mp.total_stats sys)
+    ~max_err:(mp_err prm results) ()
 
 let run_pvm cfg prm =
   let exchange t ~left ~right =
@@ -261,3 +256,20 @@ let run_xhpf =
     (fun cfg prm ->
       let exchange t ~left ~right = Hpf.shift_exchange t ~tag:1 ~left ~right in
       run_mp ~exchange cfg prm)
+
+(* {1 Workload.S instance: sizes are the params records, no behavior
+      knobs} *)
+
+type size = params
+type behavior = unit
+
+let sizes = [ ("large", large); ("small", small) ]
+let default_behavior = ()
+let knob_doc = []
+let with_knob = Workload.no_knobs ~workload:name
+
+let tmk ?trace ?digest ?plan cfg ~size ~behavior:() ~level ~async =
+  run_tmk ?trace ?digest ?plan cfg size ~level ~async
+
+let pvm cfg ~size ~behavior:() = run_pvm cfg size
+let xhpf = Option.map (fun f cfg ~size ~behavior:() -> f cfg size) run_xhpf

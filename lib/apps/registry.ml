@@ -1,0 +1,23 @@
+(* The one table of every workload in the system, consumed by
+   Harness.Cli, dsm_run, dsm_lint --app, the runset and the bench — the
+   per-binary application lists this replaces drifted by construction.
+   Order is presentation order in tables and --list output. *)
+
+let all : (string * (module Workload.S)) list =
+  [
+    ("jacobi", (module Jacobi));
+    ("fft3d", (module Fft3d));
+    ("shallow", (module Shallow));
+    ("is", (module Is));
+    ("gauss", (module Gauss));
+    ("mgs", (module Mgs));
+    ("kv", (module Kv));
+  ]
+
+let find name = List.assoc_opt name all
+let names = List.map fst all
+
+(* The paper's six scientific kernels: the subset every table and figure
+   of Section 5/6 regenerates over (the KV cache has its own experiment,
+   with latency percentiles instead of speedups). *)
+let kernels = List.filter (fun (n, _) -> n <> "kv") all

@@ -220,7 +220,7 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; n; steps; point_cost } as p
     [| "u"; "v"; "p"; "unew"; "vnew"; "pnew"; "uold"; "vold"; "pold";
        "cu"; "cv"; "z"; "h" |]
   in
-  let arrs = Array.map (fun nm -> Tmk.alloc sys nm Tmk.F64 ~dims:[ m; n ]) names in
+  let arrs = Array.map (fun nm -> Tmk.Alloc.array sys nm Tmk.F64 ~dims:[ m; n ]) names in
   let np = cfg.Dsm_sim.Config.nprocs in
   Tmk.run ?trace sys (fun t ->
       let p = Tmk.pid t in
@@ -303,8 +303,9 @@ let run_tmk ?trace ?(digest = false) ?plan cfg ({ m; n; steps; point_cost } as p
           [ iu; iv; ip ]);
   let homes = Tmk.homes sys in
   let classes = Tmk.adapt_classes sys in
-  { time_us; stats; max_err = !err;
-    digest = (if digest then Tmk.digest sys else ""); homes; classes }
+  make_result ~time_us ~stats ~max_err:!err
+    ~digest:(if digest then Tmk.digest sys else "")
+    ~homes ~classes ()
 
 (* {1 Message-passing versions}
 
@@ -388,9 +389,27 @@ let run_mp ~pack cfg ({ m; n; steps; point_cost } as prm) =
           done)
         [ iu; iv; ip ])
     results;
-  { time_us = Mp.elapsed sys; stats = Mp.total_stats sys; max_err = !err; digest = ""; homes = []; classes = [] }
+  make_result ~time_us:(Mp.elapsed sys) ~stats:(Mp.total_stats sys)
+    ~max_err:!err ()
 
 let run_pvm cfg prm = run_mp ~pack:(fun _ _ -> ()) cfg prm
 
 let run_xhpf =
   Some (fun cfg prm -> run_mp ~pack:(fun t e -> Hpf.charge_pack t e) cfg prm)
+
+(* {1 Workload.S instance: sizes are the params records, no behavior
+      knobs} *)
+
+type size = params
+type behavior = unit
+
+let sizes = [ ("large", large); ("small", small) ]
+let default_behavior = ()
+let knob_doc = []
+let with_knob = Workload.no_knobs ~workload:name
+
+let tmk ?trace ?digest ?plan cfg ~size ~behavior:() ~level ~async =
+  run_tmk ?trace ?digest ?plan cfg size ~level ~async
+
+let pvm cfg ~size ~behavior:() = run_pvm cfg size
+let xhpf = Option.map (fun f cfg ~size ~behavior:() -> f cfg size) run_xhpf

@@ -65,12 +65,15 @@ end
 
 module Apps = struct
   module Common = Dsm_apps.App_common
+  module Workload = Dsm_apps.Workload
+  module Registry = Dsm_apps.Registry
   module Jacobi = Dsm_apps.Jacobi
   module Fft3d = Dsm_apps.Fft3d
   module Shallow = Dsm_apps.Shallow
   module Is = Dsm_apps.Is
   module Gauss = Dsm_apps.Gauss
   module Mgs = Dsm_apps.Mgs
+  module Kv = Dsm_apps.Kv
 end
 
 module Harness = struct

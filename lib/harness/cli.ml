@@ -10,21 +10,16 @@
 open Cmdliner
 module Config = Dsm_sim.Config
 module A = Dsm_apps.App_common
+module Workload = Dsm_apps.Workload
 
-(* {1 Applications and levels} *)
+(* {1 Applications and levels}
 
-let apps : (string * (module A.APP)) list =
-  [
-    ("jacobi", (module Dsm_apps.Jacobi));
-    ("fft3d", (module Dsm_apps.Fft3d));
-    ("shallow", (module Dsm_apps.Shallow));
-    ("is", (module Dsm_apps.Is));
-    ("gauss", (module Dsm_apps.Gauss));
-    ("mgs", (module Dsm_apps.Mgs));
-  ]
+   The workload table lives in {!Dsm_apps.Registry}; both executables
+   and the bench consume it through these aliases. *)
 
-let find_app name = List.assoc_opt name apps
-let app_names = List.map fst apps
+let apps : (string * (module Workload.S)) list = Dsm_apps.Registry.all
+let find_app = Dsm_apps.Registry.find
+let app_names = Dsm_apps.Registry.names
 
 let levels : (string * A.opt_level) list =
   [
@@ -298,6 +293,55 @@ let app_t =
     value & opt string "jacobi"
     & info [ "app"; "a" ] ~docv:"NAME"
         ~doc:("Application: " ^ String.concat ", " app_names ^ "."))
+
+(* Behavior knobs travel as (key, value) strings and are interpreted by
+   the selected workload's {!Workload.S.with_knob}, so adding a knob to
+   one workload does not grow this list of flags' parsing logic — only
+   its help text. Unknown/out-of-range values surface as usage errors in
+   the standard field/value/range format. *)
+let knobs_t =
+  let knob key docv doc =
+    Arg.(value & opt (some string) None & info [ key ] ~docv ~doc)
+  in
+  let mix =
+    knob "mix" "NAME"
+      "Workload knob (kv): operation mix, one of read90, read50, write90."
+  in
+  let skew =
+    knob "skew" "THETA"
+      "Workload knob (kv): Zipfian hot-key skew exponent in [0,2] (0 = \
+       uniform, 0.99 = classic YCSB skew)."
+  in
+  let sessions =
+    knob "sessions" "N"
+      "Workload knob (kv): number of simulated client sessions (operations) \
+       across all processors."
+  in
+  let granularity =
+    knob "granularity" "NAME"
+      "Workload knob (kv): shared-store allocation granularity, $(b,page) \
+       or $(b,object)."
+  in
+  let keys =
+    knob "keys" "N" "Workload knob (kv): size of the key space."
+  in
+  let shards =
+    knob "shards" "N"
+      "Workload knob (kv): lock-protected shards per processor."
+  in
+  let make mix skew sessions granularity keys shards =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun v -> (k, v)) v)
+      [
+        ("mix", mix);
+        ("skew", skew);
+        ("sessions", sessions);
+        ("granularity", granularity);
+        ("keys", keys);
+        ("shards", shards);
+      ]
+  in
+  Term.(const make $ mix $ skew $ sessions $ granularity $ keys $ shards)
 
 let procs_t =
   Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Processor count.")

@@ -5,10 +5,11 @@
 
 (** {1 Applications and levels} *)
 
-val apps : (string * (module Dsm_apps.App_common.APP)) list
-(** The six benchmark applications, keyed by their CLI names. *)
+val apps : (string * (module Dsm_apps.Workload.S)) list
+(** The workload registry ({!Dsm_apps.Registry.all}), keyed by CLI
+    names: the six paper kernels plus the [kv] session cache. *)
 
-val find_app : string -> (module Dsm_apps.App_common.APP) option
+val find_app : string -> (module Dsm_apps.Workload.S) option
 val app_names : string list
 
 val levels : (string * Dsm_apps.App_common.opt_level) list
@@ -69,6 +70,13 @@ val plan_t : Dsm_tmk.Proto_plan.t option Cmdliner.Term.t
 
 val app_t : string Cmdliner.Term.t
 (** [--app/-a], defaulting to [jacobi]. *)
+
+val knobs_t : (string * string) list Cmdliner.Term.t
+(** Workload behavior knobs ([--mix], [--skew], [--sessions],
+    [--granularity], [--keys], [--shards]) collected as key/value pairs
+    and applied through {!Dsm_apps.Workload.S.with_knob}; a knob the
+    selected workload does not understand (or a value out of range) is
+    rejected with the standard field/value/range message. *)
 
 val procs_t : int Cmdliner.Term.t
 (** [--procs/-p] as a single count, defaulting to 8. *)

@@ -79,6 +79,19 @@ val availability : Format.formatter -> Dsm_sim.Config.t -> unit
     configuration's final memory digest must be bit-identical to the
     unreplicated baseline (the run aborts otherwise). *)
 
+val kv : Format.formatter -> Dsm_sim.Config.t -> unit
+(** Beyond the paper: the sharded key-value/session cache — a
+    latency-bound workload, reported as tail-latency percentiles (p50,
+    p95, p99 over all operations) and per-operation messages and bytes
+    rather than speedups. Two operation mixes (read-mostly and
+    write-heavy) crossed with the store's allocation granularity (packed
+    64-byte objects vs the page-granular control) over all four
+    coherence backends, plus the hand-coded message-passing delegation
+    baseline. Ends with two self-checks: object granularity must shed
+    messages against the page control under the write-heavy skewed mix
+    (the false-sharing claim), and a traced run must replay cleanly
+    through the LRC invariant checker while exercising object skips. *)
+
 val micro : Format.formatter -> Dsm_sim.Config.t -> unit
 (** Section 5's platform microbenchmarks: minimum roundtrip, free-lock
     acquisition, 8-processor barrier, and the memory-management cost curve,

@@ -109,7 +109,8 @@ let of_events events =
         | E.Barrier_arrive _ | E.Barrier_depart _ | E.Lock_request _
         | E.Push_recv _ | E.Push_rollback _ | E.Msg_drop _ | E.Msg_dup _
         | E.Retransmit _ | E.Timeout_fire _ | E.Ack _ | E.Inval_send _
-        | E.Downgrade _ | E.Proto_switch _ | E.Plan_applied _ | E.Crash _
+        | E.Downgrade _ | E.Proto_switch _ | E.Plan_applied _
+        | E.Obj_region _ | E.Obj_skip _ | E.Crash _
         | E.Restart _
         | E.Suspect _ | E.Quorum_write _ | E.Quorum_read _ | E.Ckpt _ ->
             ph

@@ -32,17 +32,18 @@ let check sa (r : result) =
       (Printf.sprintf "%s (%s): wrong results, max err %g" sa.app_name
          sa.size_name r.max_err)
 
-let of_app (module A : APP) cfg =
-  let mk label params =
+let of_app (module W : Dsm_apps.Workload.S) cfg =
+  let behavior = W.default_behavior in
+  let mk label size =
     let cache : (variant, result option) Hashtbl.t = Hashtbl.create 16 in
     let rec sa =
       {
-        app_name = A.name;
+        app_name = W.name;
         size_label = label;
-        size_name = A.size_name params;
-        seq_time_us = A.seq_time_us params;
-        levels = A.levels;
-        has_xhpf = Option.is_some A.run_xhpf;
+        size_name = W.size_name size;
+        seq_time_us = W.seq_time_us size;
+        levels = W.levels;
+        has_xhpf = Option.is_some W.xhpf;
         run =
           (fun v ->
             match Hashtbl.find_opt cache v with
@@ -51,13 +52,15 @@ let of_app (module A : APP) cfg =
                 let r =
                   match v with
                   | Tmk_base ->
-                      Some (A.run_tmk cfg params ~level:Base ~async:false)
+                      Some
+                        (W.tmk cfg ~size ~behavior ~level:Base ~async:false)
                   | Tmk_level (l, async) ->
-                      if List.mem l A.levels then
-                        Some (A.run_tmk cfg params ~level:l ~async)
+                      if List.mem l W.levels then
+                        Some (W.tmk cfg ~size ~behavior ~level:l ~async)
                       else None
-                  | Pvm -> Some (A.run_pvm cfg params)
-                  | Xhpf -> Option.map (fun f -> f cfg params) A.run_xhpf
+                  | Pvm -> Some (W.pvm cfg ~size ~behavior)
+                  | Xhpf ->
+                      Option.map (fun f -> f cfg ~size ~behavior) W.xhpf
                 in
                 Option.iter (check sa) r;
                 Hashtbl.replace cache v r;
@@ -66,7 +69,10 @@ let of_app (module A : APP) cfg =
     in
     sa
   in
-  [ mk "large" A.large; mk "small" A.small ]
+  List.filter_map
+    (fun label ->
+      Option.map (mk label) (List.assoc_opt label W.sizes))
+    [ "large"; "small" ]
 
 let base sa = Option.get (sa.run Tmk_base)
 
@@ -111,14 +117,9 @@ let best_level sa =
              | _ -> (bl, bt))
            (Base, Float.max_float) levels)
 
+(* The paper's tables and figures run over the six kernels; the KV
+   cache reports through its own experiment ({!Experiments.kv}). *)
 let all cfg =
   List.concat_map
-    (fun m -> of_app m cfg)
-    [
-      (module Dsm_apps.Jacobi : APP);
-      (module Dsm_apps.Fft3d : APP);
-      (module Dsm_apps.Shallow : APP);
-      (module Dsm_apps.Is : APP);
-      (module Dsm_apps.Gauss : APP);
-      (module Dsm_apps.Mgs : APP);
-    ]
+    (fun (_, m) -> of_app m cfg)
+    Dsm_apps.Registry.kernels

@@ -40,8 +40,13 @@ val best_opt_sync : sized_app -> Dsm_apps.App_common.result
 
 val base : sized_app -> Dsm_apps.App_common.result
 
+val of_app : (module Dsm_apps.Workload.S) -> Dsm_sim.Config.t -> sized_app list
+(** The large and small rows of one workload (those of its {!Workload.S.sizes}
+    that exist), run with its default behavior. *)
+
 val all : Dsm_sim.Config.t -> sized_app list
-(** The twelve rows of Table 1, in the paper's order. *)
+(** The twelve rows of Table 1 — the six kernels from
+    {!Dsm_apps.Registry.kernels} at both sizes, in the paper's order. *)
 
 val check : sized_app -> Dsm_apps.App_common.result -> unit
 (** Fail loudly if a run produced wrong results. *)

@@ -37,7 +37,7 @@ type model = {
          application performs no shared writes before its first barrier *)
   arrays : (string * int list) list;
       (* allocation order and extents, exactly as the application calls
-         {!Dsm_tmk.Tmk.alloc}: the layout replica below depends on it *)
+         {!Dsm_tmk.Tmk.Alloc.array}: the layout replica below depends on it *)
   page_size : int;  (* the page size the application's run will use *)
 }
 

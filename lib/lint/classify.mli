@@ -22,7 +22,7 @@ type model = {
   init : Dsm_compiler.Ir.program option;
       (** shared accesses before the first barrier, summarized whole *)
   arrays : (string * int list) list;
-      (** allocation order and extents, as passed to {!Dsm_tmk.Tmk.alloc} *)
+      (** allocation order and extents, as passed to {!Dsm_tmk.Tmk.Alloc.array} *)
   page_size : int;
 }
 

@@ -60,6 +60,7 @@ let run sys main =
 let pid t = t.p
 let nprocs t = t.sys.nprocs
 let charge t us = Cluster.charge t.sys.cluster t.p us
+let time t = Cluster.time t.sys.cluster t.p
 
 let box sys key =
   locked sys @@ fun () ->

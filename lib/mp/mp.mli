@@ -25,6 +25,11 @@ val nprocs : t -> int
 val charge : t -> float -> unit
 (** Account microseconds of local computation. *)
 
+val time : t -> float
+(** Current virtual clock of the calling processor, us — for workloads
+    that timestamp individual operations (the KV cache's latency
+    percentiles). *)
+
 val send_floats : t -> dst:int -> tag:int -> float array -> unit
 (** Asynchronous typed send (the payload is copied). *)
 

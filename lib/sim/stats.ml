@@ -23,6 +23,7 @@ type t = {
   mutable invals : int;
   mutable downgrades : int;
   mutable proto_switches : int;
+  mutable obj_skips : int;
   mutable crashes : int;
   mutable restarts : int;
   mutable suspects : int;
@@ -57,6 +58,7 @@ let create () =
     invals = 0;
     downgrades = 0;
     proto_switches = 0;
+    obj_skips = 0;
     crashes = 0;
     restarts = 0;
     suspects = 0;
@@ -90,6 +92,7 @@ let reset t =
   t.invals <- 0;
   t.downgrades <- 0;
   t.proto_switches <- 0;
+  t.obj_skips <- 0;
   t.crashes <- 0;
   t.restarts <- 0;
   t.suspects <- 0;
@@ -122,6 +125,7 @@ let add acc x =
   acc.invals <- acc.invals + x.invals;
   acc.downgrades <- acc.downgrades + x.downgrades;
   acc.proto_switches <- acc.proto_switches + x.proto_switches;
+  acc.obj_skips <- acc.obj_skips + x.obj_skips;
   acc.crashes <- acc.crashes + x.crashes;
   acc.restarts <- acc.restarts + x.restarts;
   acc.suspects <- acc.suspects + x.suspects;
@@ -151,6 +155,10 @@ let pp ppf t =
   if t.invals <> 0 || t.downgrades <> 0 || t.proto_switches <> 0 then
     Format.fprintf ppf "@[<v> inval=%d downgrade=%d switch=%d@]" t.invals
       t.downgrades t.proto_switches;
+  (* the object-granularity counter stays silent for page-granular
+     workloads, keeping kernel output byte-identical *)
+  if t.obj_skips <> 0 then
+    Format.fprintf ppf "@[<v> objskip=%d@]" t.obj_skips;
   (* and for the fault-tolerance counters: fault-free single-home runs keep
      byte-identical output *)
   if

@@ -36,6 +36,10 @@ type t = {
       (** invalidate backend: exclusive copies downgraded to shared *)
   mutable proto_switches : int;
       (** adaptive backend: per-page protocol switches at barriers *)
+  mutable obj_skips : int;
+      (** object-granularity allocations: consistency fetches avoided
+          because every stale object of the page was outside the
+          validated objects *)
   mutable crashes : int;  (** fault tolerance: crash-stop failures executed *)
   mutable restarts : int;
       (** fault tolerance: rejoins from the last checkpoint *)

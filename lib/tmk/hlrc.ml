@@ -267,6 +267,7 @@ let revalidate_local sys p page =
         Diff_store.note_applied sys.store ~writer:q ~page ~by:p ~seq:kv
       end)
     m.known;
+  m.ob_stale <- Pset.empty;
   if sys.trace <> None then begin
     Protocol.emit sys p
       (Dsm_trace.Event.Home_fetch { page; home = p; bytes = 0 });
@@ -320,7 +321,9 @@ let install_home_copy sys p page ~home =
       if kv > Wmap.get m.applied q then Wmap.set m.applied q kv;
       Diff_store.note_applied sys.store ~writer:q ~page ~by:p
         ~seq:(Wmap.get m.applied q))
-    (Wmap.union_keys m.known m.applied)
+    (Wmap.union_keys m.known m.applied);
+  (* the installed copy is fully current: no slot is stale any more *)
+  m.ob_stale <- Pset.empty
 
 (* Replicated variant of the miss path ([replicas > 1]): each stale or
    lost page is read from the live group member whose applied watermarks
@@ -755,19 +758,37 @@ let validate t ~async sections access =
          });
   (match access with
   | Read | Write | Read_write ->
-      if async then async_fetch sys p pages
+      let to_fetch, skipped = Protocol.obj_skip sys p ~ranges pages in
+      if async then begin
+        let faultable, unfaultable = Protocol.split_unfaultable sys p to_fetch in
+        async_fetch sys p faultable;
+        if unfaultable <> [] then
+          fetch_pages sys p unfaultable ~mode:Protocol.Rpc;
+        if skipped <> [] || unfaultable <> [] then
+          Protocol.apply_access_state sys p
+            ~ranges:(Validate.clip_to_pages sys ranges (skipped @ unfaultable))
+            ~access
+      end
       else begin
-        fetch_pages sys p pages ~mode:Protocol.Rpc;
+        fetch_pages sys p to_fetch ~mode:Protocol.Rpc;
         Protocol.apply_access_state sys p ~ranges ~access
       end
   | Write_all -> Protocol.apply_access_state sys p ~ranges ~access
   | Read_write_all ->
+      let to_fetch, skipped = Protocol.obj_skip sys p ~ranges pages in
       if async then begin
-        async_fetch sys p pages;
-        Protocol.record_write_all sys p ranges
+        let faultable, unfaultable = Protocol.split_unfaultable sys p to_fetch in
+        async_fetch sys p faultable;
+        if unfaultable <> [] then
+          fetch_pages sys p unfaultable ~mode:Protocol.Rpc;
+        Protocol.record_write_all sys p ranges;
+        if skipped <> [] || unfaultable <> [] then
+          Protocol.apply_access_state sys p
+            ~ranges:(Validate.clip_to_pages sys ranges (skipped @ unfaultable))
+            ~access
       end
       else begin
-        fetch_pages sys p pages ~mode:Protocol.Rpc;
+        fetch_pages sys p to_fetch ~mode:Protocol.Rpc;
         Protocol.apply_access_state sys p ~ranges ~access
       end);
   Prof.exit Prof.Sync

@@ -47,10 +47,38 @@ let meta st ~nprocs:_ page =
           lazy_hi = 0;
           lazy_vcsum = 0;
           home_flushed = 0;
+          ob_stale = Pset.empty;
         }
       in
       Hashtbl.replace st.meta page m;
       m
+
+(* {1 Object granularity}
+
+   Pages inside a {!Tmk.Alloc.objs} region hold packed fixed-size objects,
+   and the protocol tracks staleness per object slot (page offset divided
+   by the object size) on top of the per-page watermarks: releases record
+   which slots each interval wrote ([sys.obj_extents]), applied notices
+   grow the receiver's [ob_stale] slot set, and a validate whose objects
+   are all disjoint from [ob_stale] may skip the fetch entirely — the
+   false-sharing remedy of sub-page allocation. Every hook is guarded by
+   [sys.has_objs], so the paper's kernels execute bit-identically. *)
+
+let obj_all_slots sys osz =
+  Pset.of_list (List.init (sys.page_size / osz) Fun.id)
+
+(* Slots of [page] (object size [osz]) covered by [ranges]; a partially
+   covered slot counts as covered. *)
+let obj_slots_of_ranges sys ~page ~osz ranges =
+  let base = page * sys.page_size in
+  let slots = ref Pset.empty in
+  Range.iter
+    (Range.clip_to_page ~page_size:sys.page_size ~page ranges)
+    (fun ~lo ~hi ->
+      for s = (lo - base) / osz to (hi - 1 - base) / osz do
+        slots := Pset.add s !slots
+      done);
+  !slots
 
 (* Group a sorted page list into runs of consecutive page numbers; protection
    operations cost one call per contiguous run. *)
@@ -110,6 +138,43 @@ let release_pages sys p =
             pg.Page_table.prot <- Page_table.Read_only)
         pages;
       protect_runs sys p pages;
+      (* object-granularity regions: record which slots this interval
+         wrote, so receivers of its write notice can grow their stale-slot
+         sets instead of assuming the whole page changed. The twin
+         comparison over-approximates (it sees every write since the twin
+         was made, possibly spanning intervals) — safe: a larger extent
+         only forces more fetching, never less. *)
+      if sys.has_objs then
+        List.iter
+          (fun page ->
+            match Hashtbl.find_opt sys.obj_regions page with
+            | None -> ()
+            | Some osz ->
+                let m = meta st ~nprocs:sys.nprocs page in
+                let pg = Page_table.get st.pt page in
+                let slots =
+                  if not (Range.is_empty m.write_all) then
+                    obj_slots_of_ranges sys ~page ~osz m.write_all
+                  else
+                    match pg.Page_table.twin with
+                    | Some twin ->
+                        let acc = ref Pset.empty in
+                        for s = 0 to (sys.page_size / osz) - 1 do
+                          let off = s * osz in
+                          let differs = ref false in
+                          for i = off to off + osz - 1 do
+                            if
+                              Bytes.unsafe_get twin i
+                              <> Bytes.unsafe_get pg.Page_table.data i
+                            then differs := true
+                          done;
+                          if !differs then acc := Pset.add s !acc
+                        done;
+                        !acc
+                    | None -> obj_all_slots sys osz
+                in
+                Hashtbl.replace sys.obj_extents (p, seq, page) slots)
+          pages;
       Hashtbl.reset st.dirty;
       Ilog.add sys.logs.(p) ~seq pages;
       if sys.trace <> None then
@@ -231,6 +296,20 @@ let apply_notice sys p ~writer ~seq ~pages =
         let m = meta st ~nprocs:sys.nprocs page in
         if seq > Wmap.get m.known writer then Wmap.set m.known writer seq;
         if Wmap.get m.known writer > Wmap.get m.applied writer then begin
+          (if sys.has_objs then
+             match Hashtbl.find_opt sys.obj_regions page with
+             | None -> ()
+             | Some osz ->
+                 (* grow the stale-slot set by the interval's recorded
+                    extent; a missing extent (foreign pre-allocation
+                    history) conservatively stales the whole page *)
+                 let slots =
+                   match Hashtbl.find_opt sys.obj_extents (writer, seq, page)
+                   with
+                   | Some s -> s
+                   | None -> obj_all_slots sys osz
+                 in
+                 m.ob_stale <- Pset.union m.ob_stale slots);
           if m.lazy_hi > 0 then
             Cluster.charge sys.cluster p (materialize sys ~writer:p ~page);
           let pg = Page_table.get st.pt page in
@@ -267,6 +346,12 @@ let pull_notices sys p ~upto =
       and hi = Vc.get upto q in
       Ilog.iter_desc sys.logs.(q) ~lo ~hi (fun seq pages ->
           count := !count + List.length pages;
+          (* object-granularity pages: the per-slot extent travels with
+             the notice, modeled as one extra notice-sized entry per page *)
+          if sys.has_objs then
+            List.iter
+              (fun g -> if Hashtbl.mem sys.obj_regions g then incr count)
+              pages;
           apply_notice sys p ~writer:q ~seq ~pages);
       Vc.set st.vc q hi
     end
@@ -516,6 +601,23 @@ let fetch_and_apply sys p pages ~mode ?only_via () =
     units_by_page;
   Cluster.charge sys.cluster p
     (cfg.Config.diff_apply_per_byte_us *. float_of_int !applied_bytes);
+  (* an object-granularity page whose copy is fully current again sheds
+     its stale-slot set (a restricted [only_via] fetch can leave residual
+     staleness, so re-check the watermarks rather than clear blindly) *)
+  if sys.has_objs then
+    List.iter
+      (fun page ->
+        if Hashtbl.mem sys.obj_regions page then
+          match Hashtbl.find_opt st.meta page with
+          | Some m when not (Pset.is_empty m.ob_stale) ->
+              if
+                not
+                  (Wmap.exists
+                     (fun q kv -> q <> p && kv > Wmap.get m.applied q)
+                     m.known)
+              then m.ob_stale <- Pset.empty
+          | _ -> ())
+      (List.sort_uniq compare pages);
   if sys.trace <> None then
     List.iter
       (fun page ->
@@ -610,6 +712,78 @@ let apply_access_state sys p ~ranges ~access =
       record_write_all sys p ranges;
       enable ~twin:false);
   Prof.exit Prof.Protocol
+
+(* Split a validate's page list into (pages to fetch, pages skipped by
+   object granularity). A page may be skipped when it is genuinely stale
+   (some foreign interval known but unapplied), its stale-slot tracking is
+   live ([ob_stale] non-empty — an empty set on a stale page means the
+   tracking was lost and the page must be fetched), and every validated
+   object is disjoint from the stale slots: then the bytes the caller is
+   about to touch are already current, and the staleness is pure false
+   sharing at page granularity. Skipping never advances watermarks — the
+   page stays stale and a later validate of a stale object fetches as
+   usual. Disabled under home replication (quorum reads must settle their
+   source) — and structurally off for the invalidate/adaptive backends,
+   whose validates never route through this filter. *)
+let obj_skip sys p ~ranges pages =
+  if not sys.has_objs || Dsm_ft.Ft.replicated sys.ft then (pages, [])
+  else begin
+    let st = sys.states.(p) in
+    let keep = ref []
+    and skipped = ref [] in
+    List.iter
+      (fun page ->
+        match Hashtbl.find_opt sys.obj_regions page with
+        | None -> keep := page :: !keep
+        | Some osz ->
+            let m = meta st ~nprocs:sys.nprocs page in
+            let stale =
+              Wmap.exists
+                (fun q kv -> q <> p && kv > Wmap.get m.applied q)
+                m.known
+            in
+            let slots =
+              if stale && not (Pset.is_empty m.ob_stale) then
+                obj_slots_of_ranges sys ~page ~osz ranges
+              else Pset.empty
+            in
+            if
+              stale
+              && (not (Pset.is_empty m.ob_stale))
+              && (not (Pset.is_empty slots))
+              && Pset.disjoint slots m.ob_stale
+              (* an outstanding asynchronous response must be consumed by
+                 the normal fault path; granting access now would bury it *)
+              && not (Hashtbl.mem st.pending_async page)
+            then begin
+              let pstats = sys.cluster.Cluster.stats.(p) in
+              pstats.Stats.obj_skips <- pstats.Stats.obj_skips + 1;
+              if sys.trace <> None then
+                emit sys p
+                  (Dsm_trace.Event.Obj_skip
+                     { page; slots = Pset.to_list slots });
+              skipped := page :: !skipped
+            end
+            else keep := page :: !keep)
+      pages;
+    (List.rev !keep, List.rev !skipped)
+  end
+
+(* An asynchronous fetch completes in the page-fault handler, which only
+   runs for inaccessible pages. An earlier object-granularity skip can
+   leave a page accessible while Wmap-stale, so an asynchronous fetch of
+   it would never be consumed and its updates silently lost: split those
+   pages out for an immediate synchronous fetch. Without object regions
+   every stale page is inaccessible and the split is the identity. *)
+let split_unfaultable sys p pages =
+  if not sys.has_objs then (pages, [])
+  else
+    let st = sys.states.(p) in
+    List.partition
+      (fun page ->
+        (not (Hashtbl.mem sys.obj_regions page))
+        || (Page_table.get st.pt page).Page_table.prot = Page_table.No_access)
+      pages
 
 (* Asynchronous Fetch_diffs: send the requests now, continue computing; the
    responses are consumed in the page-fault handler (Section 3.2.3). *)

@@ -115,6 +115,33 @@ val apply_access_state :
     [WRITE]/[READ&WRITE] create twins and enable writing, the [_ALL] types
     enable writing without twins and record the WRITE_ALL ranges. *)
 
+val obj_all_slots : system -> int -> Pset.t
+(** Every slot of a page holding objects of the given size: the
+    conservative "whole page stale" extent. *)
+
+val obj_slots_of_ranges :
+  system -> page:int -> osz:int -> Dsm_rsd.Range.t -> Pset.t
+(** Slots of [page] (object size [osz]) covered by [ranges]; a partially
+    covered slot counts as covered. *)
+
+val obj_skip :
+  system -> int -> ranges:Dsm_rsd.Range.t -> int list -> int list * int list
+(** Split a validate's page list into [(fetch, skipped)]. A page is skipped
+    when it lies in an object-granularity region, is genuinely stale, its
+    stale-slot tracking is live, and every validated object is disjoint
+    from the stale slots — page-granularity false sharing with no true
+    communication. Counts {!Dsm_sim.Stats.obj_skips} and emits [Obj_skip]
+    per skipped page. Identity when [sys.has_objs] is unset or homes are
+    replicated. *)
+
+val split_unfaultable :
+  system -> int -> int list -> int list * int list
+(** Split an asynchronous validate's fetch list into
+    [(faultable, unfaultable)]: pages left accessible by an earlier
+    object-granularity skip never fault, so their fetch cannot be left to
+    the fault handler — the caller fetches them synchronously. Identity
+    ([pages], []) when [sys.has_objs] is unset. *)
+
 val read_fault : system -> int -> int -> unit
 (** Access-miss handler for a read: counts the fault, makes the page
     consistent, restores read (or read-write, if mid-interval) access. *)

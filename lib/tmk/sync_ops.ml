@@ -379,6 +379,13 @@ let barrier_with ~release ~plan_bcast ~handle_wsync t =
           Protocol.emit sys p
             (Dsm_trace.Event.Push_rollback { page; writer; seq });
         Wmap.set m.applied writer (seq - 1);
+        (* the rollback regresses [applied], so the stale-slot tracking no
+           longer under-approximates what a fetch would bring: stale the
+           whole object page conservatively *)
+        (if sys.has_objs then
+           match Hashtbl.find_opt sys.obj_regions page with
+           | None -> ()
+           | Some osz -> m.ob_stale <- Protocol.obj_all_slots sys osz);
         let pg = Dsm_mem.Page_table.get st.pt page in
         if pg.Dsm_mem.Page_table.prot <> Dsm_mem.Page_table.No_access then begin
           pg.Dsm_mem.Page_table.prot <- Dsm_mem.Page_table.No_access;

@@ -92,6 +92,10 @@ let make ?plan cfg =
       | Config.Adaptive -> Backend.ops (module Adaptive));
     trace = None;
     pending_plan = plan;
+    obj_regions = Hashtbl.create 64;
+    obj_extents = Hashtbl.create 256;
+    obj_decls = [];
+    has_objs = false;
   }
   in
   (* net events carry the emitting processor's protocol vector clock, so
@@ -184,6 +188,20 @@ let run ?trace sys main =
       sys.Types.pending_plan <- None;
       seed_plan sys pl
   | None -> ());
+  (* declare the object-region geometry to the trace, so the checker can
+     judge the Obj_skip events against it *)
+  if trace <> None then
+    List.iter
+      (fun (r : Types.obj_region) ->
+        Protocol.emit sys 0
+          (Dsm_trace.Event.Obj_region
+             {
+               base_page = r.Types.or_base_page;
+               npages = r.Types.or_npages;
+               obj_size = r.Types.or_obj_size;
+               count = r.Types.or_count;
+             }))
+      (List.rev sys.Types.obj_decls);
   (* every program ends with an exit barrier, as in TreadMarks: it restores
      full consistency after any trailing Push phases *)
   Fun.protect
@@ -208,21 +226,60 @@ let update_pages_in_use sys =
 
 type kind = F64 | I64
 
-let alloc sys name (kind : kind) ~dims =
-  (* both element kinds are 8 bytes wide on the simulated machine; [kind]
-     documents intent and leaves room for narrower elements later *)
-  ignore kind;
-  let a =
-    Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
-      (Array.of_list dims)
-  in
-  update_pages_in_use sys;
-  a
+module Alloc = struct
+  type granularity = Page | Object
 
-let alloc_f64_1 sys name n = alloc sys name F64 ~dims:[ n ]
-let alloc_f64_2 sys name n0 n1 = alloc sys name F64 ~dims:[ n0; n1 ]
-let alloc_f64_3 sys name n0 n1 n2 = alloc sys name F64 ~dims:[ n0; n1; n2 ]
-let alloc_i64_1 sys name n = alloc sys name I64 ~dims:[ n ]
+  let array sys name (kind : kind) ~dims =
+    (* both element kinds are 8 bytes wide on the simulated machine; [kind]
+       documents intent and leaves room for narrower elements later *)
+    ignore kind;
+    let a =
+      Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~elem_size:8
+        (Array.of_list dims)
+    in
+    update_pages_in_use sys;
+    a
+
+  let objs sys ?(granularity = Object) name ~obj_size ~count =
+    let page_size = sys.Types.page_size in
+    if obj_size < 8 || obj_size mod 8 <> 0 || page_size mod obj_size <> 0 then
+      invalid_arg
+        (Dsm_net.Plan.field_error ~field:"obj_size"
+           ~value:(string_of_int obj_size)
+           ~range:
+             (Printf.sprintf "multiples of 8 dividing the page size (%d)"
+                page_size));
+    if count < 1 then
+      invalid_arg
+        (Dsm_net.Plan.field_error ~field:"count" ~value:(string_of_int count)
+           ~range:"[1, ...]");
+    (* page alignment plus the divisibility constraint together guarantee
+       that no object straddles a page boundary *)
+    let a =
+      Dsm_mem.Addr_space.alloc_array sys.Types.space ~name ~page_align:true
+        ~elem_size:8
+        [| count * obj_size / 8 |]
+    in
+    update_pages_in_use sys;
+    (match granularity with
+    | Page -> ()
+    | Object ->
+        let base_page = a.Dsm_rsd.Section.base / page_size in
+        let npages = ((count * obj_size) + page_size - 1) / page_size in
+        for page = base_page to base_page + npages - 1 do
+          Hashtbl.replace sys.Types.obj_regions page obj_size
+        done;
+        sys.Types.obj_decls <-
+          {
+            Types.or_base_page = base_page;
+            or_npages = npages;
+            or_obj_size = obj_size;
+            or_count = count;
+          }
+          :: sys.Types.obj_decls;
+        sys.Types.has_objs <- true);
+    a
+end
 let pid (t : t) = t.Types.p
 let nprocs (t : t) = t.Types.sys.Types.nprocs
 let charge (t : t) us = Cluster.charge t.Types.sys.Types.cluster t.Types.p us
@@ -259,6 +316,26 @@ let digest sys =
   (* the verification read pass observes the (possibly recovered) final
      state; it must not trigger crash events still pending in the schedule *)
   Dsm_ft.Ft.disarm sys.Types.ft;
+  (* an object-granularity page skipped by a validate can be left readable
+     while some of its slots are stale (the run never read them); the exit
+     barrier applies only NEW notices, so the digest's read pass would see
+     the stale bytes. Force those pages through the miss path. *)
+  if sys.Types.has_objs then begin
+    let st0 = sys.Types.states.(0) in
+    let forced = ref [] in
+    Hashtbl.iter
+      (fun page (_ : int) ->
+        match Hashtbl.find_opt st0.Types.meta page with
+        | Some m when not (Pset.is_empty m.Types.ob_stale) ->
+            let pg = Page_table.get st0.Types.pt page in
+            if pg.Page_table.prot <> Page_table.No_access then begin
+              pg.Page_table.prot <- Page_table.No_access;
+              forced := page :: !forced
+            end
+        | _ -> ())
+      sys.Types.obj_regions;
+    if !forced <> [] then Protocol.protect_runs sys 0 !forced
+  end;
   run sys (fun t ->
       if t.Types.p = 0 then
         List.iter

@@ -8,7 +8,7 @@
     Typical use:
     {[
       let sys = Tmk.make (Dsm_sim.Config.default) in
-      let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ rows; cols ] in
+      let b = Tmk.Alloc.array sys "b" Tmk.F64 ~dims:[ rows; cols ] in
       Tmk.run sys (fun t ->
           let p = Tmk.pid t in
           ...
@@ -62,24 +62,42 @@ val run : ?trace:Dsm_trace.Sink.t -> system -> (t -> unit) -> unit
 
 type kind = F64 | I64  (** Element kind of a shared array (8 bytes each). *)
 
-val alloc :
-  system -> string -> kind -> dims:int list -> Dsm_rsd.Section.array_info
-(** [alloc sys name kind ~dims] allocates a shared array of the given
-    extents (column-major; the first dimension is contiguous). Access it
-    through the {!Shm} view matching its rank and kind. *)
+(** Shared-memory allocation. [array] is the general entry point; [objs]
+    additionally declares sub-page granularity, the remedy for false
+    sharing when many small independent objects pack into one page. *)
+module Alloc : sig
+  type granularity =
+    | Page  (** classic page-granular coherence (the default elsewhere) *)
+    | Object
+        (** per-object staleness tracking: a validate of objects disjoint
+            from every stale slot skips the fetch entirely *)
 
-val alloc_f64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
-[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n]"]
+  val array :
+    system -> string -> kind -> dims:int list -> Dsm_rsd.Section.array_info
+  (** [array sys name kind ~dims] allocates a shared array of the given
+      extents (column-major; the first dimension is contiguous). Access it
+      through the {!Shm} view matching its rank and kind. *)
 
-val alloc_f64_2 : system -> string -> int -> int -> Dsm_rsd.Section.array_info
-[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n0; n1]"]
-
-val alloc_f64_3 :
-  system -> string -> int -> int -> int -> Dsm_rsd.Section.array_info
-[@@deprecated "use Tmk.alloc sys name F64 ~dims:[n0; n1; n2]"]
-
-val alloc_i64_1 : system -> string -> int -> Dsm_rsd.Section.array_info
-[@@deprecated "use Tmk.alloc sys name I64 ~dims:[n]"]
+  val objs :
+    system ->
+    ?granularity:granularity ->
+    string ->
+    obj_size:int ->
+    count:int ->
+    Dsm_rsd.Section.array_info
+  (** [objs sys name ~obj_size ~count] allocates [count] packed fixed-size
+      objects of [obj_size] bytes, page-aligned; [obj_size] must be a
+      multiple of 8 dividing the page size, so an object never straddles
+      pages. Under [~granularity:Object] (the default) the run-time tracks
+      staleness per object slot on top of the page watermarks, and
+      validates of current objects skip fetching pages whose staleness is
+      pure false sharing; [~granularity:Page] allocates identically but
+      keeps page-granular coherence — the experiment control. Raises
+      [Invalid_argument] (in the {!Dsm_net.Plan.field_error} format) on a
+      bad [obj_size] or [count]. The result is a rank-1 [I64]-kind array
+      of [count * obj_size / 8] words; address object [i]'s word [w] at
+      [base + i*obj_size + 8*w]. *)
+end
 
 (** {1 Per-processor operations} *)
 

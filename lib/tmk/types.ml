@@ -37,6 +37,12 @@ type page_meta = {
   mutable home_flushed : int;
       (* HLRC only: my highest interval seq whose modifications to this page
          have been flushed into the home copy; 0 = none *)
+  mutable ob_stale : Pset.t;
+      (* object-granularity pages only: slots (page_offset / obj_size) some
+         known-but-unapplied foreign interval wrote. A validate whose
+         objects are all disjoint from this set may skip the fetch; always
+         empty for page-granular pages, and cleared whenever the copy
+         becomes fully current *)
 }
 
 (* Per-processor run-time state. *)
@@ -148,6 +154,17 @@ type adapt_page = {
   mutable ap_migrations : int;  (* windows in which the writer changed *)
 }
 
+(* One object-granularity shared region ({!Tmk.Alloc.objs}): [or_count]
+   packed fixed-size objects starting at a page boundary, [or_obj_size]
+   bytes each (a multiple of 8 dividing the page size, so an object never
+   straddles pages). *)
+type obj_region = {
+  or_base_page : int;
+  or_npages : int;
+  or_obj_size : int;
+  or_count : int;
+}
+
 type system = {
   cluster : Dsm_sim.Cluster.t;
   net : Dsm_net.Net.t;
@@ -193,6 +210,19 @@ type system = {
       (* static protocol-placement plan ([dsm_run --plan]) awaiting
          application; consumed at the start of the first {!Tmk.run} so the
          later digest pass does not re-seed over the run's final state *)
+  obj_regions : (int, int) Hashtbl.t;
+      (* page -> obj_size for pages inside an object-granularity region
+         ({!Tmk.Alloc.objs}); empty (and all hooks dead) for the kernels *)
+  obj_extents : (int * int * int, Pset.t) Hashtbl.t;
+      (* (writer, seq, page) -> slots the writer's interval [seq] modified
+         on the page; recorded at release, consumed when the notice is
+         applied to grow the receiver's [ob_stale] *)
+  mutable obj_decls : obj_region list;
+      (* declaration order reversed; {!Tmk.run} emits one [Obj_region]
+         trace event per region so the checker learns the geometry *)
+  mutable has_objs : bool;
+      (* single-test short-circuit guarding every object-granularity hook
+         on the protocol paths the kernels share *)
 }
 
 (* Per-processor handle passed to application code. [st] caches

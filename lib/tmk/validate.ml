@@ -17,10 +17,26 @@ let ranges_of_sections sections =
     (fun acc s -> Range.union acc (Section.ranges s))
     Range.empty sections
 
+let clip_to_pages sys ranges pages =
+  List.fold_left
+    (fun acc page ->
+      Range.union acc (Range.clip_to_page ~page_size:sys.page_size ~page ranges))
+    Range.empty pages
+
 (* Validate(section, access_type), Figure 3. The synchronous version fetches
    and applies diffs before returning; the asynchronous version only sends
    the fetch requests — the page-fault handler completes the work at the
-   first access (Section 3.2.3). *)
+   first access (Section 3.2.3).
+
+   Pages inside an object-granularity region whose validated objects are
+   all current are dropped from the fetch ({!Protocol.obj_skip}); their
+   access state is still applied (asynchronous validates apply it
+   immediately — no request is in flight, so the fault handler must never
+   run for them). The converse case — a page an earlier skip left
+   accessible that is now validated with a stale object — cannot be
+   fetched asynchronously at all: no fault will run to consume the
+   response, so {!Protocol.split_unfaultable} routes it through the
+   synchronous fetch. *)
 let validate t ?(async = false) sections access =
   Prof.enter Prof.Sync;
   let sys = t.sys
@@ -40,22 +56,44 @@ let validate t ?(async = false) sections access =
          });
   (match access with
   | Read | Write | Read_write ->
-      if async then Protocol.async_fetch sys p pages
+      let fetch_pages, skipped = Protocol.obj_skip sys p ~ranges pages in
+      if async then begin
+        let faultable, unfaultable =
+          Protocol.split_unfaultable sys p fetch_pages
+        in
+        Protocol.async_fetch sys p faultable;
+        if unfaultable <> [] then
+          Protocol.fetch_and_apply sys p unfaultable ~mode:Protocol.Rpc ();
+        if skipped <> [] || unfaultable <> [] then
+          Protocol.apply_access_state sys p
+            ~ranges:(clip_to_pages sys ranges (skipped @ unfaultable))
+            ~access
+      end
       else begin
-        Protocol.fetch_and_apply sys p pages ~mode:Protocol.Rpc ();
+        Protocol.fetch_and_apply sys p fetch_pages ~mode:Protocol.Rpc ();
         Protocol.apply_access_state sys p ~ranges ~access
       end
   | Write_all ->
       (* no data movement: consistency deliberately bypassed *)
       Protocol.apply_access_state sys p ~ranges ~access
   | Read_write_all ->
+      let fetch_pages, skipped = Protocol.obj_skip sys p ~ranges pages in
       if async then begin
-        Protocol.async_fetch sys p pages;
+        let faultable, unfaultable =
+          Protocol.split_unfaultable sys p fetch_pages
+        in
+        Protocol.async_fetch sys p faultable;
+        if unfaultable <> [] then
+          Protocol.fetch_and_apply sys p unfaultable ~mode:Protocol.Rpc ();
         (* record now so the fault handler skips twin creation *)
-        Protocol.record_write_all sys p ranges
+        Protocol.record_write_all sys p ranges;
+        if skipped <> [] || unfaultable <> [] then
+          Protocol.apply_access_state sys p
+            ~ranges:(clip_to_pages sys ranges (skipped @ unfaultable))
+            ~access
       end
       else begin
-        Protocol.fetch_and_apply sys p pages ~mode:Protocol.Rpc ();
+        Protocol.fetch_and_apply sys p fetch_pages ~mode:Protocol.Rpc ();
         Protocol.apply_access_state sys p ~ranges ~access
       end);
   Prof.exit Prof.Sync

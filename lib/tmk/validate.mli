@@ -4,6 +4,12 @@ val ranges_of_sections : Dsm_rsd.Section.t list -> Dsm_rsd.Range.t
 (** Sections are translated to contiguous address ranges, as in the actual
     implementation (Section 3.3). *)
 
+val clip_to_pages :
+  Types.system -> Dsm_rsd.Range.t -> int list -> Dsm_rsd.Range.t
+(** The sub-ranges of [ranges] falling on the given pages (union of the
+    per-page clips); used to apply access state to the object-granularity
+    pages a validate skipped. *)
+
 val validate :
   Types.t -> ?async:bool -> Dsm_rsd.Section.t list -> Types.access -> unit
 (** [Validate(section, access_type)] (Figure 3). The consistency-preserving

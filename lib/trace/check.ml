@@ -129,6 +129,9 @@ type state = {
   msgs : (int, msg_state) Hashtbl.t;  (* reliable-layer msg id -> state *)
   homes : (int, int) Hashtbl.t;  (* HLRC: page -> home, learned from events *)
   iv : (int, iv_state) Hashtbl.t;  (* invalidate-protocol page tracking *)
+  objs : (int, int) Hashtbl.t;
+      (* object-granularity regions: page -> obj_size, learned from the
+         [Obj_region] declarations at start of trace *)
   mutable violations : violation list;
   mutable nchecked : int;
 }
@@ -169,6 +172,7 @@ let create ~nprocs =
     msgs = Hashtbl.create 256;
     homes = Hashtbl.create 64;
     iv = Hashtbl.create 64;
+    objs = Hashtbl.create 16;
     violations = [];
     nchecked = 0;
   }
@@ -570,6 +574,47 @@ let step st (e : Event.t) =
                   iv_transfer = None;
                 }
           done
+    (* {2 Object-granularity rules} *)
+    | Obj_region { base_page; npages; obj_size; count } ->
+        if base_page < 0 || npages < 1 || count < 1 then
+          fail st e "obj-region-shape"
+            "degenerate region: base_page=%d npages=%d count=%d" base_page
+            npages count;
+        if obj_size < 8 || obj_size mod 8 <> 0 then
+          fail st e "obj-region-size" "object size %d is not a positive \
+                                       multiple of 8" obj_size;
+        for page = base_page to base_page + max 1 npages - 1 do
+          Hashtbl.replace st.objs page obj_size
+        done
+    | Obj_skip { page; slots } ->
+        if not (Hashtbl.mem st.objs page) then
+          fail st e "obj-skip-region"
+            "page %d skipped but no object region was declared for it" page;
+        (match slots with
+        | [] -> fail st e "obj-skip-slots" "page %d skipped with no slots" page
+        | s0 :: _ ->
+            let rec ascending = function
+              | a :: (b :: _ as tl) -> a < b && ascending tl
+              | _ -> true
+            in
+            if s0 < 0 || not (ascending slots) then
+              fail st e "obj-skip-slots"
+                "page %d: slot list is not strictly ascending and \
+                 non-negative"
+                page);
+        (* a skip is only legal while the page is genuinely stale: with
+           every foreign interval applied, the run-time's validate would
+           have found nothing to fetch and nothing to skip *)
+        let s = page_state st p page in
+        let stale = ref false in
+        Wmap.iter
+          (fun q v -> if q <> p && v > Wmap.get s.applied q then stale := true)
+          s.known;
+        if not !stale then
+          fail st e "obj-skip-current"
+            "page %d skipped but the mirror shows no unapplied foreign \
+             interval"
+            page
     (* {2 HLRC home rules} *)
     | Home_flush { page; home; seq; bytes = _ } ->
         let home = home_of st e ~page ~home in

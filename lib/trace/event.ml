@@ -78,6 +78,16 @@ type kind =
          pages [lo_page..hi_page] with protocol [proto] and designated
          [owner] before the program ran — one event per directive, emitted
          by processor 0 at start of run *)
+  (* Object-granularity allocation ([Tmk.Alloc.objs]): sub-page staleness
+     tracking on top of the page watermarks. *)
+  | Obj_region of { base_page : int; npages : int; obj_size : int; count : int }
+      (* an object-granularity region: [count] packed objects of
+         [obj_size] bytes over pages [base_page..base_page+npages-1] —
+         one event per region, emitted by processor 0 at start of run *)
+  | Obj_skip of { page : int; slots : int list }
+      (* a validate of the object [slots] skipped fetching [page]: the
+         page is stale at page granularity but every validated object is
+         disjoint from the stale slots (false sharing, no communication) *)
   (* Fault-tolerance events (lib/ft + Dsm_tmk.Recover). Crash-stop node
      failures execute at release points; homes are k-replica groups whose
      flushes are quorum writes and whose misses are quorum reads. *)
@@ -154,6 +164,8 @@ let kind_name = function
   | Downgrade _ -> "downgrade"
   | Proto_switch _ -> "proto_switch"
   | Plan_applied _ -> "plan_applied"
+  | Obj_region _ -> "obj_region"
+  | Obj_skip _ -> "obj_skip"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
   | Suspect _ -> "suspect"
@@ -229,6 +241,12 @@ let kind_fields = function
       Printf.sprintf
         "\"lo_page\":%d,\"hi_page\":%d,\"proto\":%S,\"owner\":%d" lo_page
         hi_page proto owner
+  | Obj_region { base_page; npages; obj_size; count } ->
+      Printf.sprintf
+        "\"base_page\":%d,\"npages\":%d,\"obj_size\":%d,\"count\":%d"
+        base_page npages obj_size count
+  | Obj_skip { page; slots } ->
+      Printf.sprintf "\"page\":%d,\"slots\":%s" page (json_int_list slots)
   | Crash { epoch } -> Printf.sprintf "\"epoch\":%d" epoch
   | Restart { epoch; ckpt } ->
       Printf.sprintf "\"epoch\":%d,\"ckpt\":%d" epoch ckpt
@@ -528,6 +546,15 @@ let parse_exn line =
             proto = str "proto";
             owner = int "owner";
           }
+    | "obj_region" ->
+        Obj_region
+          {
+            base_page = int "base_page";
+            npages = int "npages";
+            obj_size = int "obj_size";
+            count = int "count";
+          }
+    | "obj_skip" -> Obj_skip { page = int "page"; slots = ints "slots" }
     | "crash" -> Crash { epoch = int "epoch" }
     | "restart" -> Restart { epoch = int "epoch"; ckpt = int "ckpt" }
     | "suspect" -> Suspect { peer = int "peer"; attempts = int "attempts" }

@@ -97,6 +97,16 @@ type kind =
           pages [lo_page..hi_page] with protocol [proto] ("lrc", "hlrc"
           or "inval") and designated [owner] before the first access —
           one event per directive, emitted by processor 0 *)
+  | Obj_region of { base_page : int; npages : int; obj_size : int; count : int }
+      (** object-granularity allocation ({!Dsm_tmk.Tmk.Alloc.objs}): a
+          region of [count] packed objects of [obj_size] bytes over pages
+          [base_page..base_page+npages-1] — one event per region, emitted
+          by processor 0 at start of run *)
+  | Obj_skip of { page : int; slots : int list }
+      (** a validate of the object [slots] skipped fetching [page]: the
+          page is stale at page granularity but every validated object is
+          disjoint from the stale slots (false sharing, no true
+          communication) *)
   | Crash of { epoch : int }
       (** fault tolerance: the emitting processor fail-stopped at barrier
           [epoch], losing all volatile state *)

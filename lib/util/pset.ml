@@ -41,6 +41,14 @@ let rec union a b =
       else if y < x then y :: union a ys
       else x :: union xs ys
 
+let rec disjoint a b =
+  match (a, b) with
+  | [], _ | _, [] -> true
+  | x :: xs, y :: ys ->
+      if x < y then disjoint xs b
+      else if y < x then disjoint a ys
+      else false
+
 let equal (a : t) (b : t) = a = b
 let min_elt = function [] -> invalid_arg "Pset.min_elt: empty" | p :: _ -> p
 let to_list s = s

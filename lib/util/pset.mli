@@ -26,6 +26,9 @@ val mem : int -> t -> bool
 val union : t -> t -> t
 (** Ordered merge; O(cardinal a + cardinal b). *)
 
+val disjoint : t -> t -> bool
+(** No common member; O(cardinal a + cardinal b) merge walk. *)
+
 val equal : t -> t -> bool
 
 val min_elt : t -> int

@@ -7,8 +7,8 @@ let () =
   let cfg = { Dsm_sim.Config.default with nprocs = 4 } in
   let sys = Tmk.make cfg in
   let n = 64 in
-  let b = Tmk.alloc sys "b" Tmk.F64 ~dims:[ n; n ] in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ n; n ] in
+  let b = Tmk.Alloc.array sys "b" Tmk.F64 ~dims:[ n; n ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ n; n ] in
   Tmk.run sys (fun t ->
       let p = Tmk.pid t
       and np = Tmk.nprocs t in

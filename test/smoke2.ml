@@ -2,7 +2,7 @@
 
 module A = Dsm_apps.App_common
 
-let run_app (module App : A.APP) size =
+let run_app (module App : Dsm_apps.Workload.KERNEL) size =
   let params = match size with `Large -> App.large | `Small -> App.small in
   let cfg = Dsm_sim.Config.default in
   Format.printf "@.== %s (%s), seq = %.0f us ==@." App.name

@@ -8,7 +8,7 @@ open Dsm_apps.App_common
 
 let cfg = { Dsm_sim.Config.default with Dsm_sim.Config.nprocs = 4 }
 
-let check_app name (module A : APP) =
+let check_app name (module A : Dsm_apps.Workload.KERNEL) =
   let params = A.small in
   List.iter
     (fun level ->
@@ -32,7 +32,7 @@ let check_app name (module A : APP) =
       Alcotest.(check (float 1e-6)) (name ^ " xhpf") 0.0 r.max_err
   | None -> ()
 
-let test_speedups_sane (module A : APP) () =
+let test_speedups_sane (module A : Dsm_apps.Workload.KERNEL) () =
   (* parallel virtual time beats a processor count's worth of slowdown and
      never beats perfect speedup by more than rounding *)
   let params = A.small in
@@ -42,7 +42,7 @@ let test_speedups_sane (module A : APP) () =
   Alcotest.(check bool) "0.2 <= speedup <= nprocs" true
     (s >= 0.2 && s <= float_of_int cfg.Dsm_sim.Config.nprocs +. 0.01)
 
-let test_opt_reduces_messages (module A : APP) () =
+let test_opt_reduces_messages (module A : Dsm_apps.Workload.KERNEL) () =
   let params = A.small in
   let base = A.run_tmk cfg params ~level:Base ~async:false in
   let best_level = List.fold_left (fun _ l -> l) Base A.levels in
@@ -50,7 +50,7 @@ let test_opt_reduces_messages (module A : APP) () =
   Alcotest.(check bool) "fewer or equal messages" true
     (opt.stats.Dsm_sim.Stats.messages <= base.stats.Dsm_sim.Stats.messages)
 
-let test_opt_reduces_faults (module A : APP) () =
+let test_opt_reduces_faults (module A : Dsm_apps.Workload.KERNEL) () =
   let params = A.small in
   let base = A.run_tmk cfg params ~level:Base ~async:false in
   let best_level = List.fold_left (fun _ l -> l) Base A.levels in
@@ -58,7 +58,7 @@ let test_opt_reduces_faults (module A : APP) () =
   Alcotest.(check bool) "fewer faults" true
     (opt.stats.Dsm_sim.Stats.segv < base.stats.Dsm_sim.Stats.segv)
 
-let apps : (string * (module APP)) list =
+let apps : (string * (module Dsm_apps.Workload.KERNEL)) list =
   [
     ("jacobi", (module Dsm_apps.Jacobi));
     ("fft3d", (module Dsm_apps.Fft3d));

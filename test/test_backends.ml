@@ -11,7 +11,7 @@
    including the adaptive backend's per-page switch decisions), every
    backend's runs through the trace invariant checker, the first-touch
    home-assignment regression (tracing must not perturb the
-   assignments), the new-style [Tmk.alloc], and the per-protocol
+   assignments), the new-style [Tmk.Alloc], and the per-protocol
    statistics counters. *)
 
 module Config = Dsm_sim.Config
@@ -326,8 +326,8 @@ let inval_stats () =
 
 let alloc_api () =
   let sys = Tmk.make (cfg Config.Hlrc 2) in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 3; 5 ] in
-  let k = Tmk.alloc sys "k" Tmk.I64 ~dims:[ 7 ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ 3; 5 ] in
+  let k = Tmk.Alloc.array sys "k" Tmk.I64 ~dims:[ 7 ] in
   Alcotest.(check (array int))
     "f64 extents" [| 3; 5 |] a.Dsm_rsd.Section.extents;
   Alcotest.(check (array int)) "i64 extents" [| 7 |] k.Dsm_rsd.Section.extents;

@@ -59,7 +59,7 @@ let test_goldens_domains domains () =
 
 let backends = [ Config.Lrc; Config.Hlrc; Config.Inval; Config.Adaptive ]
 
-let run_digest (module App : A.APP) backend domains =
+let run_digest (module App : Dsm_apps.Workload.KERNEL) backend domains =
   let cfg = { Config.default with Config.backend; domains } in
   App.run_tmk ~digest:true cfg App.small ~level:A.Base ~async:true
 
@@ -176,7 +176,7 @@ let test_trace_determinism () =
 let test_windowed_mp_equality () =
   List.iter
     (fun (name, m) ->
-      let (module App : A.APP) = m in
+      let (module App : Dsm_apps.Workload.KERNEL) = m in
       let seq = App.run_pvm Config.default App.small in
       List.iter
         (fun domains ->

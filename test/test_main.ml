@@ -15,6 +15,7 @@ let () =
       ("compiler", Test_compiler.tests);
       ("lint", Test_lint.tests);
       ("apps", Test_apps.tests);
+      ("kv", Test_kv.tests);
       ("harness", Test_harness.tests);
       ("protocol-properties", Test_props.tests);
       ("trace", Test_trace.tests);

@@ -194,7 +194,7 @@ let test_inorder_delivery () =
 let last_level l = List.fold_left (fun _ x -> x) (List.hd l) l
 
 let fault_apps : (string * (Config.t -> ?trace:Sink.t -> unit -> result)) list =
-  let app (type p) (module A : APP with type params = p) (prm : p) =
+  let app (type p) (module A : Dsm_apps.Workload.KERNEL with type params = p) (prm : p) =
     fun cfg ?trace () ->
       A.run_tmk ?trace cfg prm ~level:(last_level A.levels) ~async:true
   in

@@ -22,7 +22,7 @@ module A = Dsm_apps.App_common
 module Config = Dsm_sim.Config
 module Stats = Dsm_sim.Stats
 
-let apps : (string * (module A.APP)) list =
+let apps : (string * (module Dsm_apps.Workload.KERNEL)) list =
   [
     ("jacobi", (module Dsm_apps.Jacobi));
     ("fft3d", (module Dsm_apps.Fft3d));
@@ -47,7 +47,7 @@ type case = {
 let gen_case : case QCheck.Gen.t =
   let open QCheck.Gen in
   let* app_idx = int_bound (List.length apps - 1) in
-  let app, (module App : A.APP) = List.nth apps app_idx in
+  let app, (module App : Dsm_apps.Workload.KERNEL) = List.nth apps app_idx in
   let* size = frequency [ (4, return "small"); (1, return "large") ] in
   let* procs = oneofl [ 1; 2; 4; 8 ] in
   let* level = oneofl App.levels in
@@ -63,7 +63,7 @@ let cases =
    suite (test_engine_par) replays every sampled case at 2 and 4 domains
    against the same goldens. *)
 let run_case ?trace ?(domains = 1) c =
-  let (module App : A.APP) = List.assoc c.app apps in
+  let (module App : Dsm_apps.Workload.KERNEL) = List.assoc c.app apps in
   let params = if c.size = "large" then App.large else App.small in
   let cfg =
     {

@@ -60,7 +60,7 @@ let test_prof_exception_unwind () =
    same virtual elapsed time with the profiler on and off. *)
 let run_small_sim () =
   let sys = Tmk.make { Config.default with nprocs = 4; page_size = 256 } in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 64 ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ 64 ] in
   Tmk.run sys (fun t ->
       let p = Tmk.pid t in
       Shm.F64_1.set t a p (float_of_int (p + 1));

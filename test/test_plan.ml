@@ -44,7 +44,12 @@ let run_traced ?plan ~nprocs name =
     | Some m -> m
     | None -> Alcotest.fail ("no app " ^ name)
   in
-  let module App = (val m : A.APP) in
+  let module W = (val m : Dsm_apps.Workload.S) in
+  let size =
+    match List.assoc_opt "small" W.sizes with
+    | Some s -> s
+    | None -> Alcotest.fail ("no small size for " ^ name)
+  in
   let l =
     match Cli.find_level "base" with
     | Some l -> l
@@ -52,8 +57,8 @@ let run_traced ?plan ~nprocs name =
   in
   let sink = Dsm_trace.Sink.create ~nprocs () in
   let r =
-    App.run_tmk ~trace:sink ~digest:true ?plan (adaptive_cfg nprocs) App.small
-      ~level:l ~async:true
+    W.tmk ~trace:sink ~digest:true ?plan (adaptive_cfg nprocs) ~size
+      ~behavior:W.default_behavior ~level:l ~async:true
   in
   (r, sink)
 

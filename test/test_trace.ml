@@ -35,7 +35,7 @@ let check_clean name sink =
 let last l = List.fold_left (fun _ x -> x) (List.hd l) l
 
 let check_app_levels (type p)
-    (module A : APP with type params = p) (prm : p) () =
+    (module A : Dsm_apps.Workload.KERNEL with type params = p) (prm : p) () =
   List.iter
     (fun nprocs ->
       List.iter
@@ -115,12 +115,12 @@ let test_trace_off_identical_locks () =
     !v
   in
   let sys0 = build () in
-  let a0 = Tmk.alloc sys0 "a" Tmk.F64 ~dims:[ 8 ] in
+  let a0 = Tmk.Alloc.array sys0 "a" Tmk.F64 ~dims:[ 8 ] in
   Tmk.run sys0 (program a0);
   let t0 = Tmk.elapsed sys0
   and s0 = Array.to_list (Tmk.stats sys0) in
   let sys1 = build () in
-  let a1 = Tmk.alloc sys1 "a" Tmk.F64 ~dims:[ 8 ] in
+  let a1 = Tmk.Alloc.array sys1 "a" Tmk.F64 ~dims:[ 8 ] in
   let sink = Sink.create ~nprocs:4 () in
   Tmk.run ~trace:sink sys1 (program a1);
   let t1 = Tmk.elapsed sys1
@@ -600,7 +600,7 @@ let test_phases () =
 let test_wsync_table_bounded () =
   let nprocs = 4 in
   let sys = Tmk.make (cfg_n nprocs) in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 512 ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ 512 ] in
   Tmk.run sys (fun t ->
       let p = Tmk.pid t in
       for i = 0 to 49 do
@@ -715,7 +715,7 @@ let test_tmk_failure_mid_barrier () =
      failure must surface (annotated) instead of leaving the run stuck with
      leaked continuations, and the engine must stay usable afterwards *)
   let sys = Tmk.make (cfg_n 4) in
-  let a = Tmk.alloc sys "a" Tmk.F64 ~dims:[ 64 ] in
+  let a = Tmk.Alloc.array sys "a" Tmk.F64 ~dims:[ 64 ] in
   (match
      Tmk.run sys (fun t ->
          let p = Tmk.pid t in
@@ -729,7 +729,7 @@ let test_tmk_failure_mid_barrier () =
       Alcotest.failf "expected Proc_failure (2, ...), got %s"
         (Printexc.to_string e));
   let sys2 = Tmk.make (cfg_n 4) in
-  let b = Tmk.alloc sys2 "b" Tmk.F64 ~dims:[ 64 ] in
+  let b = Tmk.Alloc.array sys2 "b" Tmk.F64 ~dims:[ 64 ] in
   let ok = ref 0 in
   Tmk.run sys2 (fun t ->
       Dsm_tmk.Shm.F64_1.set t b (Tmk.pid t) 2.0;
